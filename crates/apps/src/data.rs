@@ -1,0 +1,46 @@
+//! Workload generation helpers.
+
+use pphw_ir::interp::Value;
+use pphw_ir::size::SizeEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Looks up a dimension value.
+///
+/// # Panics
+///
+/// Panics if the dimension is unbound.
+pub fn dim(env: &SizeEnv, name: &str) -> usize {
+    *env.get(name)
+        .unwrap_or_else(|| panic!("dimension `{name}` not bound")) as usize
+}
+
+/// A seeded random vector with values in `[lo, hi)`.
+pub fn rand_vec(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A seeded random f32 tensor value.
+pub fn rand_tensor(rng: &mut StdRng, shape: &[usize], lo: f32, hi: f32) -> Value {
+    let n = shape.iter().product();
+    Value::tensor_f32(shape, rand_vec(rng, n, lo, hi))
+}
+
+/// A seeded random i32 tensor value in `[0, bound)`.
+pub fn rand_labels(rng: &mut StdRng, n: usize, bound: i64) -> Value {
+    Value::tensor_i32(&[n], (0..n).map(|_| rng.gen_range(0..bound)).collect())
+}
+
+/// Deterministic RNG for a benchmark seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Compares two flat f32 sequences with relative tolerance.
+pub fn approx_slices(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tol * scale
+        })
+}

@@ -1,0 +1,266 @@
+//! The dense linear-algebra benchmarks: vector outer product, matrix row
+//! summation, and matrix multiplication (Table 5).
+
+use pphw_ir::builder::ProgramBuilder;
+use pphw_ir::expr::Expr;
+use pphw_ir::interp::Value;
+use pphw_ir::pattern::Init;
+use pphw_ir::size::SizeEnv;
+use pphw_ir::types::{DType, ScalarType};
+use pphw_ir::Program;
+
+use crate::data::{dim, rand_tensor, rng};
+
+// ---------------------------------------------------------------------
+// outerprod
+// ---------------------------------------------------------------------
+
+/// Vector outer product: `out(i,j) = x(i) * y(j)`.
+pub fn outerprod_program() -> Program {
+    let mut b = ProgramBuilder::new("outerprod");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone()]);
+    let y = b.input("y", DType::F32, vec![n.clone()]);
+    let out = b.map(vec![m, n], |c, idx| {
+        c.mul(
+            c.read(x, vec![c.var(idx[0])]),
+            c.read(y, vec![c.var(idx[1])]),
+        )
+    });
+    b.finish(vec![out])
+}
+
+/// Default workload sizes for outerprod.
+pub fn outerprod_sizes() -> Vec<(&'static str, i64)> {
+    vec![("m", 1024), ("n", 1024)]
+}
+
+/// Default tile sizes for outerprod.
+pub fn outerprod_tiles() -> Vec<(&'static str, i64)> {
+    vec![("m", 128), ("n", 128)]
+}
+
+/// Random inputs for outerprod.
+pub fn outerprod_inputs(env: &SizeEnv, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    vec![
+        rand_tensor(&mut r, &[dim(env, "m")], -1.0, 1.0),
+        rand_tensor(&mut r, &[dim(env, "n")], -1.0, 1.0),
+    ]
+}
+
+/// Reference implementation of outerprod.
+pub fn outerprod_golden(inputs: &[Value], env: &SizeEnv) -> Vec<Value> {
+    let (m, n) = (dim(env, "m"), dim(env, "n"));
+    let x = inputs[0].as_f32_slice();
+    let y = inputs[1].as_f32_slice();
+    let mut out = Vec::with_capacity(m * n);
+    for xi in x.iter().take(m) {
+        for yj in y.iter().take(n) {
+            out.push(xi * yj);
+        }
+    }
+    vec![Value::tensor_f32(&[m, n], out)]
+}
+
+// ---------------------------------------------------------------------
+// sumrows
+// ---------------------------------------------------------------------
+
+/// Matrix summation through rows: `out(i) = sum_j x(i,j)` — written as
+/// the user would (`x.map{ row => row.fold(0)(+) }`), a map of folds.
+pub fn sumrows_program() -> Program {
+    let mut b = ProgramBuilder::new("sumrows");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.map(vec![m], |c, i| {
+            let i = i[0];
+            c.fold(
+                "rowsum",
+                vec![n.clone()],
+                vec![],
+                ScalarType::Prim(DType::F32),
+                Init::zeros(),
+                |c, j, acc| c.add(c.var(acc), c.read(x, vec![c.var(i), c.var(j[0])])),
+                |c, a, b2| c.add(c.var(a), c.var(b2)),
+            )
+        })
+    });
+    b.finish(vec![out])
+}
+
+/// The fused single-`MultiFold` variant of sumrows (Table 2's
+/// location-based form), used by transformation tests.
+pub fn sumrows_fused_program() -> Program {
+    let mut b = ProgramBuilder::new("sumrows_fused");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.multi_fold(
+            "rowsums",
+            vec![m.clone(), n.clone()],
+            vec![m.clone()],
+            ScalarType::Prim(DType::F32),
+            Init::zeros(),
+            |c, idx| {
+                let (i, j) = (idx[0], idx[1]);
+                let v = c.read(x, vec![c.var(i), c.var(j)]);
+                (
+                    vec![Expr::var(i)],
+                    vec![],
+                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| {
+                        c2.add(c2.var(acc), v)
+                    }),
+                )
+            },
+            Some(Box::new(|c2: &mut pphw_ir::builder::Ctx<'_>, a, b2| {
+                c2.add(c2.var(a), c2.var(b2))
+            })),
+        )
+    });
+    b.finish(vec![out])
+}
+
+/// Default workload sizes for sumrows.
+pub fn sumrows_sizes() -> Vec<(&'static str, i64)> {
+    vec![("m", 2048), ("n", 512)]
+}
+
+/// Default tile sizes for sumrows.
+pub fn sumrows_tiles() -> Vec<(&'static str, i64)> {
+    vec![("m", 64), ("n", 512)]
+}
+
+/// Random inputs for sumrows.
+pub fn sumrows_inputs(env: &SizeEnv, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    vec![rand_tensor(&mut r, &[dim(env, "m"), dim(env, "n")], 0.0, 1.0)]
+}
+
+/// Reference implementation of sumrows.
+pub fn sumrows_golden(inputs: &[Value], env: &SizeEnv) -> Vec<Value> {
+    let (m, n) = (dim(env, "m"), dim(env, "n"));
+    let x = inputs[0].as_f32_slice();
+    let out: Vec<f32> = (0..m)
+        .map(|i| x[i * n..(i + 1) * n].iter().sum())
+        .collect();
+    vec![Value::tensor_f32(&[m], out)]
+}
+
+// ---------------------------------------------------------------------
+// gemm
+// ---------------------------------------------------------------------
+
+/// Matrix multiplication: `out(i,j) = sum_k x(i,k) * y(k,j)`.
+pub fn gemm_program() -> Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let m = b.size("m");
+    let n = b.size("n");
+    let p = b.size("p");
+    let x = b.input("x", DType::F32, vec![m.clone(), p.clone()]);
+    let y = b.input("y", DType::F32, vec![p.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.map(vec![m, n], |c, idx| {
+            let (i, j) = (idx[0], idx[1]);
+            c.fold(
+                "dot",
+                vec![p.clone()],
+                vec![],
+                ScalarType::Prim(DType::F32),
+                Init::zeros(),
+                |c, kk, acc| {
+                    let prod = c.mul(
+                        c.read(x, vec![c.var(i), c.var(kk[0])]),
+                        c.read(y, vec![c.var(kk[0]), c.var(j)]),
+                    );
+                    c.add(c.var(acc), prod)
+                },
+                |c, a, b2| c.add(c.var(a), c.var(b2)),
+            )
+        })
+    });
+    b.finish(vec![out])
+}
+
+/// Default workload sizes for gemm.
+pub fn gemm_sizes() -> Vec<(&'static str, i64)> {
+    vec![("m", 256), ("n", 256), ("p", 256)]
+}
+
+/// Default tile sizes for gemm.
+pub fn gemm_tiles() -> Vec<(&'static str, i64)> {
+    vec![("m", 64), ("n", 64), ("p", 64)]
+}
+
+/// Random inputs for gemm.
+pub fn gemm_inputs(env: &SizeEnv, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    let (m, n, p) = (dim(env, "m"), dim(env, "n"), dim(env, "p"));
+    vec![
+        rand_tensor(&mut r, &[m, p], -1.0, 1.0),
+        rand_tensor(&mut r, &[p, n], -1.0, 1.0),
+    ]
+}
+
+/// Reference implementation of gemm.
+pub fn gemm_golden(inputs: &[Value], env: &SizeEnv) -> Vec<Value> {
+    let (m, n, p) = (dim(env, "m"), dim(env, "n"), dim(env, "p"));
+    let x = inputs[0].as_f32_slice();
+    let y = inputs[1].as_f32_slice();
+    let mut out = vec![0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0f32;
+            for k in 0..p {
+                acc += x[i * p + k] * y[k * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    vec![Value::tensor_f32(&[m, n], out)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphw_ir::interp::Interpreter;
+    use pphw_ir::size::Size;
+
+    fn env(pairs: &[(&str, i64)]) -> SizeEnv {
+        Size::env(pairs)
+    }
+
+    #[test]
+    fn outerprod_matches_golden() {
+        let sizes = [("m", 8), ("n", 12)];
+        let prog = outerprod_program();
+        let inputs = outerprod_inputs(&env(&sizes), 1);
+        let got = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
+        let want = outerprod_golden(&inputs, &env(&sizes));
+        assert!(got[0].approx_eq(&want[0], 1e-5));
+    }
+
+    #[test]
+    fn sumrows_matches_golden() {
+        let sizes = [("m", 16), ("n", 32)];
+        let prog = sumrows_program();
+        let inputs = sumrows_inputs(&env(&sizes), 2);
+        let got = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
+        let want = sumrows_golden(&inputs, &env(&sizes));
+        assert!(got[0].approx_eq(&want[0], 1e-4));
+    }
+
+    #[test]
+    fn gemm_matches_golden() {
+        let sizes = [("m", 8), ("n", 8), ("p", 16)];
+        let prog = gemm_program();
+        let inputs = gemm_inputs(&env(&sizes), 3);
+        let got = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
+        let want = gemm_golden(&inputs, &env(&sizes));
+        assert!(got[0].approx_eq(&want[0], 1e-4));
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmark regenerating Figure 7: for every benchmark of
+//! Table 5, measures the simulated design at all three optimization levels
+//! and reports the speedups alongside the paper's numbers.
+//!
+//! The *measured quantity* here is the simulated cycle count of each
+//! design (the paper's y-axis); Criterion's wall-clock numbers measure the
+//! compile+simulate pipeline itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pphw::{compile, OptLevel};
+use pphw_bench::{evaluate_benchmark, format_fig7, format_fig7_area, options_for, paper_speedups};
+use pphw_sim::SimConfig;
+
+fn figure7_speedups(c: &mut Criterion) {
+    let sim = SimConfig::default();
+
+    // Print the Figure 7 tables once, up front, so `cargo bench` output
+    // contains the paper-vs-measured comparison.
+    let rows = pphw_bench::figure7(&sim);
+    println!("\n{}", format_fig7(&rows));
+    println!("{}", format_fig7_area(&rows));
+
+    let mut group = c.benchmark_group("figure7");
+    group.sample_size(10);
+    for spec in pphw_apps::all_benchmarks() {
+        for level in OptLevel::all() {
+            let prog = (spec.program)();
+            let opts = options_for(&spec).opt(level);
+            let compiled = compile(&prog, &opts).expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(spec.name, level.to_string()),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        let report = compiled.simulate(&sim);
+                        std::hint::black_box(report.cycles)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Sanity: the headline relationships of Figure 7 hold.
+    for spec in pphw_apps::all_benchmarks() {
+        let eval = evaluate_benchmark(&spec, &sim);
+        let tiled = eval.row(OptLevel::Tiled).speedup;
+        let meta = eval.row(OptLevel::Metapipelined).speedup;
+        let (pt, pm) = paper_speedups(spec.name).expect("paper row");
+        println!(
+            "{:<10} tiled {tiled:>6.1}x (paper {pt}), meta {meta:>6.1}x (paper {pm})",
+            spec.name
+        );
+        assert!(
+            meta >= tiled * 0.95,
+            "{}: metapipelining should not lose to tiling",
+            spec.name
+        );
+    }
+}
+
+criterion_group!(benches, figure7_speedups);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 7: speedups and relative resource usage of the
+//! tiled and metapipelined designs over the HLS-style baseline, for all
+//! six benchmarks of Table 5.
+//!
+//! Usage: `cargo run --release -p pphw-bench --bin figure7 [--detail]`
+
+use pphw_bench::{figure7, format_fig7, format_fig7_area};
+use pphw_sim::SimConfig;
+
+fn main() {
+    let detail = std::env::args().any(|a| a == "--detail");
+    let sim = SimConfig::default();
+    let rows = figure7(&sim);
+    println!("{}", format_fig7(&rows));
+    println!("{}", format_fig7_area(&rows));
+    if detail {
+        for r in &rows {
+            println!("{}", r.eval.to_table());
+        }
+    }
+}

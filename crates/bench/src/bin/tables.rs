@@ -1,0 +1,256 @@
+//! Regenerates the paper's non-headline tables and figures:
+//!
+//! * `--table1`  strip-mining rules demonstrated on each pattern kind
+//! * `--table2`  strip-mining examples (map, sumrows, filter, histogram)
+//! * `--table3`  interchange on matrix multiplication
+//! * `--table4`  hardware template inventory with per-benchmark counts
+//! * `--table5`  benchmark suite
+//! * `--fig5`    k-means strip-mined vs interchanged IR
+//! * `--fig5c`   k-means memory traffic / on-chip storage table
+//! * `--fig6`    k-means hardware block diagram (textual)
+//!
+//! With no arguments, prints everything.
+
+use pphw::{compile, CompileOptions, OptLevel};
+use pphw_ir::pretty::print_program;
+use pphw_ir::size::Size;
+use pphw_transform::cost::analyze_cost;
+use pphw_transform::{strip_mine_program, tile_program, tile_program_no_interchange, TileConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+
+    if want("--table1") {
+        table1();
+    }
+    if want("--table2") {
+        table2();
+    }
+    if want("--table3") {
+        table3();
+    }
+    if want("--table4") {
+        table4();
+    }
+    if want("--table5") {
+        table5();
+    }
+    if want("--fig5") {
+        fig5();
+    }
+    if want("--fig5c") {
+        fig5c();
+    }
+    if want("--fig6") {
+        fig6();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n======================================================");
+    println!("{title}");
+    println!("======================================================");
+}
+
+/// Table 1: the strip-mining rule firing on each pattern kind.
+fn table1() {
+    header("Table 1 — strip mining rules (before => after)");
+
+    // Map
+    let prog = pphw_apps::simple::outerprod_program();
+    let cfg = TileConfig::new(&[("m", 16), ("n", 16)], &[("m", 64), ("n", 64)]);
+    println!("\n--- T[ Map(d)(m) ] => MultiFold(d/b)(d)(zeros){{ ii => (ii*b, acc => Map(b)) }}(_)");
+    println!("before:\n{}", print_program(&prog));
+    println!(
+        "after:\n{}",
+        print_program(&strip_mine_program(&prog, &cfg).unwrap())
+    );
+
+    // MultiFold (fold special case)
+    let prog = pphw_apps::tpchq6::tpchq6_program();
+    let cfg = TileConfig::new(&[("n", 64)], &[("n", 1024)]);
+    println!("\n--- T[ MultiFold(d)(r)(z)(f)(c) ] => MultiFold(d/b){{ acc => c(acc, MultiFold(b)) }}(c)");
+    println!(
+        "after:\n{}",
+        print_program(&strip_mine_program(&prog, &cfg).unwrap())
+    );
+
+    // FlatMap
+    let prog = pphw_apps::tpchq6::tpchq6_filter_program();
+    let cfg = TileConfig::new(&[("n", 64)], &[("n", 1024)]);
+    println!("\n--- T[ FlatMap(d)(f) ] => FlatMap(d/b){{ FlatMap(b) }}");
+    println!(
+        "after:\n{}",
+        print_program(&strip_mine_program(&prog, &cfg).unwrap())
+    );
+
+    // GroupByFold
+    let prog = histogram_program();
+    let cfg = TileConfig::new(&[("n", 64)], &[("n", 1024)]);
+    println!("\n--- T[ GroupByFold(d)(z)(h)(c) ] => GroupByFold(d/b){{ merge GroupByFold(b) }}(c)");
+    println!(
+        "after:\n{}",
+        print_program(&strip_mine_program(&prog, &cfg).unwrap())
+    );
+}
+
+fn histogram_program() -> pphw_ir::Program {
+    use pphw_ir::builder::ProgramBuilder;
+    use pphw_ir::pattern::Init;
+    use pphw_ir::types::{DType, ScalarType};
+    let mut b = ProgramBuilder::new("histogram");
+    let n = b.size("n");
+    let x = b.input("x", DType::I32, vec![n.clone()]);
+    let out = b.group_by_fold(
+        "hist",
+        n,
+        ScalarType::Prim(DType::I32),
+        Init::zero_i32(),
+        |c, i| (c.div(c.read(x, vec![c.var(i)]), c.int(10)), c.int(1)),
+        |a, b| a.add(b),
+    );
+    b.finish(vec![out])
+}
+
+/// Table 2: the four worked strip-mining examples.
+fn table2() {
+    header("Table 2 — strip mining examples (with tile copies)");
+    #[allow(clippy::type_complexity)]
+    let cases: Vec<(&str, pphw_ir::Program, Vec<(&str, i64)>, Vec<(&str, i64)>)> = vec![
+        (
+            "element-wise map",
+            doubling_program(),
+            vec![("d", 64)],
+            vec![("d", 1024)],
+        ),
+        (
+            "sums along matrix rows",
+            pphw_apps::simple::sumrows_fused_program(),
+            vec![("m", 16), ("n", 32)],
+            vec![("m", 64), ("n", 128)],
+        ),
+        (
+            "simple filter",
+            pphw_apps::tpchq6::tpchq6_filter_program(),
+            vec![("n", 64)],
+            vec![("n", 1024)],
+        ),
+        (
+            "histogram calculation",
+            histogram_program(),
+            vec![("n", 64)],
+            vec![("n", 1024)],
+        ),
+    ];
+    for (name, prog, tiles, sizes) in cases {
+        let cfg = TileConfig::new(&tiles, &sizes);
+        let tiled = tile_program_no_interchange(&prog, &cfg).unwrap();
+        println!("\n--- {name}\n{}", print_program(&tiled));
+    }
+}
+
+fn doubling_program() -> pphw_ir::Program {
+    use pphw_ir::builder::ProgramBuilder;
+    use pphw_ir::types::DType;
+    let mut b = ProgramBuilder::new("double");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.map(vec![d], |c, i| {
+        c.mul(c.f32(2.0), c.read(x, vec![c.var(i[0])]))
+    });
+    b.finish(vec![out])
+}
+
+/// Table 3: interchange on matrix multiplication.
+fn table3() {
+    header("Table 3 — pattern interchange on matrix multiplication");
+    let prog = pphw_apps::simple::gemm_program();
+    let sizes = [("m", 64), ("n", 64), ("p", 64)];
+    let cfg = TileConfig::new(&[("m", 16), ("n", 16), ("p", 16)], &sizes);
+    let strip = tile_program_no_interchange(&prog, &cfg).unwrap();
+    let inter = tile_program(&prog, &cfg).unwrap();
+    println!("\n--- strip mined\n{}", print_program(&strip));
+    println!("\n--- interchanged\n{}", print_program(&inter));
+}
+
+/// Table 4: template inventory, plus instance counts per benchmark design.
+fn table4() {
+    header("Table 4 — hardware templates");
+    println!("{:<16} {:<28} {:<48} IR construct", "template", "category", "description");
+    for row in pphw_hw::design::table4() {
+        println!(
+            "{:<16} {:<28} {:<48} {}",
+            row.template, row.category, row.description, row.ir_construct
+        );
+    }
+    println!("\nTemplate instances per metapipelined benchmark design:");
+    for spec in pphw_apps::all_benchmarks() {
+        let prog = (spec.program)();
+        let opts = CompileOptions::new(&(spec.sizes)())
+            .tiles(&(spec.tiles)())
+            .opt(OptLevel::Metapipelined);
+        let compiled = compile(&prog, &opts).expect("compiles");
+        let counts: Vec<String> = compiled
+            .design
+            .template_counts()
+            .into_iter()
+            .map(|(k, v)| format!("{k} x{v}"))
+            .collect();
+        println!("  {:<10} {}", spec.name, counts.join(", "));
+    }
+}
+
+/// Table 5: the benchmark suite.
+fn table5() {
+    header("Table 5 — evaluation benchmarks");
+    println!("{:<12} {:<40} collections ops", "benchmark", "description");
+    for spec in pphw_apps::all_benchmarks() {
+        println!(
+            "{:<12} {:<40} {}",
+            spec.name, spec.description, spec.collections_ops
+        );
+    }
+}
+
+fn kmeans_cfg() -> (pphw_ir::Program, Vec<(&'static str, i64)>, TileConfig) {
+    let prog = pphw_apps::kmeans::kmeans_program();
+    let sizes = vec![("n", 1024), ("k", 32), ("d", 16)];
+    let cfg = TileConfig::new(&[("n", 64), ("k", 8)], &sizes);
+    (prog, sizes, cfg)
+}
+
+/// Figure 5a/5b: strip-mined vs interchanged k-means.
+fn fig5() {
+    header("Figure 5 — tiling k-means clustering");
+    let (prog, _, cfg) = kmeans_cfg();
+    let strip = tile_program_no_interchange(&prog, &cfg).unwrap();
+    let inter = tile_program(&prog, &cfg).unwrap();
+    println!("\n--- (a) strip mined\n{}", print_program(&strip));
+    println!("\n--- (b) split + interchanged\n{}", print_program(&inter));
+}
+
+/// Figure 5c: DRAM reads and on-chip storage per structure per variant.
+fn fig5c() {
+    header("Figure 5c — k-means memory traffic per IR transformation");
+    let (prog, sizes, cfg) = kmeans_cfg();
+    let env = Size::env(&sizes);
+    let fused = analyze_cost(&prog);
+    let strip = analyze_cost(&tile_program_no_interchange(&prog, &cfg).unwrap());
+    let inter = analyze_cost(&tile_program(&prog, &cfg).unwrap());
+    println!("\n--- fused\n{}", fused.to_table(&env));
+    println!("--- strip mined\n{}", strip.to_table(&env));
+    println!("--- interchanged\n{}", inter.to_table(&env));
+}
+
+/// Figure 6: the k-means hardware block diagram plus MaxJ.
+fn fig6() {
+    header("Figure 6 — k-means hardware (textual block diagram)");
+    let (prog, sizes, _) = kmeans_cfg();
+    let opts = CompileOptions::new(&sizes)
+        .tiles(&[("n", 64)])
+        .opt(OptLevel::Metapipelined);
+    let compiled = compile(&prog, &opts).expect("kmeans compiles");
+    println!("{}", compiled.design.to_diagram());
+    println!("--- emitted MaxJ ---\n{}", compiled.emit_hgl());
+}

@@ -1,0 +1,163 @@
+//! Automated tile-size selection.
+//!
+//! The paper leaves tile sizes to the user and names automated selection
+//! "through modeling and design space exploration" as future work (§4,
+//! Discussion). This module implements that extension: it enumerates
+//! dividing tile sizes per dimension, compiles each candidate, prunes
+//! configurations that exceed the on-chip memory budget, and ranks the
+//! rest by simulated cycles.
+
+use pphw_sim::SimConfig;
+
+use crate::{compile, CompileError, CompileOptions};
+use pphw_ir::program::Program;
+
+/// One evaluated tiling configuration.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Tile size per tuned dimension.
+    pub tiles: Vec<(String, i64)>,
+    /// Simulated cycles of the metapipelined design.
+    pub cycles: u64,
+    /// On-chip memory bytes of the design.
+    pub on_chip_bytes: u64,
+}
+
+/// The result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The best configuration found.
+    pub best: Candidate,
+    /// Every evaluated configuration, best first.
+    pub evaluated: Vec<Candidate>,
+    /// Configurations skipped (budget exceeded or compile failure).
+    pub skipped: usize,
+}
+
+/// Errors from tuning.
+#[derive(Debug)]
+pub enum TuneError {
+    /// No dimension produced any feasible configuration.
+    NoFeasibleConfig,
+    /// A tuned dimension has no concrete size in the options.
+    UnknownDim(String),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NoFeasibleConfig => write!(f, "no feasible tiling configuration"),
+            TuneError::UnknownDim(d) => write!(f, "tuned dimension `{d}` has no concrete size"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Power-of-two divisors of `n` in `[4, n)`, largest first.
+fn tile_candidates(n: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut b = 4i64;
+    while b < n {
+        if n % b == 0 {
+            out.push(b);
+        }
+        b *= 2;
+    }
+    out.reverse();
+    out
+}
+
+/// Searches tile sizes for the named dimensions and returns the
+/// cycle-optimal configuration of the metapipelined design.
+///
+/// The search is the exhaustive cross product of power-of-two dividing
+/// tile sizes per dimension, capped at `max_evals` simulations (largest
+/// tiles first, since locality usually favors them).
+///
+/// # Errors
+///
+/// Returns [`TuneError`] if a tuned dimension has no concrete size or no
+/// configuration compiles within the on-chip budget.
+pub fn autotune(
+    prog: &Program,
+    base: &CompileOptions,
+    dims: &[&str],
+    sim: &SimConfig,
+    max_evals: usize,
+) -> Result<TuneResult, TuneError> {
+    // Candidate lists per dimension.
+    let mut per_dim: Vec<(String, Vec<i64>)> = Vec::new();
+    for d in dims {
+        let n = base
+            .sizes
+            .iter()
+            .find(|(k, _)| k == d)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| TuneError::UnknownDim(d.to_string()))?;
+        let cands = tile_candidates(n);
+        if cands.is_empty() {
+            return Err(TuneError::UnknownDim(d.to_string()));
+        }
+        per_dim.push((d.to_string(), cands));
+    }
+
+    // Cross product, depth-first, largest tiles first.
+    let mut configs: Vec<Vec<(String, i64)>> = vec![Vec::new()];
+    for (dim, cands) in &per_dim {
+        let mut next = Vec::new();
+        for cfg in &configs {
+            for b in cands {
+                let mut c = cfg.clone();
+                c.push((dim.clone(), *b));
+                next.push(c);
+            }
+        }
+        configs = next;
+    }
+    configs.truncate(max_evals);
+
+    let mut evaluated: Vec<Candidate> = Vec::new();
+    let mut skipped = 0usize;
+    for tiles in configs {
+        let pairs: Vec<(&str, i64)> = tiles.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let opts = base.clone().tiles(&pairs);
+        let compiled = match compile(prog, &opts) {
+            Ok(c) => c,
+            Err(CompileError::Tile(_)) | Err(CompileError::Hw(_)) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let bytes = compiled.design.on_chip_bytes();
+        if bytes > opts.on_chip_budget_bytes {
+            skipped += 1;
+            continue;
+        }
+        let report = compiled.simulate(sim);
+        evaluated.push(Candidate {
+            tiles: tiles.clone(),
+            cycles: report.cycles,
+            on_chip_bytes: bytes,
+        });
+    }
+    evaluated.sort_by_key(|c| c.cycles);
+    let best = evaluated.first().cloned().ok_or(TuneError::NoFeasibleConfig)?;
+    Ok(TuneResult {
+        best,
+        evaluated,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_candidates_are_dividing_powers_of_two() {
+        assert_eq!(tile_candidates(64), vec![32, 16, 8, 4]);
+        assert_eq!(tile_candidates(48), vec![16, 8, 4]);
+        assert!(tile_candidates(4).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Hardware generation configuration.
+
+/// Knobs for hardware generation.
+///
+/// The paper keeps the innermost parallelism factor constant between the
+/// baseline and optimized designs (§6.1); `inner_par` is that factor.
+#[derive(Debug, Clone)]
+pub struct HwConfig {
+    /// Generate metapipeline controllers for outer patterns with multiple
+    /// stages (`false` composes stages sequentially).
+    pub metapipeline: bool,
+    /// Innermost parallelism factor (vector lanes / reduction tree leaves).
+    pub inner_par: u32,
+    /// Remove redundant accumulators when a tiled `MultiFold`'s outer
+    /// update is an elementwise merge (the paper's redundant-accumulation
+    /// elimination, §5).
+    pub elide_accumulators: bool,
+    /// Capacity (entries) of CAMs inferred for `GroupByFold`.
+    pub cam_entries: u64,
+    /// Capacity in bytes of caches inferred for non-affine main-memory
+    /// accesses.
+    pub cache_bytes: u64,
+    /// On-chip memory budget in bytes for accumulator placement.
+    pub on_chip_budget_bytes: u64,
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        HwConfig {
+            metapipeline: true,
+            inner_par: 64,
+            elide_accumulators: true,
+            cam_entries: 1024,
+            cache_bytes: 64 * 1024,
+            on_chip_budget_bytes: 6 * 1024 * 1024,
+        }
+    }
+}
+
+impl HwConfig {
+    /// Configuration for the HLS-style baseline: no metapipelining (the
+    /// baseline is generated from the *untiled* program, so there are no
+    /// tile buffers either).
+    pub fn baseline() -> Self {
+        HwConfig {
+            metapipeline: false,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the innermost parallelism factor.
+    pub fn with_inner_par(mut self, lanes: u32) -> Self {
+        self.inner_par = lanes;
+        self
+    }
+
+    /// Enables or disables metapipelining.
+    pub fn with_metapipeline(mut self, on: bool) -> Self {
+        self.metapipeline = on;
+        self
+    }
+}

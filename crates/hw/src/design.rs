@@ -1,0 +1,559 @@
+//! Hardware design representation.
+//!
+//! A design is a tree of *controllers* (sequential, parallel, metapipeline
+//! — the controller templates of Table 4) whose leaves are *units*
+//! (pipelined execution and tile-memory templates), plus a table of
+//! on-chip *memories* (buffers, double buffers, caches, CAMs, FIFOs).
+//! Iteration counts and buffer capacities are concrete (the compiler
+//! evaluates symbolic sizes when it builds the design), which keeps the
+//! simulator and area model simple.
+
+use std::fmt;
+
+/// Identifier of an on-chip memory in [`Design::buffers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(pub usize);
+
+/// On-chip memory template kinds (memory rows of Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// Plain scratchpad buffer (statically sized array).
+    Buffer,
+    /// Double buffer coupling two metapipeline stages.
+    DoubleBuffer,
+    /// Tagged cache for non-affine accesses to main memory.
+    Cache,
+    /// Fully-associative key-value store (GroupByFold buckets).
+    Cam,
+    /// FIFO buffering dynamically-sized ordered output (FlatMap).
+    Fifo,
+}
+
+impl fmt::Display for BufferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferKind::Buffer => write!(f, "buffer"),
+            BufferKind::DoubleBuffer => write!(f, "double-buffer"),
+            BufferKind::Cache => write!(f, "cache"),
+            BufferKind::Cam => write!(f, "CAM"),
+            BufferKind::Fifo => write!(f, "FIFO"),
+        }
+    }
+}
+
+/// An on-chip memory instance.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    /// Identifier (index into [`Design::buffers`]).
+    pub id: BufId,
+    /// Display name (derived from the IR symbol).
+    pub name: String,
+    /// Capacity in words.
+    pub words: u64,
+    /// Bytes per word.
+    pub word_bytes: u32,
+    /// Template kind.
+    pub kind: BufferKind,
+    /// Number of independent banks (for parallel lane access).
+    pub banks: u32,
+    /// Reader count (ports).
+    pub readers: u32,
+    /// Writer count (ports).
+    pub writers: u32,
+}
+
+impl Buffer {
+    /// Total capacity in bytes (doubled for double buffers).
+    pub fn bytes(&self) -> u64 {
+        let base = self.words * self.word_bytes as u64;
+        match self.kind {
+            BufferKind::DoubleBuffer => base * 2,
+            _ => base,
+        }
+    }
+}
+
+/// A DRAM access stream issued by a unit.
+#[derive(Debug, Clone)]
+pub struct DramStream {
+    /// Total words moved per controller iteration of the owning unit.
+    pub words: u64,
+    /// Contiguous run length in words (how many sequential words each
+    /// address burst covers before jumping).
+    pub run_words: u64,
+    /// `true` when runs are pipelined (tile load units amortize the DRAM
+    /// latency once per stream); `false` models the baseline's
+    /// burst-at-a-time behavior where every run pays full latency.
+    pub prefetch: bool,
+    /// `true` for stores.
+    pub write: bool,
+}
+
+/// Pipelined execution / tile-memory unit kinds (Table 4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitKind {
+    /// Memory command generator fetching a tile from DRAM into a buffer.
+    TileLoad {
+        /// Destination buffer.
+        buf: BufId,
+    },
+    /// Memory command generator writing a buffer back to DRAM.
+    TileStore {
+        /// Source buffer.
+        buf: BufId,
+    },
+    /// SIMD element-wise pipeline (Map over scalars).
+    Vector {
+        /// Parallel lanes.
+        lanes: u32,
+    },
+    /// Parallel reduction of an associative operation (MultiFold over
+    /// scalars).
+    ReduceTree {
+        /// Leaf lanes of the tree.
+        lanes: u32,
+    },
+    /// Buffered ordered output of dynamic size (FlatMap over scalars).
+    ParallelFifo {
+        /// Parallel lanes feeding the FIFO.
+        lanes: u32,
+    },
+    /// Fully-associative key-value update pipeline (GroupByFold).
+    Cam,
+}
+
+impl UnitKind {
+    /// Template name as listed in Table 4.
+    pub fn template_name(&self) -> &'static str {
+        match self {
+            UnitKind::TileLoad { .. } => "Tile memory (load)",
+            UnitKind::TileStore { .. } => "Tile memory (store)",
+            UnitKind::Vector { .. } => "Vector",
+            UnitKind::ReduceTree { .. } => "Reduction tree",
+            UnitKind::ParallelFifo { .. } => "Parallel FIFO",
+            UnitKind::Cam => "CAM",
+        }
+    }
+
+    /// Lane count (1 for memory units and CAMs).
+    pub fn lanes(&self) -> u32 {
+        match self {
+            UnitKind::Vector { lanes }
+            | UnitKind::ReduceTree { lanes }
+            | UnitKind::ParallelFifo { lanes } => *lanes,
+            _ => 1,
+        }
+    }
+}
+
+/// A leaf hardware unit.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Display name.
+    pub name: String,
+    /// Template kind.
+    pub kind: UnitKind,
+    /// Elements processed per invocation (inner iteration count).
+    pub elems: u64,
+    /// Arithmetic operations per element (pipeline width of work).
+    pub ops_per_elem: u32,
+    /// Pipeline depth in cycles (fill/drain overhead per invocation).
+    pub depth: u32,
+    /// DRAM streams issued per invocation.
+    pub streams: Vec<DramStream>,
+    /// On-chip memories read.
+    pub reads: Vec<BufId>,
+    /// On-chip memories written.
+    pub writes: Vec<BufId>,
+}
+
+/// Controller kinds (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlKind {
+    /// Stages run back-to-back each iteration.
+    Sequential,
+    /// Stages overlap across iterations through double buffers.
+    Metapipeline,
+    /// All members start together; done when all finish.
+    Parallel,
+}
+
+impl fmt::Display for CtrlKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlKind::Sequential => write!(f, "Sequential"),
+            CtrlKind::Metapipeline => write!(f, "Metapipeline"),
+            CtrlKind::Parallel => write!(f, "Parallel"),
+        }
+    }
+}
+
+/// A controller coordinating child nodes.
+#[derive(Debug, Clone)]
+pub struct Ctrl {
+    /// Display name.
+    pub name: String,
+    /// Coordination style.
+    pub kind: CtrlKind,
+    /// Iteration count (1 for one-shot sequences).
+    pub iters: u64,
+    /// Child stages in execution order.
+    pub stages: Vec<Node>,
+}
+
+/// A node of the design tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A controller with children.
+    Ctrl(Ctrl),
+    /// A leaf unit.
+    Unit(Unit),
+}
+
+impl Node {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Node::Ctrl(c) => &c.name,
+            Node::Unit(u) => &u.name,
+        }
+    }
+
+    /// Visits every unit in the subtree.
+    pub fn visit_units<'a>(&'a self, f: &mut impl FnMut(&'a Unit)) {
+        match self {
+            Node::Unit(u) => f(u),
+            Node::Ctrl(c) => {
+                for s in &c.stages {
+                    s.visit_units(f);
+                }
+            }
+        }
+    }
+
+    /// Visits every controller in the subtree (including self).
+    pub fn visit_ctrls<'a>(&'a self, f: &mut impl FnMut(&'a Ctrl)) {
+        if let Node::Ctrl(c) = self {
+            f(c);
+            for s in &c.stages {
+                s.visit_ctrls(f);
+            }
+        }
+    }
+}
+
+/// Which optimization level produced the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignStyle {
+    /// HLS-style baseline: inner parallelism + burst locality only.
+    Baseline,
+    /// Tiled, but stages composed sequentially.
+    Tiled,
+    /// Tiled with metapipelining.
+    Metapipelined,
+}
+
+impl fmt::Display for DesignStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignStyle::Baseline => write!(f, "baseline"),
+            DesignStyle::Tiled => write!(f, "+tiling"),
+            DesignStyle::Metapipelined => write!(f, "+tiling+metapipelining"),
+        }
+    }
+}
+
+/// A complete hardware design.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Application name.
+    pub name: String,
+    /// Optimization level.
+    pub style: DesignStyle,
+    /// Root controller.
+    pub root: Node,
+    /// On-chip memory table.
+    pub buffers: Vec<Buffer>,
+}
+
+impl Design {
+    /// Looks up a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn buffer(&self, id: BufId) -> &Buffer {
+        &self.buffers[id.0]
+    }
+
+    /// Total on-chip memory bytes.
+    pub fn on_chip_bytes(&self) -> u64 {
+        self.buffers.iter().map(|b| b.bytes()).sum()
+    }
+
+    /// Counts template instances by name (for the Table 4 report).
+    pub fn template_counts(&self) -> Vec<(String, usize)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        self.root.visit_units(&mut |u| {
+            *counts.entry(u.kind.template_name().to_string()).or_default() += 1;
+        });
+        self.root.visit_ctrls(&mut |c| {
+            *counts.entry(c.kind.to_string()).or_default() += 1;
+        });
+        for b in &self.buffers {
+            *counts.entry(b.kind.to_string()).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Renders the design as an indented block diagram (the textual
+    /// equivalent of Figure 6).
+    pub fn to_diagram(&self) -> String {
+        let mut out = format!("design {} [{}]\n", self.name, self.style);
+        render(&self.root, 1, self, &mut out);
+        out.push_str("memories:\n");
+        for b in &self.buffers {
+            out.push_str(&format!(
+                "  [{}] {} : {} x {}B ({}){}\n",
+                b.id.0,
+                b.name,
+                b.words,
+                b.word_bytes,
+                b.kind,
+                if b.banks > 1 {
+                    format!(", {} banks", b.banks)
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        out
+    }
+}
+
+fn render(node: &Node, indent: usize, design: &Design, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node {
+        Node::Ctrl(c) => {
+            out.push_str(&format!(
+                "{pad}{} `{}` x{}\n",
+                c.kind, c.name, c.iters
+            ));
+            for s in &c.stages {
+                render(s, indent + 1, design, out);
+            }
+        }
+        Node::Unit(u) => {
+            let extra = match &u.kind {
+                UnitKind::TileLoad { buf } => {
+                    format!(" -> {}", design.buffer(*buf).name)
+                }
+                UnitKind::TileStore { buf } => {
+                    format!(" <- {}", design.buffer(*buf).name)
+                }
+                k => format!(" x{} lanes={}", u.elems, k.lanes()),
+            };
+            out.push_str(&format!(
+                "{pad}{} `{}`{extra}\n",
+                u.kind.template_name(),
+                u.name
+            ));
+        }
+    }
+}
+
+/// One row of the paper's Table 4 (template inventory).
+#[derive(Debug, Clone)]
+pub struct TemplateRow {
+    /// Template name.
+    pub template: &'static str,
+    /// Category (memory / pipelined execution unit / controller).
+    pub category: &'static str,
+    /// Short description.
+    pub description: &'static str,
+    /// The IR construct that instantiates it.
+    pub ir_construct: &'static str,
+}
+
+/// The template inventory of Table 4.
+pub fn table4() -> Vec<TemplateRow> {
+    vec![
+        TemplateRow {
+            template: "Buffer",
+            category: "Memories",
+            description: "On-chip scratchpad memory",
+            ir_construct: "Statically sized array",
+        },
+        TemplateRow {
+            template: "Double buffer",
+            category: "Memories",
+            description: "Buffer coupling two stages in a metapipeline",
+            ir_construct: "Same as metapipeline controller",
+        },
+        TemplateRow {
+            template: "Cache",
+            category: "Memories",
+            description: "Tagged memory for random main-memory access patterns",
+            ir_construct: "Non-affine accesses",
+        },
+        TemplateRow {
+            template: "Vector",
+            category: "Pipelined execution units",
+            description: "SIMD parallelism",
+            ir_construct: "Map over scalars",
+        },
+        TemplateRow {
+            template: "Reduction tree",
+            category: "Pipelined execution units",
+            description: "Parallel reduction of associative operations",
+            ir_construct: "MultiFold over scalars",
+        },
+        TemplateRow {
+            template: "Parallel FIFO",
+            category: "Pipelined execution units",
+            description: "Buffers ordered outputs of dynamic size",
+            ir_construct: "FlatMap over scalars",
+        },
+        TemplateRow {
+            template: "CAM",
+            category: "Pipelined execution units",
+            description: "Fully associative key-value store",
+            ir_construct: "GroupByFold over scalars",
+        },
+        TemplateRow {
+            template: "Sequential",
+            category: "Controllers",
+            description: "Coordinates sequential execution",
+            ir_construct: "Sequential IR node",
+        },
+        TemplateRow {
+            template: "Parallel",
+            category: "Controllers",
+            description: "Task-parallel controller",
+            ir_construct: "Independent IR nodes",
+        },
+        TemplateRow {
+            template: "Metapipeline",
+            category: "Controllers",
+            description: "Pipelined coordination of nested parallel patterns",
+            ir_construct: "Outer pattern with multiple inner patterns",
+        },
+        TemplateRow {
+            template: "Tile memory",
+            category: "Controllers",
+            description: "Memory command generator for tile transfers",
+            ir_construct: "Transformer-inserted array copy",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_design() -> Design {
+        let buffers = vec![
+            Buffer {
+                id: BufId(0),
+                name: "xTile".into(),
+                words: 1024,
+                word_bytes: 4,
+                kind: BufferKind::DoubleBuffer,
+                banks: 4,
+                readers: 1,
+                writers: 1,
+            },
+            Buffer {
+                id: BufId(1),
+                name: "acc".into(),
+                words: 64,
+                word_bytes: 4,
+                kind: BufferKind::Buffer,
+                banks: 1,
+                readers: 1,
+                writers: 1,
+            },
+        ];
+        let load = Unit {
+            name: "load_x".into(),
+            kind: UnitKind::TileLoad { buf: BufId(0) },
+            elems: 1024,
+            ops_per_elem: 0,
+            depth: 4,
+            streams: vec![DramStream {
+                words: 1024,
+                run_words: 1024,
+                prefetch: true,
+                write: false,
+            }],
+            reads: vec![],
+            writes: vec![BufId(0)],
+        };
+        let compute = Unit {
+            name: "reduce".into(),
+            kind: UnitKind::ReduceTree { lanes: 16 },
+            elems: 1024,
+            ops_per_elem: 1,
+            depth: 8,
+            streams: vec![],
+            reads: vec![BufId(0)],
+            writes: vec![BufId(1)],
+        };
+        Design {
+            name: "tiny".into(),
+            style: DesignStyle::Metapipelined,
+            root: Node::Ctrl(Ctrl {
+                name: "top".into(),
+                kind: CtrlKind::Metapipeline,
+                iters: 16,
+                stages: vec![Node::Unit(load), Node::Unit(compute)],
+            }),
+            buffers,
+        }
+    }
+
+    #[test]
+    fn on_chip_bytes_doubles_double_buffers() {
+        let d = tiny_design();
+        assert_eq!(d.on_chip_bytes(), 1024 * 4 * 2 + 64 * 4);
+    }
+
+    #[test]
+    fn template_counts_cover_all_kinds() {
+        let d = tiny_design();
+        let counts = d.template_counts();
+        let get = |name: &str| {
+            counts
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("Tile memory (load)"), 1);
+        assert_eq!(get("Reduction tree"), 1);
+        assert_eq!(get("Metapipeline"), 1);
+        assert_eq!(get("double-buffer"), 1);
+    }
+
+    #[test]
+    fn diagram_renders() {
+        let d = tiny_design();
+        let text = d.to_diagram();
+        assert!(text.contains("Metapipeline `top` x16"), "{text}");
+        assert!(text.contains("-> xTile"), "{text}");
+    }
+
+    #[test]
+    fn table4_has_eleven_rows() {
+        assert_eq!(table4().len(), 11);
+    }
+
+    #[test]
+    fn visit_units_counts() {
+        let d = tiny_design();
+        let mut n = 0;
+        d.root.visit_units(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! # pphw-hw — hardware generation
+//!
+//! Maps tiled PPL programs to template-based hardware designs (§5 of the
+//! paper): memory allocation (buffers, double buffers, caches, CAMs,
+//! FIFOs), template selection (vector units, reduction trees, parallel
+//! FIFOs, tile memory units), and metapipeline analysis. Includes the
+//! analytic area model behind Figure 7's resource plots, a MaxJ-flavoured
+//! HGL emitter, and the HLS-style baseline generator.
+
+pub mod area;
+pub mod config;
+pub mod design;
+pub mod gen;
+pub mod hgl;
+
+pub use area::{design_area, utilization, Area};
+pub use config::HwConfig;
+pub use design::{Design, DesignStyle};
+pub use gen::{generate, HwError};

@@ -1,0 +1,350 @@
+//! Pretty-printer producing paper-style PPL text.
+//!
+//! The output mirrors the notation of the paper's figures: patterns print
+//! as `multiFold(n/b0)((k,d),k)(init){ ii => … }{ (a,b) => … }`, copies as
+//! `points.copy(ii*b0 :+ b0, *)`, and slices as `points.slice(i, *)`.
+
+use std::fmt::Write as _;
+
+use crate::block::{Block, Op, SliceDim, Stmt};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::pattern::{GbfBody, Pattern};
+use crate::program::Program;
+use crate::types::{Sym, SymTable};
+
+/// Renders a whole program.
+pub fn print_program(prog: &Program) -> String {
+    let mut p = Printer::new(&prog.syms);
+    let _ = writeln!(p.out, "// program {}", prog.name);
+    for i in &prog.inputs {
+        let _ = writeln!(p.out, "{}: {}", prog.syms.name(*i), prog.syms.ty(*i));
+    }
+    p.block_stmts(&prog.body);
+    let results: Vec<String> = prog.body.result.iter().map(|s| p.name(*s)).collect();
+    let _ = writeln!(p.out, "return ({})", results.join(", "));
+    p.out
+}
+
+/// Renders a single block (at indent level 0).
+pub fn print_block(block: &Block, syms: &SymTable) -> String {
+    let mut p = Printer::new(syms);
+    p.block_stmts(block);
+    p.out
+}
+
+struct Printer<'a> {
+    syms: &'a SymTable,
+    out: String,
+    indent: usize,
+}
+
+impl<'a> Printer<'a> {
+    fn new(syms: &'a SymTable) -> Self {
+        Printer {
+            syms,
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn name(&self, s: Sym) -> String {
+        self.syms.name(s)
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        self.pad();
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn block_stmts(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        let lhs = stmt
+            .syms
+            .iter()
+            .map(|s| self.name(*s))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let lhs = if stmt.syms.len() > 1 {
+            format!("({lhs})")
+        } else {
+            lhs
+        };
+        match &stmt.op {
+            Op::Expr(e) => {
+                let e = self.expr(e);
+                self.line(&format!("{lhs} = {e}"));
+            }
+            Op::Slice(s) => {
+                let dims = self.dims(&s.dims);
+                self.line(&format!("{lhs} = {}.slice({dims})", self.name(s.tensor)));
+            }
+            Op::Copy(c) => {
+                let dims = self.dims(&c.dims);
+                let reuse = if c.reuse > 1 {
+                    format!(" /* reuse {} */", c.reuse)
+                } else {
+                    String::new()
+                };
+                self.line(&format!(
+                    "{lhs} = {}.copy({dims}){reuse}",
+                    self.name(c.tensor)
+                ));
+            }
+            Op::VarVec(items) => {
+                let parts: Vec<String> = items
+                    .iter()
+                    .map(|it| match &it.guard {
+                        Some(g) => format!("if ({}) {}", self.expr(g), self.expr(&it.value)),
+                        None => self.expr(&it.value),
+                    })
+                    .collect();
+                self.line(&format!("{lhs} = [{}]", parts.join(", ")));
+            }
+            Op::Pattern(p) => self.pattern(&lhs, p),
+        }
+    }
+
+    fn dims(&self, dims: &[SliceDim]) -> String {
+        dims.iter()
+            .map(|d| match d {
+                SliceDim::Point(e) => self.expr(e),
+                SliceDim::Window { start, len } => {
+                    format!("{} :+ {}", self.expr(start), len)
+                }
+                SliceDim::Full => "*".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn sizes(sizes: &[crate::size::Size]) -> String {
+        sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn pattern(&mut self, lhs: &str, p: &Pattern) {
+        match p {
+            Pattern::Map(m) => {
+                let params = m
+                    .body
+                    .params
+                    .iter()
+                    .map(|s| self.name(*s))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                self.line(&format!(
+                    "{lhs} = map({}){{ ({params}) =>",
+                    Self::sizes(&m.domain)
+                ));
+                self.nested(&m.body.body, true);
+                self.line("}");
+            }
+            Pattern::MultiFold(mf) => {
+                let accs = mf
+                    .accs
+                    .iter()
+                    .map(|a| {
+                        if a.shape.is_empty() {
+                            "1".to_string()
+                        } else {
+                            format!("({})", Self::sizes(&a.shape))
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let idx = mf
+                    .idx
+                    .iter()
+                    .map(|s| self.name(*s))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                self.line(&format!(
+                    "{lhs} = multiFold({})({accs})(init){{ ({idx}) =>",
+                    Self::sizes(&mf.domain)
+                ));
+                self.indent += 1;
+                self.block_stmts(&mf.pre);
+                for (k, u) in mf.updates.iter().enumerate() {
+                    let loc = u
+                        .loc
+                        .iter()
+                        .map(|e| self.expr(e))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let loc = if u.loc.is_empty() {
+                        "·".to_string()
+                    } else {
+                        loc
+                    };
+                    self.line(&format!(
+                        "upd[{k}] @({loc}) : {} =>",
+                        self.name(u.acc_param)
+                    ));
+                    self.nested(&u.body, true);
+                }
+                self.indent -= 1;
+                self.line("}{ (a,b) =>");
+                self.indent += 1;
+                for c in mf.combines.iter() {
+                    match c {
+                        Some(l) => {
+                            let params = l
+                                .params
+                                .iter()
+                                .map(|s| self.name(*s))
+                                .collect::<Vec<_>>()
+                                .join(",");
+                            self.line(&format!("combine({params}):"));
+                            self.nested(&l.body, true);
+                        }
+                        None => self.line("_"),
+                    }
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Pattern::FlatMap(fm) => {
+                let i = self.name(fm.body.params[0]);
+                self.line(&format!("{lhs} = flatMap({}){{ {i} =>", fm.domain));
+                self.nested(&fm.body.body, true);
+                self.line("}");
+            }
+            Pattern::GroupByFold(g) => {
+                let i = self.name(g.idx);
+                self.line(&format!("{lhs} = groupByFold({})(init){{ {i} =>", g.domain));
+                self.indent += 1;
+                self.block_stmts(&g.pre);
+                match &g.body {
+                    GbfBody::Element { key, update } => {
+                        let key = self.expr(key);
+                        self.line(&format!(
+                            "key = {key}; {} =>",
+                            self.name(update.acc_param)
+                        ));
+                        self.nested(&update.body, true);
+                    }
+                    GbfBody::Merge { dict } => {
+                        self.line(&format!("merge {}", self.name(*dict)));
+                    }
+                }
+                self.indent -= 1;
+                self.line("}{ combine }");
+            }
+        }
+    }
+
+    fn nested(&mut self, block: &Block, with_result: bool) {
+        self.indent += 1;
+        self.block_stmts(block);
+        if with_result && !block.result.is_empty() {
+            let results: Vec<String> = block.result.iter().map(|s| self.name(*s)).collect();
+            self.line(&format!("-> {}", results.join(", ")));
+        }
+        self.indent -= 1;
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Lit(l) => l.to_string(),
+            Expr::Var(s) => self.name(*s),
+            Expr::SizeOf(s) => s.to_string(),
+            Expr::Un(op, a) => {
+                let a = self.expr(a);
+                match op {
+                    UnOp::Neg => format!("-{a}"),
+                    UnOp::Not => format!("!{a}"),
+                    UnOp::Sqrt => format!("sqrt({a})"),
+                    UnOp::Ln => format!("ln({a})"),
+                    UnOp::Exp => format!("exp({a})"),
+                    UnOp::Abs => format!("abs({a})"),
+                    UnOp::Square => format!("square({a})"),
+                    UnOp::ToF32 => format!("float({a})"),
+                    UnOp::ToI32 => format!("int({a})"),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.expr(a), self.expr(b));
+                match op {
+                    BinOp::Min => format!("min({a}, {b})"),
+                    BinOp::Max => format!("max({a}, {b})"),
+                    _ => format!("({a} {} {b})", op.symbol()),
+                }
+            }
+            Expr::Select {
+                cond,
+                if_true,
+                if_false,
+            } => format!(
+                "if ({}) {} else {}",
+                self.expr(cond),
+                self.expr(if_true),
+                self.expr(if_false)
+            ),
+            Expr::Tuple(es) => {
+                let parts: Vec<String> = es.iter().map(|e| self.expr(e)).collect();
+                format!("({})", parts.join(", "))
+            }
+            Expr::Field(a, i) => format!("{}._{}", self.expr(a), i + 1),
+            Expr::Read { tensor, index } => {
+                let idx: Vec<String> = index.iter().map(|e| self.expr(e)).collect();
+                format!("{}({})", self.name(*tensor), idx.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::DType;
+
+    #[test]
+    fn prints_map_program() {
+        let mut b = ProgramBuilder::new("double");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.map(vec![d], |c, idx| {
+            c.mul(c.f32(2.0), c.read(x, vec![c.var(idx[0])]))
+        });
+        let prog = b.finish(vec![out]);
+        let text = print_program(&prog);
+        assert!(text.contains("map(d)"), "got:\n{text}");
+        assert!(text.contains("x_0("), "got:\n{text}");
+    }
+
+    #[test]
+    fn prints_fold_with_combine() {
+        let mut b = ProgramBuilder::new("sum");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.fold(
+            "sum",
+            vec![d],
+            vec![],
+            crate::types::ScalarType::Prim(DType::F32),
+            crate::pattern::Init::zeros(),
+            |c, i, acc| c.add(c.var(acc), c.read(x, vec![c.var(i[0])])),
+            |c, a, b2| c.add(c.var(a), c.var(b2)),
+        );
+        let prog = b.finish(vec![out]);
+        let text = print_program(&prog);
+        assert!(text.contains("multiFold(d)"), "got:\n{text}");
+        assert!(text.contains("combine"), "got:\n{text}");
+    }
+}

@@ -1,0 +1,269 @@
+//! DRAM channel model.
+
+use pphw_hw::design::DramStream;
+
+/// Simulation parameters (defaults match the paper's Max4 Maia board).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Fabric clock in MHz.
+    pub clock_mhz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Request-to-first-data latency in fabric cycles.
+    pub dram_latency: u64,
+    /// DRAM burst size in bytes.
+    pub burst_bytes: u64,
+    /// Word size in bytes.
+    pub word_bytes: u64,
+    /// Per-burst request turnaround for synchronous (non-prefetched)
+    /// streams, in cycles — the cost of not keeping outstanding requests.
+    pub sync_gap: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            clock_mhz: 150.0,
+            dram_gbps: 76.8,
+            dram_latency: 60,
+            burst_bytes: 384,
+            word_bytes: 4,
+            sync_gap: 6,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Channel bandwidth in bytes per fabric cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.dram_gbps * 1e9 / (self.clock_mhz * 1e6)
+    }
+
+    /// Converts a cycle count to seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_mhz * 1e6)
+    }
+}
+
+/// The shared DRAM channel.
+///
+/// Busy time is tracked as a sorted list of occupied intervals; a request
+/// is placed into the earliest gap at or after its arrival that fits its
+/// transfer. This keeps the model robust to the simulator visiting
+/// overlapped metapipeline stages out of timestamp order (a small store
+/// simulated "later" must not push an earlier tile load backwards).
+#[derive(Debug)]
+pub struct Dram {
+    cfg: SimConfig,
+    /// Sorted, disjoint busy intervals (recent window only).
+    busy: Vec<(f64, f64)>,
+    /// Requests earlier than this start no earlier than here (intervals
+    /// before the window have been pruned).
+    floor: f64,
+    /// Total bytes moved over the channel (including burst padding).
+    pub bytes_moved: f64,
+    /// Total useful words requested.
+    pub words_requested: u64,
+}
+
+impl Dram {
+    /// Creates a channel.
+    pub fn new(cfg: SimConfig) -> Self {
+        Dram {
+            cfg,
+            busy: Vec::new(),
+            floor: 0.0,
+            bytes_moved: 0.0,
+            words_requested: 0,
+        }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Reserves `duration` cycles of channel time starting no earlier than
+    /// `at`; returns the reservation start.
+    fn reserve(&mut self, at: f64, duration: f64) -> f64 {
+        // Find the first gap that fits.
+        let mut t = at.max(self.floor);
+        let mut insert_pos = self.busy.len();
+        for (i, &(s, e)) in self.busy.iter().enumerate() {
+            if e <= t {
+                continue;
+            }
+            if s >= t + duration {
+                insert_pos = i;
+                break;
+            }
+            // Overlaps the candidate slot: move past this interval.
+            t = t.max(e);
+        }
+        if insert_pos == self.busy.len() {
+            insert_pos = self.busy.partition_point(|&(s, _)| s < t);
+        }
+        self.busy.insert(insert_pos, (t, t + duration));
+        // Merge neighbors to keep the list compact.
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(self.busy.len());
+        for &(s, e) in self.busy.iter() {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 + 1e-9 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        // Bound the window: the simulator's out-of-order issue distance is
+        // one metapipeline iteration, so distant history can be pruned.
+        const MAX_INTERVALS: usize = 512;
+        if merged.len() > MAX_INTERVALS {
+            let cut = merged.len() - MAX_INTERVALS;
+            self.floor = self.floor.max(merged[cut - 1].1);
+            merged.drain(..cut);
+        }
+        self.busy = merged;
+        t
+    }
+
+    /// Issues a stream at time `at` (cycles); returns its completion time.
+    ///
+    /// Transfer time is burst-quantized: each contiguous run moves
+    /// `ceil(run_bytes / burst) * burst` bytes over the channel. Prefetched
+    /// streams pay the request latency once; synchronous streams pay a
+    /// per-burst turnaround gap, modeling a design that only issues the
+    /// next request after consuming the previous burst.
+    pub fn request(&mut self, at: f64, stream: &DramStream) -> f64 {
+        if stream.words == 0 {
+            return at;
+        }
+        let run = stream.run_words.max(1);
+        let runs = stream.words.div_ceil(run);
+        let run_bytes = run * self.cfg.word_bytes;
+        let bursts_per_run = run_bytes.div_ceil(self.cfg.burst_bytes);
+        let total_bursts = runs * bursts_per_run;
+        let bytes = (total_bursts * self.cfg.burst_bytes) as f64;
+        let transfer = bytes / self.cfg.bytes_per_cycle();
+
+        self.words_requested += stream.words;
+        self.bytes_moved += bytes;
+
+        let start = self.reserve(at, transfer);
+
+        if stream.write {
+            // Posted writes: done when the channel has accepted the data.
+            start + transfer
+        } else if stream.prefetch {
+            start + self.cfg.dram_latency as f64 + transfer
+        } else {
+            // Synchronous: latency once, plus a turnaround gap per
+            // non-contiguous run (within a run, bursts stream naturally).
+            start
+                + self.cfg.dram_latency as f64
+                + transfer
+                + (runs.saturating_sub(1) * self.cfg.sync_gap) as f64
+        }
+    }
+
+    /// Issues a synchronous stream whose request latency has already been
+    /// charged by the caller (one latency per pattern instance, however
+    /// many operand streams it reads): transfer plus per-run turnaround.
+    /// `efficiency` derates the achieved bandwidth (interleaving several
+    /// synchronous streams without outstanding requests halves it).
+    pub fn request_sync_body(&mut self, at: f64, stream: &DramStream, efficiency: f64) -> f64 {
+        if stream.words == 0 {
+            return at;
+        }
+        let run = stream.run_words.max(1);
+        let runs = stream.words.div_ceil(run);
+        let run_bytes = run * self.cfg.word_bytes;
+        let bursts_per_run = run_bytes.div_ceil(self.cfg.burst_bytes);
+        let total_bursts = runs * bursts_per_run;
+        let bytes = (total_bursts * self.cfg.burst_bytes) as f64;
+        let transfer = bytes / self.cfg.bytes_per_cycle() / efficiency.clamp(0.1, 1.0);
+        self.words_requested += stream.words;
+        self.bytes_moved += bytes;
+        let start = self.reserve(at, transfer);
+        start + transfer + (runs.saturating_sub(1) * self.cfg.sync_gap) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(words: u64, run: u64, prefetch: bool, write: bool) -> DramStream {
+        DramStream {
+            words,
+            run_words: run,
+            prefetch,
+            write,
+        }
+    }
+
+    #[test]
+    fn prefetched_stream_pays_latency_once() {
+        let cfg = SimConfig::default();
+        let bpc = cfg.bytes_per_cycle();
+        let mut d = Dram::new(cfg.clone());
+        let t = d.request(0.0, &stream(9600, 9600, true, false)); // 100 bursts
+        let expected = cfg.dram_latency as f64 + (100.0 * 384.0) / bpc;
+        assert!((t - expected).abs() < 1e-6, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn sync_stream_pays_gap_per_run() {
+        let cfg = SimConfig::default();
+        let mut d = Dram::new(cfg.clone());
+        // 100 runs of 96 words: 99 turnaround gaps.
+        let t_sync = d.request(0.0, &stream(9600, 96, false, false));
+        let mut d2 = Dram::new(cfg.clone());
+        let t_pre = d2.request(0.0, &stream(9600, 96, true, false));
+        assert!(
+            t_sync > t_pre + (99 * cfg.sync_gap - 1) as f64,
+            "sync {t_sync} vs prefetch {t_pre}"
+        );
+        // A single contiguous run pays no gaps.
+        let mut d3 = Dram::new(cfg.clone());
+        let t_one = d3.request(0.0, &stream(9600, 9600, false, false));
+        let mut d4 = Dram::new(cfg);
+        let t_one_pre = d4.request(0.0, &stream(9600, 9600, true, false));
+        assert!((t_one - t_one_pre).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_runs_waste_bandwidth() {
+        let cfg = SimConfig::default();
+        let mut d = Dram::new(cfg.clone());
+        // 96 words in runs of 1: each word costs a full burst.
+        d.request(0.0, &stream(96, 1, true, false));
+        assert!((d.bytes_moved - 96.0 * 384.0).abs() < 1e-6);
+        let mut d2 = Dram::new(cfg);
+        // 96 words contiguous: one burst.
+        d2.request(0.0, &stream(96, 96, true, false));
+        assert!((d2.bytes_moved - 384.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn channel_serializes_requests() {
+        let cfg = SimConfig::default();
+        let mut d = Dram::new(cfg);
+        let t1 = d.request(0.0, &stream(96_000, 96_000, true, false));
+        let t2 = d.request(0.0, &stream(96_000, 96_000, true, false));
+        assert!(t2 > t1, "second request must queue behind the first");
+    }
+
+    #[test]
+    fn writes_skip_latency() {
+        let cfg = SimConfig::default();
+        let bpc = cfg.bytes_per_cycle();
+        let mut d = Dram::new(cfg);
+        let t = d.request(0.0, &stream(96, 96, true, true));
+        assert!((t - 384.0 / bpc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        let cfg = SimConfig::default();
+        let mut d = Dram::new(cfg);
+        assert_eq!(d.request(5.0, &stream(0, 1, true, false)), 5.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulation results.
+
+use pphw_hw::design::DesignStyle;
+
+/// Per-unit statistics.
+#[derive(Debug, Clone)]
+pub struct StageStat {
+    /// Unit name.
+    pub name: String,
+    /// Number of invocations.
+    pub invocations: u64,
+    /// Total busy cycles across invocations.
+    pub busy_cycles: f64,
+    /// Total useful DRAM words requested per invocation, summed.
+    pub dram_words: u64,
+}
+
+/// Whole-run simulation report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Design name.
+    pub design: String,
+    /// Optimization level simulated.
+    pub style: DesignStyle,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured fabric clock.
+    pub seconds: f64,
+    /// Bytes moved over the DRAM channel (including burst padding).
+    pub dram_bytes: u64,
+    /// Useful words requested from DRAM.
+    pub dram_words: u64,
+    /// Per-unit statistics, sorted by name.
+    pub stages: Vec<StageStat>,
+}
+
+impl SimReport {
+    /// Speedup of this run relative to a reference run.
+    pub fn speedup_over(&self, reference: &SimReport) -> f64 {
+        reference.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Effective DRAM bandwidth utilization (moved bytes over peak for the
+    /// duration), given the configuration used for the run.
+    pub fn bandwidth_fraction(&self, cfg: &crate::dram::SimConfig) -> f64 {
+        let peak = cfg.dram_gbps * 1e9 * self.seconds;
+        if peak > 0.0 {
+            self.dram_bytes as f64 / peak
+        } else {
+            0.0
+        }
+    }
+
+    /// Formats the report as readable text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{} [{}]: {} cycles ({:.3} ms), {} DRAM words ({} bytes moved)\n",
+            self.design,
+            self.style,
+            self.cycles,
+            self.seconds * 1e3,
+            self.dram_words,
+            self.dram_bytes
+        );
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<28} x{:<8} busy {:>12.0} cyc  {:>12} words\n",
+                s.name, s.invocations, s.busy_cycles, s.dram_words
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> SimReport {
+        SimReport {
+            design: "t".into(),
+            style: DesignStyle::Baseline,
+            cycles,
+            seconds: cycles as f64 / 150e6,
+            dram_bytes: 1000,
+            dram_words: 250,
+            stages: vec![],
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_cycles() {
+        let base = report(1000);
+        let fast = report(100);
+        assert!((fast.speedup_over(&base) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_text_contains_summary() {
+        let r = report(42);
+        assert!(r.to_text().contains("42 cycles"));
+    }
+}

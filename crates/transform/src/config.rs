@@ -1,0 +1,143 @@
+//! Tiling configuration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pphw_ir::size::{Size, SizeEnv};
+
+/// Configuration for the tiling transformation.
+///
+/// The paper requires the user to specify tile sizes for every dimension
+/// that should be tiled (§4, *Discussion*); dimensions without an entry are
+/// left untiled. Concrete dimension values are needed to check
+/// divisibility and to drive the split-and-interchange heuristic
+/// ("intermediate result … statically known to fit on the FPGA").
+#[derive(Debug, Clone)]
+pub struct TileConfig {
+    /// Tile size per symbolic dimension name.
+    pub tile_sizes: BTreeMap<String, i64>,
+    /// Concrete values of the symbolic dimensions.
+    pub sizes: SizeEnv,
+    /// On-chip memory budget in bytes, used by the split heuristic and
+    /// whole-tensor preloading decisions.
+    pub on_chip_budget_bytes: u64,
+}
+
+impl TileConfig {
+    /// Creates a configuration from `(dim, tile)` pairs and concrete sizes.
+    pub fn new(tiles: &[(&str, i64)], sizes: &[(&str, i64)]) -> Self {
+        TileConfig {
+            tile_sizes: tiles.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            sizes: Size::env(sizes),
+            on_chip_budget_bytes: 6 * 1024 * 1024, // ~Stratix V class on-chip RAM
+        }
+    }
+
+    /// Sets the on-chip budget.
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.on_chip_budget_bytes = bytes;
+        self
+    }
+
+    /// Returns the tile size for a domain extent, if that extent is a
+    /// tileable symbolic dimension: there is a configured tile size, the
+    /// tile is smaller than the concrete dimension value, and it divides it
+    /// evenly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileError::Indivisible`] when a configured tile does not
+    /// divide the dimension.
+    pub fn tile_for(&self, size: &Size) -> Result<Option<i64>, TileError> {
+        let Size::Var(v) = size else {
+            return Ok(None);
+        };
+        let Some(&b) = self.tile_sizes.get(v) else {
+            return Ok(None);
+        };
+        let Some(&dim) = self.sizes.get(v) else {
+            return Err(TileError::UnknownSize(v.clone()));
+        };
+        if b >= dim {
+            return Ok(None); // tile covers the whole dimension: nothing to do
+        }
+        if dim % b != 0 {
+            return Err(TileError::Indivisible {
+                dim: v.clone(),
+                value: dim,
+                tile: b,
+            });
+        }
+        Ok(Some(b))
+    }
+}
+
+/// Errors produced by the tiling transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// A configured tile size does not evenly divide the dimension.
+    Indivisible {
+        dim: String,
+        value: i64,
+        tile: i64,
+    },
+    /// A tiled dimension has no concrete size.
+    UnknownSize(String),
+    /// A write-once `MultiFold` could not be tiled because an accumulator
+    /// dimension is not tracked one-to-one by a tiled domain index.
+    UntrackedWriteOnce { pattern: String },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::Indivisible { dim, value, tile } => {
+                write!(f, "tile size {tile} does not divide dimension {dim} = {value}")
+            }
+            TileError::UnknownSize(v) => write!(f, "no concrete size for dimension `{v}`"),
+            TileError::UntrackedWriteOnce { pattern } => write!(
+                f,
+                "cannot tile write-once {pattern}: accumulator dimension not tracked by a tiled index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_for_configured_var() {
+        let cfg = TileConfig::new(&[("n", 16)], &[("n", 64)]);
+        assert_eq!(cfg.tile_for(&Size::var("n")), Ok(Some(16)));
+        assert_eq!(cfg.tile_for(&Size::var("m")), Ok(None));
+        assert_eq!(cfg.tile_for(&Size::from(8)), Ok(None));
+    }
+
+    #[test]
+    fn tile_covering_whole_dim_is_skipped() {
+        let cfg = TileConfig::new(&[("n", 64)], &[("n", 64)]);
+        assert_eq!(cfg.tile_for(&Size::var("n")), Ok(None));
+    }
+
+    #[test]
+    fn indivisible_tile_errors() {
+        let cfg = TileConfig::new(&[("n", 24)], &[("n", 64)]);
+        assert!(matches!(
+            cfg.tile_for(&Size::var("n")),
+            Err(TileError::Indivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_size_errors() {
+        let cfg = TileConfig::new(&[("n", 8)], &[]);
+        assert!(matches!(
+            cfg.tile_for(&Size::var("n")),
+            Err(TileError::UnknownSize(_))
+        ));
+    }
+}

@@ -1,0 +1,264 @@
+//! Memory traffic and on-chip storage analysis (Figure 5c of the paper).
+//!
+//! Computes, per DRAM-resident tensor, the minimum number of words read
+//! from main memory and the on-chip buffer words required, as symbolic
+//! [`Size`] expressions. The model charges DRAM reads at *materialization
+//! points*: a slice or copy of a resident tensor reads its extent once per
+//! enclosing iteration (the data then lives in an on-chip buffer), and a
+//! direct element read costs one word per enclosing iteration. Intermediate
+//! pattern accumulators bound inside patterns contribute on-chip storage.
+//!
+//! Applied to the three k-means variants (fused / strip-mined /
+//! interchanged) this reproduces the `n×d`, `n×k×d` vs `(n/b0)×k×d`, and
+//! `2` vs `2×b0` entries of Figure 5c.
+
+use std::collections::BTreeMap;
+
+use pphw_ir::block::{Block, Op};
+use pphw_ir::expr::Expr;
+use pphw_ir::pattern::Pattern;
+use pphw_ir::program::Program;
+use pphw_ir::size::{shape_elems, Size, SizeEnv};
+use pphw_ir::types::{Sym, Type};
+
+/// Cost entry for one tensor or intermediate.
+#[derive(Debug, Clone)]
+pub struct TensorCost {
+    /// Display name (without the symbol id suffix).
+    pub name: String,
+    /// Words read from main memory (symbolic).
+    pub dram_reads: Size,
+    /// On-chip storage in words (symbolic; max across materializations).
+    pub on_chip_words: Size,
+}
+
+/// Whole-program cost report.
+#[derive(Debug, Clone, Default)]
+pub struct CostReport {
+    /// Per-tensor costs, in first-touch order.
+    pub tensors: Vec<TensorCost>,
+}
+
+impl CostReport {
+    /// Looks up a tensor's cost by display name.
+    pub fn get(&self, name: &str) -> Option<&TensorCost> {
+        self.tensors.iter().find(|t| t.name == name)
+    }
+
+    /// Total DRAM words read, evaluated under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a size-evaluation error if a dimension is unbound.
+    pub fn total_reads(&self, env: &SizeEnv) -> Result<i64, pphw_ir::size::SizeError> {
+        let mut total = 0;
+        for t in &self.tensors {
+            total += t.dram_reads.eval(env)?;
+        }
+        Ok(total)
+    }
+
+    /// Total on-chip words, evaluated under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a size-evaluation error if a dimension is unbound.
+    pub fn total_on_chip(&self, env: &SizeEnv) -> Result<i64, pphw_ir::size::SizeError> {
+        let mut total = 0;
+        for t in &self.tensors {
+            total += t.on_chip_words.eval(env)?;
+        }
+        Ok(total)
+    }
+
+    /// Formats the report as an aligned text table.
+    pub fn to_table(&self, env: &SizeEnv) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:<28} {:>14}  {:<20} {:>12}\n",
+            "tensor", "DRAM reads", "(value)", "on-chip words", "(value)"
+        ));
+        for t in &self.tensors {
+            let reads_v = t
+                .dram_reads
+                .eval(env)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|_| "?".into());
+            let words_v = t
+                .on_chip_words
+                .eval(env)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|_| "?".into());
+            out.push_str(&format!(
+                "{:<22} {:<28} {:>14}  {:<20} {:>12}\n",
+                t.name,
+                t.dram_reads.to_string(),
+                reads_v,
+                t.on_chip_words.to_string(),
+                words_v
+            ));
+        }
+        out
+    }
+}
+
+struct Acc {
+    reads: Size,
+    storage: Size,
+    order: usize,
+}
+
+struct St<'a> {
+    prog: &'a Program,
+    resident: BTreeMap<Sym, Sym>, // alias (slice view) -> base tensor
+    costs: BTreeMap<Sym, Acc>,
+    counter: usize,
+}
+
+impl St<'_> {
+    fn add_reads(&mut self, base: Sym, amount: Size) {
+        let counter = self.counter;
+        let e = self.costs.entry(base).or_insert_with(|| Acc {
+            reads: Size::Const(0),
+            storage: Size::Const(0),
+            order: counter,
+        });
+        e.reads = (e.reads.clone() + amount).simplified();
+        self.counter += 1;
+    }
+
+    fn max_storage(&mut self, base: Sym, amount: Size) {
+        let counter = self.counter;
+        let e = self.costs.entry(base).or_insert_with(|| Acc {
+            reads: Size::Const(0),
+            storage: Size::Const(0),
+            order: counter,
+        });
+        // Keep the larger (by a heuristic static evaluation with all-1 env
+        // fallback: prefer the structurally larger product).
+        if size_rank(&amount) > size_rank(&e.storage) {
+            e.storage = amount;
+        }
+        self.counter += 1;
+    }
+}
+
+fn size_rank(s: &Size) -> i64 {
+    // Evaluate with every variable at a nominal 1024 to order sizes.
+    let mut env = SizeEnv::new();
+    for v in s.vars() {
+        env.insert(v, 1024);
+    }
+    s.eval(&env).unwrap_or(i64::MAX)
+}
+
+/// Analyzes the program and produces the cost report.
+pub fn analyze_cost(prog: &Program) -> CostReport {
+    let mut st = St {
+        prog,
+        resident: BTreeMap::new(),
+        costs: BTreeMap::new(),
+        counter: 0,
+    };
+    for i in &prog.inputs {
+        if matches!(prog.ty(*i), Type::Tensor { .. }) {
+            st.resident.insert(*i, *i);
+        }
+    }
+    walk_block(&prog.body, &Size::Const(1), 0, &mut st);
+
+    let mut entries: Vec<(Sym, Acc)> = st.costs.into_iter().collect();
+    entries.sort_by_key(|(_, a)| a.order);
+    CostReport {
+        tensors: entries
+            .into_iter()
+            .map(|(sym, acc)| TensorCost {
+                name: prog.syms.info(sym).name.clone(),
+                dram_reads: acc.reads.simplified(),
+                on_chip_words: acc.storage.simplified(),
+            })
+            .collect(),
+    }
+}
+
+fn elems_of(dims: &[pphw_ir::block::SliceDim], base_shape: &[Size]) -> Size {
+    let mut total = Size::Const(1);
+    for (d, full) in dims.iter().zip(base_shape) {
+        let len = match d {
+            pphw_ir::block::SliceDim::Point(_) => Size::Const(1),
+            pphw_ir::block::SliceDim::Window { len, .. } => len.clone(),
+            pphw_ir::block::SliceDim::Full => full.clone(),
+        };
+        total = total * len;
+    }
+    total
+}
+
+fn walk_block(block: &Block, mult: &Size, depth: usize, st: &mut St<'_>) {
+    for stmt in &block.stmts {
+        match &stmt.op {
+            Op::Expr(e) => count_expr_reads(e, mult, st),
+            Op::VarVec(items) => {
+                for it in items {
+                    if let Some(g) = &it.guard {
+                        count_expr_reads(g, mult, st);
+                    }
+                    count_expr_reads(&it.value, mult, st);
+                }
+            }
+            Op::Slice(s) => {
+                if let Some(&base) = st.resident.get(&s.tensor) {
+                    let shape = st.prog.ty(s.tensor).shape().to_vec();
+                    let elems = elems_of(&s.dims, &shape);
+                    if depth > 0 {
+                        st.add_reads(base, mult.clone() * elems.clone());
+                        st.max_storage(base, elems);
+                    }
+                    // Reads of the view are then on-chip; don't track the
+                    // alias as resident.
+                } else {
+                    // Slice of an on-chip value: free.
+                }
+            }
+            Op::Copy(c) => {
+                if let Some(&base) = st.resident.get(&c.tensor) {
+                    let shape = st.prog.ty(c.tensor).shape().to_vec();
+                    let elems = elems_of(&c.dims, &shape);
+                    st.add_reads(base, mult.clone() * elems.clone());
+                    st.max_storage(base, elems);
+                }
+            }
+            Op::Pattern(p) => {
+                let inner_mult = p
+                    .domain()
+                    .iter()
+                    .fold(mult.clone(), |m, d| m * d.clone())
+                    .simplified();
+                for b in p.child_blocks() {
+                    walk_block(b, &inner_mult, depth + 1, st);
+                }
+                if let Pattern::MultiFold(mf) = p {
+                    // Accumulators bound inside patterns are on-chip
+                    // intermediates.
+                    if depth > 0 {
+                        for (acc, sym) in mf.accs.iter().zip(&stmt.syms) {
+                            let elems =
+                                shape_elems(&acc.shape) * Size::Const(acc.elem.width() as i64);
+                            st.max_storage(*sym, elems);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn count_expr_reads(e: &Expr, mult: &Size, st: &mut St<'_>) {
+    e.visit(&mut |sub| {
+        if let Expr::Read { tensor, .. } = sub {
+            if let Some(&base) = st.resident.get(tensor) {
+                st.add_reads(base, mult.clone());
+            }
+        }
+    });
+}

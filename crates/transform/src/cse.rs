@@ -1,0 +1,138 @@
+//! Common subexpression elimination.
+//!
+//! Within a block, later statements that bind an operation structurally
+//! identical to an earlier one are removed and their symbol redirected to
+//! the earlier binding. Particularly important after tiling, which can
+//! materialize the same tile copy from several rewritten use sites.
+
+use std::collections::BTreeMap;
+
+use pphw_ir::block::{Block, Op};
+use pphw_ir::program::Program;
+use pphw_ir::types::Sym;
+
+use crate::rewrite::rename_syms;
+
+/// Runs CSE on every block of the program.
+pub fn cse_program(prog: &Program) -> Program {
+    let mut out = prog.clone();
+    cse_block(&mut out.body);
+    out
+}
+
+/// Runs CSE on `block` and all nested blocks.
+pub fn cse_block(block: &mut Block) {
+    let stmts = std::mem::take(&mut block.stmts);
+    let mut seen: Vec<(Op, Sym)> = Vec::new();
+    let mut replace: BTreeMap<Sym, Sym> = BTreeMap::new();
+    let mut kept = Vec::with_capacity(stmts.len());
+
+    for mut stmt in stmts {
+        // Apply accumulated replacements to this statement (including its
+        // nested blocks).
+        if !replace.is_empty() {
+            let mut tmp = Block {
+                stmts: vec![stmt],
+                result: vec![],
+            };
+            rename_syms(&mut tmp, &replace);
+            stmt = tmp.stmts.pop().expect("one stmt");
+        }
+        // Only single-output, pattern-free ops are deduplicated.
+        let dedupable = matches!(stmt.op, Op::Expr(_) | Op::Slice(_) | Op::Copy(_))
+            && stmt.syms.len() == 1;
+        if dedupable {
+            if let Some((_, orig)) = seen.iter().find(|(op, _)| *op == stmt.op) {
+                replace.insert(stmt.sym(), *orig);
+                continue; // drop the duplicate
+            }
+            seen.push((stmt.op.clone(), stmt.sym()));
+        }
+        kept.push(stmt);
+    }
+    block.stmts = kept;
+    if !replace.is_empty() {
+        let mut results = std::mem::take(&mut block.result);
+        for r in &mut results {
+            if let Some(n) = replace.get(r) {
+                *r = *n;
+            }
+        }
+        block.result = results;
+    }
+    // Recurse into nested blocks.
+    for stmt in &mut block.stmts {
+        if let Op::Pattern(p) = &mut stmt.op {
+            for b in p.child_blocks_mut() {
+                cse_block(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphw_ir::block::{CopyOp, SliceDim};
+    use pphw_ir::expr::Expr;
+    use pphw_ir::size::Size;
+    use pphw_ir::types::{DType, SymTable, Type};
+
+    #[test]
+    fn dedupes_identical_exprs() {
+        let mut syms = SymTable::new();
+        let x = syms.fresh("x", Type::f32());
+        let a = syms.fresh("a", Type::f32());
+        let b = syms.fresh("b", Type::f32());
+        let c = syms.fresh("c", Type::f32());
+        let mut block = Block::new();
+        block.push(a, Op::Expr(Expr::var(x).add(Expr::f32(1.0))));
+        block.push(b, Op::Expr(Expr::var(x).add(Expr::f32(1.0))));
+        block.push(c, Op::Expr(Expr::var(a).add(Expr::var(b))));
+        block.result = vec![c];
+        cse_block(&mut block);
+        assert_eq!(block.stmts.len(), 2);
+        match &block.stmts[1].op {
+            Op::Expr(e) => assert_eq!(*e, Expr::var(a).add(Expr::var(a))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedupes_identical_copies() {
+        let mut syms = SymTable::new();
+        let x = syms.fresh("x", Type::tensor(DType::F32, vec![Size::var("n")]));
+        let t1 = syms.fresh("t1", Type::tensor(DType::F32, vec![Size::from(4)]));
+        let t2 = syms.fresh("t2", Type::tensor(DType::F32, vec![Size::from(4)]));
+        let copy = || {
+            Op::Copy(CopyOp {
+                tensor: x,
+                dims: vec![SliceDim::Window {
+                    start: Expr::int(0),
+                    len: Size::from(4),
+                }],
+                reuse: 1,
+            })
+        };
+        let mut block = Block::new();
+        block.push(t1, copy());
+        block.push(t2, copy());
+        block.result = vec![t2];
+        cse_block(&mut block);
+        assert_eq!(block.stmts.len(), 1);
+        assert_eq!(block.result, vec![t1]);
+    }
+
+    #[test]
+    fn different_ops_not_merged() {
+        let mut syms = SymTable::new();
+        let a = syms.fresh("a", Type::f32());
+        let b = syms.fresh("b", Type::f32());
+        let mut block = Block::new();
+        block.push(a, Op::Expr(Expr::f32(1.0)));
+        block.push(b, Op::Expr(Expr::f32(2.0)));
+        block.result = vec![a, b];
+        cse_block(&mut block);
+        assert_eq!(block.stmts.len(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dead code elimination.
+//!
+//! PPL operations are pure, so any statement whose bound symbols are never
+//! referenced later (transitively) can be removed. Runs innermost-first so
+//! dead nested statements don't keep their dependencies alive.
+
+use std::collections::BTreeSet;
+
+use pphw_ir::block::{Block, Op};
+use pphw_ir::program::Program;
+use pphw_ir::types::Sym;
+
+/// Removes dead statements from every block of the program.
+pub fn dce_program(prog: &Program) -> Program {
+    let mut out = prog.clone();
+    dce_block(&mut out.body);
+    out
+}
+
+/// Removes dead statements from `block` and all nested blocks.
+pub fn dce_block(block: &mut Block) {
+    dce_block_with(block, &BTreeSet::new());
+}
+
+/// DCE with additional externally-live symbols: bindings of this block that
+/// later sibling blocks reference (e.g. a `MultiFold` pre-block binding
+/// used by its update bodies) must be kept alive.
+fn dce_block_with(block: &mut Block, extra_live: &BTreeSet<Sym>) {
+    // Clean nested blocks first so their free-symbol sets shrink. Pattern
+    // pre-blocks get the frees of the pattern's other blocks as live-out.
+    for stmt in &mut block.stmts {
+        if let Op::Pattern(p) = &mut stmt.op {
+            dce_pattern(p);
+        }
+    }
+    // Backward liveness within this block. A statement's uses include
+    // everything its nested blocks reference.
+    let mut live: BTreeSet<Sym> = block.result.iter().copied().collect();
+    live.extend(extra_live.iter().copied());
+    let mut keep = vec![false; block.stmts.len()];
+    for (i, stmt) in block.stmts.iter().enumerate().rev() {
+        if stmt.syms.iter().any(|s| live.contains(s)) {
+            keep[i] = true;
+            live.extend(stmt_uses(stmt));
+        }
+    }
+    let mut i = 0;
+    block.stmts.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
+fn dce_pattern(p: &mut pphw_ir::pattern::Pattern) {
+    use pphw_ir::pattern::{GbfBody, Pattern};
+    match p {
+        Pattern::Map(m) => dce_block_with(&mut m.body.body, &BTreeSet::new()),
+        Pattern::FlatMap(fm) => dce_block_with(&mut fm.body.body, &BTreeSet::new()),
+        Pattern::MultiFold(mf) => {
+            let mut ext: BTreeSet<Sym> = BTreeSet::new();
+            for u in &mut mf.updates {
+                dce_block_with(&mut u.body, &BTreeSet::new());
+                for e in &u.loc {
+                    ext.extend(e.syms());
+                }
+                ext.extend(u.body.free_syms());
+            }
+            for c in mf.combines.iter_mut().flatten() {
+                dce_block_with(&mut c.body, &BTreeSet::new());
+            }
+            dce_block_with(&mut mf.pre, &ext);
+        }
+        Pattern::GroupByFold(g) => {
+            let mut ext: BTreeSet<Sym> = BTreeSet::new();
+            match &mut g.body {
+                GbfBody::Element { key, update } => {
+                    dce_block_with(&mut update.body, &BTreeSet::new());
+                    ext.extend(key.syms());
+                    for e in &update.loc {
+                        ext.extend(e.syms());
+                    }
+                    ext.extend(update.body.free_syms());
+                }
+                GbfBody::Merge { dict } => {
+                    ext.insert(*dict);
+                }
+            }
+            dce_block_with(&mut g.combine.body, &BTreeSet::new());
+            dce_block_with(&mut g.pre, &ext);
+        }
+    }
+}
+
+fn stmt_uses(stmt: &pphw_ir::block::Stmt) -> Vec<Sym> {
+    let b = Block {
+        stmts: vec![stmt.clone()],
+        result: vec![],
+    };
+    b.free_syms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphw_ir::block::{Op, Stmt};
+    use pphw_ir::expr::Expr;
+    use pphw_ir::types::{SymTable, Type};
+
+    #[test]
+    fn removes_unused_stmt() {
+        let mut syms = SymTable::new();
+        let a = syms.fresh("a", Type::f32());
+        let b = syms.fresh("b", Type::f32());
+        let mut block = Block::new();
+        block.push(a, Op::Expr(Expr::f32(1.0)));
+        block.push(b, Op::Expr(Expr::f32(2.0)));
+        block.result = vec![b];
+        dce_block(&mut block);
+        assert_eq!(block.stmts.len(), 1);
+        assert_eq!(block.stmts[0].sym(), b);
+    }
+
+    #[test]
+    fn keeps_transitive_deps() {
+        let mut syms = SymTable::new();
+        let a = syms.fresh("a", Type::f32());
+        let b = syms.fresh("b", Type::f32());
+        let c = syms.fresh("c", Type::f32());
+        let mut block = Block::new();
+        block.push(a, Op::Expr(Expr::f32(1.0)));
+        block.push(b, Op::Expr(Expr::var(a).add(Expr::f32(1.0))));
+        block.push(c, Op::Expr(Expr::var(b).add(Expr::f32(1.0))));
+        block.result = vec![c];
+        dce_block(&mut block);
+        assert_eq!(block.stmts.len(), 3);
+    }
+
+    #[test]
+    fn multi_output_stmt_kept_if_any_used() {
+        let mut syms = SymTable::new();
+        let a = syms.fresh("a", Type::f32());
+        let b = syms.fresh("b", Type::f32());
+        let mut block = Block::new();
+        block.stmts.push(Stmt {
+            syms: vec![a, b],
+            op: Op::Expr(Expr::f32(0.0)), // stand-in for a 2-output op
+        });
+        block.result = vec![a];
+        dce_block(&mut block);
+        assert_eq!(block.stmts.len(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Block rewriting utilities: expression substitution, alpha-renaming, and
+//! lambda instantiation.
+//!
+//! Transformations duplicate and relocate pattern bodies; these helpers
+//! keep symbol hygiene (every binding unique program-wide) intact.
+
+use std::collections::BTreeMap;
+
+use pphw_ir::block::{Block, Op, SliceDim, Stmt};
+use pphw_ir::expr::Expr;
+use pphw_ir::pattern::{GbfBody, Lambda, Pattern};
+use pphw_ir::types::{Sym, SymTable};
+
+/// Applies `f` to every expression tree inside `block`, recursively through
+/// nested patterns, slice/copy dimensions, update locations, keys and
+/// guards.
+pub fn map_exprs(block: &mut Block, f: &mut impl FnMut(&Expr) -> Expr) {
+    for stmt in &mut block.stmts {
+        map_exprs_op(&mut stmt.op, f);
+    }
+}
+
+fn map_exprs_op(op: &mut Op, f: &mut impl FnMut(&Expr) -> Expr) {
+    match op {
+        Op::Expr(e) => *e = f(e),
+        Op::VarVec(items) => {
+            for it in items {
+                if let Some(g) = &mut it.guard {
+                    *g = f(g);
+                }
+                it.value = f(&it.value);
+            }
+        }
+        Op::Slice(s) => map_exprs_dims(&mut s.dims, f),
+        Op::Copy(c) => map_exprs_dims(&mut c.dims, f),
+        Op::Pattern(p) => map_exprs_pattern(p, f),
+    }
+}
+
+fn map_exprs_dims(dims: &mut [SliceDim], f: &mut impl FnMut(&Expr) -> Expr) {
+    for d in dims {
+        match d {
+            SliceDim::Point(e) => *e = f(e),
+            SliceDim::Window { start, .. } => *start = f(start),
+            SliceDim::Full => {}
+        }
+    }
+}
+
+fn map_exprs_pattern(p: &mut Pattern, f: &mut impl FnMut(&Expr) -> Expr) {
+    match p {
+        Pattern::Map(m) => map_exprs(&mut m.body.body, f),
+        Pattern::MultiFold(mf) => {
+            map_exprs(&mut mf.pre, f);
+            for u in &mut mf.updates {
+                for e in &mut u.loc {
+                    *e = f(e);
+                }
+                map_exprs(&mut u.body, f);
+            }
+            for c in mf.combines.iter_mut().flatten() {
+                map_exprs(&mut c.body, f);
+            }
+        }
+        Pattern::FlatMap(fm) => map_exprs(&mut fm.body.body, f),
+        Pattern::GroupByFold(g) => {
+            map_exprs(&mut g.pre, f);
+            match &mut g.body {
+                GbfBody::Element { key, update } => {
+                    *key = f(key);
+                    for e in &mut update.loc {
+                        *e = f(e);
+                    }
+                    map_exprs(&mut update.body, f);
+                }
+                GbfBody::Merge { .. } => {}
+            }
+            map_exprs(&mut g.combine.body, f);
+        }
+    }
+}
+
+/// Substitutes occurrences of variables per `subst` (as [`Expr::Var`]
+/// replacements) throughout the block.
+pub fn subst_vars(block: &mut Block, subst: &BTreeMap<Sym, Expr>) {
+    map_exprs(block, &mut |e| {
+        e.subst_vars(&|s| subst.get(&s).cloned())
+    });
+}
+
+/// Renames *symbol occurrences* (both variables and tensor references,
+/// including statement bindings, pattern parameters, block results, slice
+/// sources, and merge dictionaries) according to `map`. Symbols absent from
+/// the map are left unchanged.
+pub fn rename_syms(block: &mut Block, map: &BTreeMap<Sym, Sym>) {
+    let get = |s: Sym| map.get(&s).copied().unwrap_or(s);
+    for stmt in &mut block.stmts {
+        for s in &mut stmt.syms {
+            *s = get(*s);
+        }
+        rename_syms_op(&mut stmt.op, map);
+    }
+    for s in &mut block.result {
+        *s = get(*s);
+    }
+    map_exprs(block, &mut |e| e.rename_syms(&get));
+}
+
+fn rename_syms_op(op: &mut Op, map: &BTreeMap<Sym, Sym>) {
+    let get = |s: Sym| map.get(&s).copied().unwrap_or(s);
+    match op {
+        Op::Expr(_) | Op::VarVec(_) => {}
+        Op::Slice(s) => s.tensor = get(s.tensor),
+        Op::Copy(c) => c.tensor = get(c.tensor),
+        Op::Pattern(p) => match p {
+            Pattern::Map(m) => {
+                for s in &mut m.body.params {
+                    *s = get(*s);
+                }
+                rename_syms(&mut m.body.body, map);
+            }
+            Pattern::MultiFold(mf) => {
+                for s in &mut mf.idx {
+                    *s = get(*s);
+                }
+                rename_syms(&mut mf.pre, map);
+                for u in &mut mf.updates {
+                    u.acc_param = get(u.acc_param);
+                    rename_syms(&mut u.body, map);
+                }
+                for c in mf.combines.iter_mut().flatten() {
+                    for s in &mut c.params {
+                        *s = get(*s);
+                    }
+                    rename_syms(&mut c.body, map);
+                }
+            }
+            Pattern::FlatMap(fm) => {
+                for s in &mut fm.body.params {
+                    *s = get(*s);
+                }
+                rename_syms(&mut fm.body.body, map);
+            }
+            Pattern::GroupByFold(g) => {
+                g.idx = get(g.idx);
+                rename_syms(&mut g.pre, map);
+                match &mut g.body {
+                    GbfBody::Element { update, .. } => {
+                        update.acc_param = get(update.acc_param);
+                        rename_syms(&mut update.body, map);
+                    }
+                    GbfBody::Merge { dict } => *dict = get(*dict),
+                }
+                for s in &mut g.combine.params {
+                    *s = get(*s);
+                }
+                rename_syms(&mut g.combine.body, map);
+            }
+        },
+    }
+}
+
+/// Deep-clones `block` with fresh symbols for everything it binds
+/// (statements, pattern parameters). Free symbols are untouched. Returns
+/// the clone and the old→new symbol mapping.
+pub fn alpha_rename(block: &Block, syms: &mut SymTable) -> (Block, BTreeMap<Sym, Sym>) {
+    let mut clone = block.clone();
+    let mut map = BTreeMap::new();
+    for old in block.bound_syms() {
+        let info = syms.info(old).clone();
+        let fresh = syms.fresh(info.name, info.ty);
+        map.insert(old, fresh);
+    }
+    rename_syms(&mut clone, &map);
+    (clone, map)
+}
+
+/// Instantiates a scalar lambda on argument expressions: alpha-renames the
+/// body, substitutes the parameters, appends the statements to `out`, and
+/// returns the expression for the result.
+///
+/// # Panics
+///
+/// Panics if the argument count mismatches the lambda arity.
+pub fn instantiate_lambda(
+    lambda: &Lambda,
+    args: &[Expr],
+    syms: &mut SymTable,
+    out: &mut Vec<Stmt>,
+) -> Expr {
+    assert_eq!(lambda.params.len(), args.len(), "lambda arity mismatch");
+    let (mut body, map) = alpha_rename(&lambda.body, syms);
+    let subst: BTreeMap<Sym, Expr> = lambda
+        .params
+        .iter()
+        .zip(args)
+        .map(|(p, a)| (*p, a.clone()))
+        .collect();
+    subst_vars(&mut body, &subst);
+    let result = map
+        .get(&lambda.body.result_sym())
+        .copied()
+        .unwrap_or(lambda.body.result_sym());
+    out.extend(body.stmts);
+    Expr::Var(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphw_ir::block::Op;
+    use pphw_ir::types::Type;
+
+    fn simple_lambda(syms: &mut SymTable) -> Lambda {
+        // (a, b) => a + b
+        let a = syms.fresh("a", Type::f32());
+        let b = syms.fresh("b", Type::f32());
+        let r = syms.fresh("r", Type::f32());
+        let mut body = Block::new();
+        body.push(r, Op::Expr(Expr::var(a).add(Expr::var(b))));
+        body.result = vec![r];
+        Lambda::new(vec![a, b], body)
+    }
+
+    #[test]
+    fn instantiate_lambda_substitutes_args() {
+        let mut syms = SymTable::new();
+        let l = simple_lambda(&mut syms);
+        let mut out = Vec::new();
+        let r = instantiate_lambda(&l, &[Expr::int(1), Expr::int(2)], &mut syms, &mut out);
+        assert_eq!(out.len(), 1);
+        match &out[0].op {
+            Op::Expr(e) => assert_eq!(*e, Expr::int(1).add(Expr::int(2))),
+            other => panic!("{other:?}"),
+        }
+        // The returned expression references the freshly-bound result.
+        assert_eq!(r, Expr::Var(out[0].sym()));
+    }
+
+    #[test]
+    fn alpha_rename_keeps_free_syms() {
+        let mut syms = SymTable::new();
+        let free = syms.fresh("x", Type::f32());
+        let bound = syms.fresh("y", Type::f32());
+        let mut block = Block::new();
+        block.push(bound, Op::Expr(Expr::var(free).add(Expr::f32(1.0))));
+        block.result = vec![bound];
+        let (clone, map) = alpha_rename(&block, &mut syms);
+        let new_bound = map[&bound];
+        assert_ne!(new_bound, bound);
+        assert_eq!(clone.result, vec![new_bound]);
+        assert_eq!(clone.free_syms(), vec![free]);
+    }
+
+    #[test]
+    fn subst_vars_rewrites_nested() {
+        let mut syms = SymTable::new();
+        let x = syms.fresh("x", Type::f32());
+        let y = syms.fresh("y", Type::f32());
+        let mut block = Block::new();
+        block.push(y, Op::Expr(Expr::var(x).mul(Expr::var(x))));
+        block.result = vec![y];
+        let mut subst = BTreeMap::new();
+        subst.insert(x, Expr::f32(3.0));
+        subst_vars(&mut block, &subst);
+        match &block.stmts[0].op {
+            Op::Expr(e) => assert_eq!(*e, Expr::f32(3.0).mul(Expr::f32(3.0))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_syms_covers_results() {
+        let mut syms = SymTable::new();
+        let x = syms.fresh("x", Type::f32());
+        let y = syms.fresh("y", Type::f32());
+        let mut block = Block::new();
+        block.push(y, Op::Expr(Expr::var(x)));
+        block.result = vec![y];
+        let z = syms.fresh("z", Type::f32());
+        let mut map = BTreeMap::new();
+        map.insert(y, z);
+        rename_syms(&mut block, &map);
+        assert_eq!(block.result, vec![z]);
+        assert_eq!(block.stmts[0].sym(), z);
+    }
+}

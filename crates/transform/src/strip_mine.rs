@@ -1,0 +1,634 @@
+//! Strip mining — the first half of pattern tiling (Table 1 of the paper).
+//!
+//! Each pattern whose domain contains tileable dimensions is split into a
+//! perfectly nested pair: an outer pattern over strided tile indices and an
+//! inner pattern over one tile. The rules follow Table 1:
+//!
+//! * `Map` becomes a write-once `MultiFold` whose update generates one tile
+//!   with an inner `Map`.
+//! * `MultiFold` becomes a `MultiFold` of `MultiFold`s; accumulator
+//!   dimensions *tracked* one-to-one by a tiled domain index are restricted
+//!   to per-tile regions (the paper's sumrows example), while untracked
+//!   dimensions (including data-dependent locations, as in k-means) keep
+//!   full-range partial accumulators merged with the combine function.
+//! * `FlatMap` and `GroupByFold` nest into themselves; the tiled
+//!   `GroupByFold` merges per-tile dictionaries bucket-by-bucket.
+//!
+//! Tile copies (`x.copy(…)`) are *not* introduced here; see
+//! [`crate::copies`], which runs after interchange so copies land at their
+//! final position.
+
+use std::collections::BTreeMap;
+
+use pphw_ir::access::{classify_index, IndexClass};
+use pphw_ir::block::{Block, Op, Stmt};
+use pphw_ir::expr::Expr;
+use pphw_ir::pattern::{
+    AccDef, AccUpdate, FlatMapPat, GbfBody, GroupByFoldPat, Init, Lambda, MapPat, MultiFoldPat,
+    Pattern,
+};
+use pphw_ir::program::Program;
+use pphw_ir::size::Size;
+use pphw_ir::types::{ScalarType, Sym, SymTable, Type};
+
+use crate::config::{TileConfig, TileError};
+use crate::rewrite::{alpha_rename, instantiate_lambda, subst_vars};
+
+/// Strip mines every tileable pattern in the program.
+///
+/// # Errors
+///
+/// Returns a [`TileError`] if a configured tile size does not divide its
+/// dimension or a write-once `MultiFold` cannot be tiled.
+pub fn strip_mine_program(prog: &Program, cfg: &TileConfig) -> Result<Program, TileError> {
+    let mut out = prog.clone();
+    let mut body = std::mem::take(&mut out.body);
+    sm_block(&mut body, &mut out.syms, cfg)?;
+    out.body = body;
+    Ok(out)
+}
+
+fn sm_block(block: &mut Block, syms: &mut SymTable, cfg: &TileConfig) -> Result<(), TileError> {
+    for stmt in &mut block.stmts {
+        if let Op::Pattern(p) = &mut stmt.op {
+            // Inner-first: tile nested patterns before wrapping this one.
+            for b in p.child_blocks_mut() {
+                sm_block(b, syms, cfg)?;
+            }
+            if let Some(new_pat) = sm_pattern(p, syms, cfg)? {
+                stmt.op = Op::Pattern(new_pat);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-dimension tiling info for one pattern.
+struct DimPlan {
+    /// Full extent.
+    size: Size,
+    /// Tile size, if this dimension is tiled.
+    tile: Option<i64>,
+    /// Fresh outer (strided) index, present when tiled.
+    outer_idx: Option<Sym>,
+    /// Fresh inner index.
+    inner_idx: Sym,
+}
+
+impl DimPlan {
+    fn inner_extent(&self) -> Size {
+        match self.tile {
+            Some(b) => Size::Const(b),
+            None => self.size.clone(),
+        }
+    }
+
+    /// The expression reconstructing the original global index.
+    fn global_index(&self) -> Expr {
+        match (self.tile, self.outer_idx) {
+            (Some(b), Some(ii)) => Expr::var(ii)
+                .mul(Expr::SizeOf(Size::Const(b)))
+                .add(Expr::var(self.inner_idx)),
+            _ => Expr::var(self.inner_idx),
+        }
+    }
+}
+
+fn plan_dims(
+    domain: &[Size],
+    orig_idx: Option<&[Sym]>,
+    syms: &mut SymTable,
+    cfg: &TileConfig,
+) -> Result<Vec<DimPlan>, TileError> {
+    let mut plans = Vec::with_capacity(domain.len());
+    for (k, size) in domain.iter().enumerate() {
+        let tile = cfg.tile_for(size)?;
+        let outer_idx = tile.map(|_| syms.fresh("ii", Type::i32()));
+        let inner_idx = syms.fresh("i", Type::i32());
+        let _ = orig_idx.map(|idx| idx[k]);
+        plans.push(DimPlan {
+            size: size.clone(),
+            tile,
+            outer_idx,
+            inner_idx,
+        });
+    }
+    Ok(plans)
+}
+
+fn outer_domain(plans: &[DimPlan]) -> Vec<Size> {
+    plans
+        .iter()
+        .filter_map(|p| {
+            p.tile
+                .map(|b| (p.size.clone() / Size::Const(b)).simplified())
+        })
+        .collect()
+}
+
+fn outer_idx(plans: &[DimPlan]) -> Vec<Sym> {
+    plans.iter().filter_map(|p| p.outer_idx).collect()
+}
+
+fn subst_map(plans: &[DimPlan], params: &[Sym]) -> BTreeMap<Sym, Expr> {
+    params
+        .iter()
+        .zip(plans)
+        .map(|(p, plan)| (*p, plan.global_index()))
+        .collect()
+}
+
+/// Clones a lambda with fresh parameter symbols and alpha-renamed body.
+pub(crate) fn clone_lambda(l: &Lambda, syms: &mut SymTable) -> Lambda {
+    let (mut body, _) = alpha_rename(&l.body, syms);
+    let mut subst = BTreeMap::new();
+    let params: Vec<Sym> = l
+        .params
+        .iter()
+        .map(|p| {
+            let info = syms.info(*p).clone();
+            let fresh = syms.fresh(info.name, info.ty);
+            subst.insert(*p, Expr::Var(fresh));
+            fresh
+        })
+        .collect();
+    subst_vars(&mut body, &subst);
+    Lambda::new(params, body)
+}
+
+fn sm_pattern(
+    p: &Pattern,
+    syms: &mut SymTable,
+    cfg: &TileConfig,
+) -> Result<Option<Pattern>, TileError> {
+    match p {
+        Pattern::Map(m) => sm_map(m, syms, cfg),
+        Pattern::MultiFold(mf) => sm_multifold(mf, syms, cfg),
+        Pattern::FlatMap(fm) => sm_flatmap(fm, syms, cfg),
+        Pattern::GroupByFold(g) => sm_groupbyfold(g, syms, cfg),
+    }
+}
+
+/// T[ Map(d)(m) ] = MultiFold(d/b)(d)(zeros(d)){ ii => (ii*b, acc => Map(b)(T[m])) }(_)
+fn sm_map(
+    m: &MapPat,
+    syms: &mut SymTable,
+    cfg: &TileConfig,
+) -> Result<Option<Pattern>, TileError> {
+    let plans = plan_dims(&m.domain, Some(&m.body.params), syms, cfg)?;
+    if plans.iter().all(|p| p.tile.is_none()) {
+        return Ok(None);
+    }
+    let elem = map_elem_type(m, syms);
+
+    let mut inner_body = m.body.body.clone();
+    subst_vars(&mut inner_body, &subst_map(&plans, &m.body.params));
+    let inner_domain: Vec<Size> = plans.iter().map(|p| p.inner_extent()).collect();
+    let inner_map = Pattern::Map(MapPat {
+        domain: inner_domain.clone(),
+        body: Lambda::new(plans.iter().map(|p| p.inner_idx).collect(), inner_body),
+    });
+    let tile_sym = syms.fresh("tile", Type::tensor(elem.clone(), inner_domain.clone()));
+
+    let mut pre = Block::new();
+    pre.push(tile_sym, Op::Pattern(inner_map));
+
+    let acc_param = syms.fresh("acc", Type::tensor(elem.clone(), inner_domain));
+    let update = AccUpdate {
+        loc: plans
+            .iter()
+            .map(|p| match (p.tile, p.outer_idx) {
+                (Some(b), Some(ii)) => Expr::var(ii).mul(Expr::SizeOf(Size::Const(b))),
+                _ => Expr::int(0),
+            })
+            .collect(),
+        shape: plans.iter().map(|p| p.inner_extent()).collect(),
+        acc_param,
+        body: Block {
+            stmts: Vec::new(),
+            result: vec![tile_sym],
+        },
+    };
+
+    Ok(Some(Pattern::MultiFold(MultiFoldPat {
+        domain: outer_domain(&plans),
+        accs: vec![AccDef {
+            name: "out".to_string(),
+            shape: m.domain.clone(),
+            elem: elem.clone(),
+            init: Init::zero_of(&elem),
+        }],
+        idx: outer_idx(&plans),
+        pre,
+        updates: vec![update],
+        combines: vec![None],
+    })))
+}
+
+fn map_elem_type(m: &MapPat, syms: &SymTable) -> ScalarType {
+    match syms.ty(m.body.body.result_sym()) {
+        Type::Scalar(s) => s.clone(),
+        other => panic!("map body result must be scalar, got {other}"),
+    }
+}
+
+/// How one accumulator dimension behaves under tiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AccDimPlan {
+    /// Tracked one-to-one by tiled domain dimension `k`: the inner pattern
+    /// accumulates into a tile-sized region.
+    Tracked { domain_dim: usize },
+    /// Free: the inner pattern accumulates into the full dimension and the
+    /// outer update merges with the combine function.
+    Free,
+}
+
+/// T[ MultiFold(d)(r)(z)(f)(c) ] per Table 1, with region restriction for
+/// tracked dimensions (the sumrows example of Table 2).
+fn sm_multifold(
+    mf: &MultiFoldPat,
+    syms: &mut SymTable,
+    cfg: &TileConfig,
+) -> Result<Option<Pattern>, TileError> {
+    let plans = plan_dims(&mf.domain, Some(&mf.idx), syms, cfg)?;
+    if plans.iter().all(|p| p.tile.is_none()) {
+        return Ok(None);
+    }
+    let control: std::collections::BTreeSet<Sym> = mf.idx.iter().copied().collect();
+
+    // Classify each accumulator dimension of each update. A dimension
+    // "tracked" one-to-one by a *tiled* domain index becomes a per-tile
+    // region; one tracked by an *untiled* index stays full-range inside the
+    // tile but remains safe for write-once folds (each tile iterates it in
+    // full, and tiles are disjoint in the tracked-tiled dimensions).
+    let mut acc_plans: Vec<Vec<AccDimPlan>> = Vec::with_capacity(mf.accs.len());
+    for (acc, update) in mf.accs.iter().zip(&mf.updates) {
+        let mut dims = Vec::with_capacity(acc.shape.len());
+        let mut unsafe_write_once = false;
+        for (j, loc) in update.loc.iter().enumerate() {
+            let point_region = update.shape.is_empty()
+                || update.shape[j].as_const() == Some(1);
+            let plan = match classify_index(loc, &control) {
+                IndexClass::Affine { terms, offset }
+                    if point_region
+                        && offset == Size::Const(0)
+                        && terms.len() == 1
+                        && terms.values().next() == Some(&Size::Const(1)) =>
+                {
+                    let idx_sym = *terms.keys().next().expect("one term");
+                    match mf.idx.iter().position(|s| *s == idx_sym) {
+                        Some(k) if plans[k].tile.is_some() => {
+                            AccDimPlan::Tracked { domain_dim: k }
+                        }
+                        Some(_) => AccDimPlan::Free, // tracked by untiled index
+                        None => {
+                            unsafe_write_once = true;
+                            AccDimPlan::Free
+                        }
+                    }
+                }
+                _ => {
+                    unsafe_write_once = true;
+                    AccDimPlan::Free
+                }
+            };
+            dims.push(plan);
+        }
+        if mf.combines[acc_plans.len()].is_none() && unsafe_write_once {
+            return Err(TileError::UntrackedWriteOnce {
+                pattern: acc.name.clone(),
+            });
+        }
+        acc_plans.push(dims);
+    }
+
+    // ---- inner MultiFold over one tile ----
+    let subst = subst_map(&plans, &mf.idx);
+    let mut inner_pre = mf.pre.clone();
+    subst_vars(&mut inner_pre, &subst);
+
+    let mut inner_accs = Vec::with_capacity(mf.accs.len());
+    let mut inner_updates = Vec::with_capacity(mf.updates.len());
+    for ((acc, update), dims) in mf.accs.iter().zip(&mf.updates).zip(&acc_plans) {
+        let inner_shape: Vec<Size> = acc
+            .shape
+            .iter()
+            .zip(dims)
+            .map(|(s, d)| match d {
+                AccDimPlan::Tracked { domain_dim } => {
+                    Size::Const(plans[*domain_dim].tile.expect("tracked dim is tiled"))
+                }
+                AccDimPlan::Free => s.clone(),
+            })
+            .collect();
+        inner_accs.push(AccDef {
+            name: format!("{}_part", acc.name),
+            shape: inner_shape,
+            elem: acc.elem.clone(),
+            init: acc.init.clone(),
+        });
+        let mut body = update.body.clone();
+        subst_vars(&mut body, &subst);
+        let loc: Vec<Expr> = update
+            .loc
+            .iter()
+            .zip(dims)
+            .map(|(e, d)| match d {
+                AccDimPlan::Tracked { domain_dim } => Expr::var(plans[*domain_dim].inner_idx),
+                AccDimPlan::Free => {
+                    let mut e = e.clone();
+                    let tmp_subst = &subst;
+                    e = e.subst_vars(&|s| tmp_subst.get(&s).cloned());
+                    e
+                }
+            })
+            .collect();
+        inner_updates.push(AccUpdate {
+            loc,
+            shape: update.shape.clone(),
+            acc_param: update.acc_param,
+            body,
+        });
+    }
+    let inner_mf = Pattern::MultiFold(MultiFoldPat {
+        domain: plans.iter().map(|p| p.inner_extent()).collect(),
+        accs: inner_accs.clone(),
+        idx: plans.iter().map(|p| p.inner_idx).collect(),
+        pre: inner_pre,
+        updates: inner_updates,
+        combines: mf.combines.clone(),
+    });
+    let partial_syms: Vec<Sym> = inner_accs
+        .iter()
+        .map(|a| syms.fresh(a.name.clone(), acc_value_type(a)))
+        .collect();
+
+    let mut outer_pre = Block::new();
+    outer_pre.stmts.push(Stmt {
+        syms: partial_syms.clone(),
+        op: Op::Pattern(inner_mf),
+    });
+
+    // ---- outer updates: merge partial regions into the accumulators ----
+    let mut outer_updates = Vec::with_capacity(mf.accs.len());
+    for (q, (acc, dims)) in mf.accs.iter().zip(&acc_plans).enumerate() {
+        let loc: Vec<Expr> = dims
+            .iter()
+            .map(|d| match d {
+                AccDimPlan::Tracked { domain_dim } => {
+                    let p = &plans[*domain_dim];
+                    Expr::var(p.outer_idx.expect("tracked dim has outer idx"))
+                        .mul(Expr::SizeOf(Size::Const(p.tile.expect("tiled"))))
+                }
+                AccDimPlan::Free => Expr::int(0),
+            })
+            .collect();
+        let region: Vec<Size> = acc
+            .shape
+            .iter()
+            .zip(dims)
+            .map(|(s, d)| match d {
+                AccDimPlan::Tracked { domain_dim } => {
+                    Size::Const(plans[*domain_dim].tile.expect("tiled"))
+                }
+                AccDimPlan::Free => s.clone(),
+            })
+            .collect();
+        let acc_param = syms.fresh("acc", region_value_type(&region, &acc.elem));
+        let body = match &mf.combines[q] {
+            None => Block {
+                stmts: Vec::new(),
+                result: vec![partial_syms[q]],
+            },
+            Some(c) => merge_region(
+                c,
+                acc_param,
+                partial_syms[q],
+                &region,
+                &acc.elem,
+                syms,
+            ),
+        };
+        outer_updates.push(AccUpdate {
+            loc,
+            shape: region,
+            acc_param,
+            body,
+        });
+    }
+
+    let outer_combines: Vec<Option<Lambda>> = mf
+        .combines
+        .iter()
+        .map(|c| c.as_ref().map(|l| clone_lambda(l, syms)))
+        .collect();
+
+    Ok(Some(Pattern::MultiFold(MultiFoldPat {
+        domain: outer_domain(&plans),
+        accs: mf.accs.clone(),
+        idx: outer_idx(&plans),
+        pre: outer_pre,
+        updates: outer_updates,
+        combines: outer_combines,
+    })))
+}
+
+/// The value type a `MultiFold` output/partial symbol gets for an
+/// accumulator declaration.
+fn acc_value_type(acc: &AccDef) -> Type {
+    region_value_type(&acc.shape, &acc.elem)
+}
+
+fn region_value_type(shape: &[Size], elem: &ScalarType) -> Type {
+    if shape.is_empty() {
+        Type::Scalar(elem.clone())
+    } else {
+        Type::Tensor {
+            elem: elem.clone(),
+            shape: shape.to_vec(),
+        }
+    }
+}
+
+/// Builds `acc => combine(acc, partial)` applied elementwise over a region.
+pub(crate) fn merge_region(
+    combine: &Lambda,
+    acc_param: Sym,
+    partial: Sym,
+    region: &[Size],
+    elem: &ScalarType,
+    syms: &mut SymTable,
+) -> Block {
+    if region.is_empty() {
+        // Scalar region: inline the combine directly.
+        let mut stmts = Vec::new();
+        let merged = instantiate_lambda(
+            combine,
+            &[Expr::Var(acc_param), Expr::Var(partial)],
+            syms,
+            &mut stmts,
+        );
+        let result = match merged {
+            Expr::Var(s) => s,
+            other => {
+                let s = syms.fresh("merged", Type::Scalar(elem.clone()));
+                stmts.push(Stmt::new(s, Op::Expr(other)));
+                s
+            }
+        };
+        return Block {
+            stmts,
+            result: vec![result],
+        };
+    }
+    // Tensor region: map(region){ rid => combine(acc(rid), partial(rid)) }.
+    let rid: Vec<Sym> = region.iter().map(|_| syms.fresh("r", Type::i32())).collect();
+    let rid_exprs: Vec<Expr> = rid.iter().map(|s| Expr::var(*s)).collect();
+    let mut stmts = Vec::new();
+    let merged = instantiate_lambda(
+        combine,
+        &[
+            Expr::read(acc_param, rid_exprs.clone()),
+            Expr::read(partial, rid_exprs),
+        ],
+        syms,
+        &mut stmts,
+    );
+    let result = match merged {
+        Expr::Var(s) => s,
+        other => {
+            let s = syms.fresh("merged", Type::Scalar(elem.clone()));
+            stmts.push(Stmt::new(s, Op::Expr(other)));
+            s
+        }
+    };
+    let map_body = Block {
+        stmts,
+        result: vec![result],
+    };
+    let map_sym = syms.fresh(
+        "merged",
+        Type::Tensor {
+            elem: elem.clone(),
+            shape: region.to_vec(),
+        },
+    );
+    let mut body = Block::new();
+    body.push(
+        map_sym,
+        Op::Pattern(Pattern::Map(MapPat {
+            domain: region.to_vec(),
+            body: Lambda::new(rid, map_body),
+        })),
+    );
+    body.result = vec![map_sym];
+    body
+}
+
+/// T[ FlatMap(d)(f) ] = FlatMap(d/b){ ii => FlatMap(b)(T[f]) }
+fn sm_flatmap(
+    fm: &FlatMapPat,
+    syms: &mut SymTable,
+    cfg: &TileConfig,
+) -> Result<Option<Pattern>, TileError> {
+    let plans = plan_dims(
+        std::slice::from_ref(&fm.domain),
+        Some(&fm.body.params),
+        syms,
+        cfg,
+    )?;
+    let Some(b) = plans[0].tile else {
+        return Ok(None);
+    };
+    let mut inner_body = fm.body.body.clone();
+    subst_vars(&mut inner_body, &subst_map(&plans, &fm.body.params));
+    let elem = match syms.ty(fm.body.body.result_sym()) {
+        Type::DynVec { elem } => elem.clone(),
+        Type::Tensor { elem, .. } => elem.clone(),
+        other => panic!("flatMap body result has type {other}"),
+    };
+    let inner = Pattern::FlatMap(FlatMapPat {
+        domain: Size::Const(b),
+        body: Lambda::new(vec![plans[0].inner_idx], inner_body),
+    });
+    let inner_sym = syms.fresh("chunk", Type::DynVec { elem });
+    let mut outer_body = Block::new();
+    outer_body.push(inner_sym, Op::Pattern(inner));
+    outer_body.result = vec![inner_sym];
+    Ok(Some(Pattern::FlatMap(FlatMapPat {
+        domain: (fm.domain.clone() / Size::Const(b)).simplified(),
+        body: Lambda::new(vec![plans[0].outer_idx.expect("tiled")], outer_body),
+    })))
+}
+
+/// T[ GroupByFold(d)(z)(h)(c) ] = GroupByFold(d/b)(T[z]){ ii =>
+///     GroupByFold(b)(T[z])(T[h])(T[c]) }(T[c])
+fn sm_groupbyfold(
+    g: &GroupByFoldPat,
+    syms: &mut SymTable,
+    cfg: &TileConfig,
+) -> Result<Option<Pattern>, TileError> {
+    let plans = plan_dims(
+        std::slice::from_ref(&g.domain),
+        Some(std::slice::from_ref(&g.idx)),
+        syms,
+        cfg,
+    )?;
+    let Some(b) = plans[0].tile else {
+        return Ok(None);
+    };
+    let subst = subst_map(&plans, std::slice::from_ref(&g.idx));
+    let mut inner_pre = g.pre.clone();
+    subst_vars(&mut inner_pre, &subst);
+    let inner_body = match &g.body {
+        GbfBody::Element { key, update } => {
+            let mut u = update.clone();
+            subst_vars(&mut u.body, &subst);
+            GbfBody::Element {
+                key: key.subst_vars(&|s| subst.get(&s).cloned()),
+                update: u,
+            }
+        }
+        GbfBody::Merge { dict } => GbfBody::Merge { dict: *dict },
+    };
+    let inner = Pattern::GroupByFold(GroupByFoldPat {
+        domain: Size::Const(b),
+        acc: g.acc.clone(),
+        idx: plans[0].inner_idx,
+        pre: inner_pre,
+        body: inner_body,
+        combine: g.combine.clone(),
+    });
+    let key_ty = dict_key_type(g, syms);
+    let dict_sym = syms.fresh(
+        "tileDict",
+        Type::Dict {
+            key: key_ty,
+            value: Box::new(acc_value_type(&g.acc)),
+        },
+    );
+    let mut outer_pre = Block::new();
+    outer_pre.push(dict_sym, Op::Pattern(inner));
+    Ok(Some(Pattern::GroupByFold(GroupByFoldPat {
+        domain: (g.domain.clone() / Size::Const(b)).simplified(),
+        acc: g.acc.clone(),
+        idx: plans[0].outer_idx.expect("tiled"),
+        pre: outer_pre,
+        body: GbfBody::Merge { dict: dict_sym },
+        combine: clone_lambda(&g.combine, syms),
+    })))
+}
+
+fn dict_key_type(g: &GroupByFoldPat, syms: &SymTable) -> ScalarType {
+    match &g.body {
+        GbfBody::Element { key, .. } => {
+            pphw_ir::infer::infer_scalar_type(key, syms).unwrap_or(ScalarType::Prim(
+                pphw_ir::types::DType::I32,
+            ))
+        }
+        GbfBody::Merge { dict } => match syms.ty(*dict) {
+            Type::Dict { key, .. } => key.clone(),
+            _ => ScalarType::Prim(pphw_ir::types::DType::I32),
+        },
+    }
+}

@@ -1,0 +1,52 @@
+//! The full tiling pipeline.
+//!
+//! Composes the passes in the order the paper describes (§4): strip mining
+//! (Table 1), the split heuristic for imperfect nests, pattern interchange,
+//! tile-copy insertion, then code motion / CSE / DCE cleanups.
+
+use pphw_ir::program::Program;
+
+use crate::config::{TileConfig, TileError};
+use crate::copies::insert_copies;
+use crate::cse::cse_program;
+use crate::dce::dce_program;
+use crate::interchange::{interchange_program, split_multifolds};
+use crate::motion::hoist_program;
+use crate::strip_mine::strip_mine_program;
+
+/// Runs the complete tiling pipeline on a (fused) PPL program.
+///
+/// # Errors
+///
+/// Returns a [`TileError`] if strip mining fails (indivisible tile size or
+/// untileable write-once pattern).
+pub fn tile_program(prog: &Program, cfg: &TileConfig) -> Result<Program, TileError> {
+    let p = strip_mine_program(prog, cfg)?;
+    let p = split_multifolds(&p, cfg);
+    let p = interchange_program(&p, cfg);
+    let p = insert_copies(&p, cfg);
+    let p = hoist_program(&p);
+    let p = cse_program(&p);
+    let p = dce_program(&p);
+    debug_assert!(p.validate().is_ok(), "tiled program failed validation");
+    Ok(p)
+}
+
+/// Runs only strip mining plus copies and cleanups (no interchange) —
+/// the paper's "tiling without interchange" comparison point (Figure 5a).
+///
+/// # Errors
+///
+/// Returns a [`TileError`] if strip mining fails.
+pub fn tile_program_no_interchange(
+    prog: &Program,
+    cfg: &TileConfig,
+) -> Result<Program, TileError> {
+    let p = strip_mine_program(prog, cfg)?;
+    let p = insert_copies(&p, cfg);
+    let p = hoist_program(&p);
+    let p = cse_program(&p);
+    let p = dce_program(&p);
+    debug_assert!(p.validate().is_ok(), "tiled program failed validation");
+    Ok(p)
+}

@@ -1,0 +1,364 @@
+//! Semantic equivalence of pattern interchange (§4, Table 3, Figure 5) and
+//! the split heuristic.
+
+use pphw_ir::builder::ProgramBuilder;
+use pphw_ir::interp::{Interpreter, Value};
+use pphw_ir::pattern::Init;
+use pphw_ir::pretty::print_program;
+use pphw_ir::types::{DType, ScalarType};
+use pphw_ir::Program;
+use pphw_transform::interchange::{interchange_program, split_multifolds};
+use pphw_transform::{strip_mine_program, TileConfig};
+
+fn mat_f32(r: usize, c: usize, f: impl Fn(usize, usize) -> f32) -> Value {
+    let mut data = Vec::with_capacity(r * c);
+    for i in 0..r {
+        for j in 0..c {
+            data.push(f(i, j));
+        }
+    }
+    Value::tensor_f32(&[r, c], data)
+}
+
+/// gemm in PPL: x.map{row => y-col map { dot-product fold } } expressed as
+/// map(m,n){ fold(p) }.
+fn gemm_program() -> Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let m = b.size("m");
+    let n = b.size("n");
+    let p = b.size("p");
+    let x = b.input("x", DType::F32, vec![m.clone(), p.clone()]);
+    let y = b.input("y", DType::F32, vec![p.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.map(vec![m, n], |c, idx| {
+            let (i, j) = (idx[0], idx[1]);
+            c.fold(
+                "dot",
+                vec![p.clone()],
+                vec![],
+                ScalarType::Prim(DType::F32),
+                Init::zeros(),
+                |c, kk, acc| {
+                    let prod = c.mul(
+                        c.read(x, vec![c.var(i), c.var(kk[0])]),
+                        c.read(y, vec![c.var(kk[0]), c.var(j)]),
+                    );
+                    c.add(c.var(acc), prod)
+                },
+                |c, a, b2| c.add(c.var(a), c.var(b2)),
+            )
+        })
+    });
+    b.finish(vec![out])
+}
+
+fn run_gemm(prog: &Program, sizes: &[(&str, i64)]) -> Vec<f32> {
+    let (m, n, p) = (
+        sizes[0].1 as usize,
+        sizes[1].1 as usize,
+        sizes[2].1 as usize,
+    );
+    let x = mat_f32(m, p, |i, j| ((i + 2 * j) % 7) as f32);
+    let y = mat_f32(p, n, |i, j| ((3 * i + j) % 5) as f32);
+    Interpreter::new(prog, sizes).run(vec![x, y]).unwrap()[0].as_f32_slice()
+}
+
+/// Table 3: tiling gemm then interchanging the strided reduction out of
+/// the unstrided map keeps the result identical.
+#[test]
+fn gemm_strip_mine_then_interchange() {
+    let prog = gemm_program();
+    let sizes = [("m", 8), ("n", 12), ("p", 16)];
+    let cfg = TileConfig::new(&[("m", 4), ("n", 4), ("p", 4)], &sizes);
+
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    tiled.validate().unwrap();
+    let inter = interchange_program(&tiled, &cfg);
+    inter.validate().unwrap();
+
+    let base = run_gemm(&prog, &sizes);
+    let after_tile = run_gemm(&tiled, &sizes);
+    let after_inter = run_gemm(&inter, &sizes);
+    assert_eq!(base, after_tile, "strip mining changed gemm");
+    assert_eq!(base, after_inter, "interchange changed gemm:\n{}", print_program(&inter));
+}
+
+/// Interchange actually fires on tiled gemm: the strided reduction domain
+/// moves outside the tile-level map.
+#[test]
+fn gemm_interchange_restructures() {
+    let prog = gemm_program();
+    let sizes = [("m", 8), ("n", 12), ("p", 16)];
+    let cfg = TileConfig::new(&[("m", 4), ("n", 4), ("p", 4)], &sizes);
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    let inter = interchange_program(&tiled, &cfg);
+    let before = print_program(&tiled);
+    let after = print_program(&inter);
+    assert_ne!(before, after, "interchange did not fire");
+    // The interchanged form has a p/4-strided multiFold carrying a (4,4)
+    // tensor accumulator (the partial output tile).
+    assert!(after.contains("multiFold(p/4)((4,4))"), "got:\n{after}");
+}
+
+/// Interchange without any strided pattern is the identity.
+#[test]
+fn interchange_noop_on_untiled() {
+    let prog = gemm_program();
+    let sizes = [("m", 4), ("n", 4), ("p", 4)];
+    let cfg = TileConfig::new(&[], &sizes);
+    let inter = interchange_program(&prog, &cfg);
+    assert_eq!(print_program(&prog), print_program(&inter));
+}
+
+/// A k-means-shaped kernel: for each point, find the closest centroid
+/// (strided argmin after tiling k), then count points per centroid.
+/// Exercises split + interchange on an imperfect nest with a
+/// data-dependent accumulator location.
+fn kmeans_assign_program() -> Program {
+    let mut b = ProgramBuilder::new("assign");
+    let n = b.size("n");
+    let k = b.size("k");
+    let d = b.size("d");
+    let points = b.input("points", DType::F32, vec![n.clone(), d.clone()]);
+    let centroids = b.input("centroids", DType::F32, vec![k.clone(), d.clone()]);
+    let out = b.with_ctx(|c| {
+        let (k2, d2) = (k.clone(), d.clone());
+        c.multi_fold(
+            "counts",
+            vec![n.clone()],
+            vec![k.clone()],
+            ScalarType::Prim(DType::F32),
+            Init::zeros(),
+            move |c, idx| {
+                let i = idx[0];
+                // argmin over centroids of squared distance
+                let best = c.fold(
+                    "best",
+                    vec![k2.clone()],
+                    vec![],
+                    ScalarType::Tuple(vec![DType::F32, DType::I32]),
+                    Init::argmin(),
+                    |c, j, acc| {
+                        let j = j[0];
+                        let dist = c.fold(
+                            "dist",
+                            vec![d2.clone()],
+                            vec![],
+                            ScalarType::Prim(DType::F32),
+                            Init::zeros(),
+                            |c, p, acc2| {
+                                let diff = c.sq_diff(
+                                    c.read(points, vec![c.var(i), c.var(p[0])]),
+                                    c.read(centroids, vec![c.var(j), c.var(p[0])]),
+                                );
+                                c.add(c.var(acc2), diff)
+                            },
+                            |c, a, b2| c.add(c.var(a), c.var(b2)),
+                        );
+                        let cand = c.tuple(vec![c.var(dist), c.var(j)]);
+                        c.select(
+                            c.lt(c.field(c.var(acc), 0), c.var(dist)),
+                            c.var(acc),
+                            cand,
+                        )
+                    },
+                    |c, a, b2| {
+                        c.select(
+                            c.lt(c.field(c.var(a), 0), c.field(c.var(b2), 0)),
+                            c.var(a),
+                            c.var(b2),
+                        )
+                    },
+                );
+                let min_idx = c.scalar("minIdx", c.field(c.var(best), 1));
+                (
+                    vec![pphw_ir::expr::Expr::var(min_idx)],
+                    vec![],
+                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| {
+                        c2.add(c2.var(acc), c2.f32(1.0))
+                    }),
+                )
+            },
+            Some(Box::new(|c2: &mut pphw_ir::builder::Ctx<'_>, a, b2| {
+                c2.add(c2.var(a), c2.var(b2))
+            })),
+        )
+    });
+    b.finish(vec![out])
+}
+
+fn run_assign(prog: &Program, sizes: &[(&str, i64)]) -> Vec<f32> {
+    let (n, k, d) = (
+        sizes[0].1 as usize,
+        sizes[1].1 as usize,
+        sizes[2].1 as usize,
+    );
+    let points = mat_f32(n, d, |i, j| ((i * 13 + j * 5) % 31) as f32);
+    let centroids = mat_f32(k, d, |i, j| ((i * 17 + j * 3) % 29) as f32);
+    Interpreter::new(prog, sizes)
+        .run(vec![points, centroids])
+        .unwrap()[0]
+        .as_f32_slice()
+}
+
+/// Figure 5 pipeline on the k-means assignment: strip mine (n, k), split
+/// the per-point argmin out of the count fold, interchange the strided
+/// centroid loop out of the per-point map. Values must be preserved at
+/// every step.
+#[test]
+fn kmeans_split_and_interchange_preserve_semantics() {
+    let prog = kmeans_assign_program();
+    let sizes = [("n", 16), ("k", 8), ("d", 4)];
+    let cfg = TileConfig::new(&[("n", 4), ("k", 4)], &sizes);
+
+    let base = run_assign(&prog, &sizes);
+
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    tiled.validate().unwrap();
+    assert_eq!(base, run_assign(&tiled, &sizes), "strip mining broke kmeans");
+
+    let split = split_multifolds(&tiled, &cfg);
+    split.validate().unwrap();
+    assert_eq!(base, run_assign(&split, &sizes), "split broke kmeans:\n{}", print_program(&split));
+
+    let inter = interchange_program(&split, &cfg);
+    inter.validate().unwrap();
+    assert_eq!(
+        base,
+        run_assign(&inter, &sizes),
+        "interchange broke kmeans:\n{}",
+        print_program(&inter)
+    );
+}
+
+/// The split heuristic extracts the strided argmin into a map over the
+/// point tile, and interchange then moves the strided centroid-tile loop
+/// out of that map (Figure 5b's minDistWithInds structure).
+#[test]
+fn kmeans_split_extracts_intermediate() {
+    let prog = kmeans_assign_program();
+    let sizes = [("n", 16), ("k", 8), ("d", 4)];
+    let cfg = TileConfig::new(&[("n", 4), ("k", 4)], &sizes);
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    let split = split_multifolds(&tiled, &cfg);
+    let text = print_program(&split);
+    // A new map over the point tile domain (4) computing the per-point best
+    // appears before the counting fold.
+    assert!(text.contains("bests"), "split did not extract:\n{text}");
+    let inter = interchange_program(&split, &cfg);
+    let itext = print_program(&inter);
+    assert!(
+        itext.contains("multiFold(k/4)((4))"),
+        "interchange did not produce the per-tile argmin vector:\n{itext}"
+    );
+}
+
+/// The split heuristic refuses when the intermediate exceeds the budget.
+#[test]
+fn split_respects_budget() {
+    let prog = kmeans_assign_program();
+    let sizes = [("n", 16), ("k", 8), ("d", 4)];
+    let cfg = TileConfig::new(&[("n", 4), ("k", 4)], &sizes).with_budget(4);
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    let split = split_multifolds(&tiled, &cfg);
+    assert_eq!(
+        print_program(&tiled),
+        print_program(&split),
+        "split fired despite tiny budget"
+    );
+}
+
+/// Rule 2: an unstrided fold whose update body is a strided write-once
+/// `MultiFold` (a tiled map producing row tiles) merged elementwise into
+/// the accumulator. Interchange moves the strided tile loop outermost,
+/// turning the nest into a write-once `MultiFold` of scalar folds.
+fn rule2_program() -> Program {
+    use pphw_ir::expr::Expr;
+    use pphw_ir::size::Size;
+    let mut b = ProgramBuilder::new("rowacc");
+    let n = b.size("n");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![n.clone(), d.clone()]);
+    let (d2, tile) = (d.clone(), 4i64);
+    let out = b.fold(
+        "colsums",
+        vec![n],
+        vec![d.clone()],
+        ScalarType::Prim(DType::F32),
+        Init::zeros(),
+        move |c, i, acc| {
+            let i = i[0];
+            // W: strided write-once MultiFold producing the scaled row in
+            // d/4-sized tiles (the outer pattern of a tiled map).
+            let dd = d2.clone();
+            let strided = (d2.clone() / Size::Const(tile)).simplified();
+            let w = c.multi_fold(
+                "w",
+                vec![strided],
+                vec![d2.clone()],
+                ScalarType::Prim(DType::F32),
+                Init::zeros(),
+                move |_c2, ii| {
+                    let ii = ii[0];
+                    (
+                        vec![Expr::var(ii).mul(Expr::SizeOf(Size::Const(tile)))],
+                        vec![Size::Const(tile)],
+                        Box::new(move |uc: &mut pphw_ir::builder::Ctx<'_>, _reg| {
+                            uc.map(vec![Size::Const(tile)], |mc, j| {
+                                let col = mc.add(
+                                    mc.mul(mc.var(ii), mc.int(tile)),
+                                    mc.var(j[0]),
+                                );
+                                mc.mul(mc.f32(2.0), mc.read(x, vec![mc.var(i), col]))
+                            })
+                        }),
+                    )
+                },
+                None::<Box<dyn FnOnce(&mut pphw_ir::builder::Ctx<'_>, pphw_ir::Sym, pphw_ir::Sym) -> Expr>>,
+            );
+            // Elementwise merge of the accumulator with W's row.
+            let dd2 = dd.clone();
+            c.map(vec![dd2], move |mc, r| {
+                mc.add(mc.read(acc, vec![mc.var(r[0])]), mc.read(w, vec![mc.var(r[0])]))
+            })
+        },
+        |c, a, b2| c.add(c.var(a), c.var(b2)),
+    );
+    b.finish(vec![out])
+}
+
+#[test]
+fn rule2_strided_multifold_moves_out_of_fold() {
+    let prog = rule2_program();
+    let sizes = [("n", 8), ("d", 16)];
+    let cfg = TileConfig::new(&[], &sizes);
+    let inter = interchange_program(&prog, &cfg);
+    inter.validate().unwrap();
+    let before = print_program(&prog);
+    let after = print_program(&inter);
+    assert_ne!(before, after, "rule 2 did not fire:\n{before}");
+    // The strided tile domain is now outermost (a d/4-strided multiFold
+    // carrying 4-wide regions of scalar folds over n).
+    assert!(
+        after.contains("multiFold(d/4)"),
+        "expected strided outer loop:\n{after}"
+    );
+}
+
+#[test]
+fn rule2_preserves_semantics() {
+    let prog = rule2_program();
+    let sizes = [("n", 8), ("d", 16)];
+    let cfg = TileConfig::new(&[], &sizes);
+    let inter = interchange_program(&prog, &cfg);
+    let x = mat_f32(8, 16, |i, j| ((i * 5 + j * 3) % 11) as f32);
+    let base = Interpreter::new(&prog, &sizes)
+        .run(vec![x.clone()])
+        .unwrap();
+    let got = Interpreter::new(&inter, &sizes).run(vec![x]).unwrap();
+    assert!(
+        base[0].approx_eq(&got[0], 1e-4),
+        "rule 2 broke semantics:\n{}",
+        print_program(&inter)
+    );
+}

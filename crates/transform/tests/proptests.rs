@@ -1,0 +1,139 @@
+//! Property-based tests: the tiling pipeline preserves program semantics
+//! for arbitrary workloads and (dividing) tile-size choices.
+
+use proptest::prelude::*;
+
+use pphw_ir::builder::ProgramBuilder;
+use pphw_ir::interp::{Interpreter, Value};
+use pphw_ir::pattern::Init;
+use pphw_ir::types::{DType, ScalarType};
+use pphw_ir::Program;
+use pphw_transform::{tile_program, TileConfig};
+
+fn gemm_program() -> Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let m = b.size("m");
+    let n = b.size("n");
+    let p = b.size("p");
+    let x = b.input("x", DType::F32, vec![m.clone(), p.clone()]);
+    let y = b.input("y", DType::F32, vec![p.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.map(vec![m, n], |c, idx| {
+            let (i, j) = (idx[0], idx[1]);
+            c.fold(
+                "dot",
+                vec![p.clone()],
+                vec![],
+                ScalarType::Prim(DType::F32),
+                Init::zeros(),
+                |c, kk, acc| {
+                    let prod = c.mul(
+                        c.read(x, vec![c.var(i), c.var(kk[0])]),
+                        c.read(y, vec![c.var(kk[0]), c.var(j)]),
+                    );
+                    c.add(c.var(acc), prod)
+                },
+                |c, a, b2| c.add(c.var(a), c.var(b2)),
+            )
+        })
+    });
+    b.finish(vec![out])
+}
+
+/// A divisor of `v` drawn from the small powers of two.
+fn divisor_of(v: i64) -> impl Strategy<Value = i64> {
+    let divs: Vec<i64> = [1i64, 2, 4, 8].into_iter().filter(|d| v % d == 0).collect();
+    prop::sample::select(divs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// gemm tiled with arbitrary dividing tile sizes computes the same
+    /// matrix as the untiled program, for random inputs.
+    #[test]
+    fn tiled_gemm_equivalent(
+        (m, bm) in (1i64..4).prop_map(|k| k * 8).prop_flat_map(|m| (Just(m), divisor_of(m))),
+        (n, bn) in (1i64..4).prop_map(|k| k * 8).prop_flat_map(|n| (Just(n), divisor_of(n))),
+        (p, bp) in (1i64..4).prop_map(|k| k * 8).prop_flat_map(|p| (Just(p), divisor_of(p))),
+        seed in 0u64..1000,
+    ) {
+        let prog = gemm_program();
+        let sizes = [("m", m), ("n", n), ("p", p)];
+        // Tile sizes must divide; skip degenerate full-size tiles sometimes.
+        let cfg = TileConfig::new(&[("m", bm.max(2)), ("n", bn.max(2)), ("p", bp.max(2))], &sizes);
+        let tiled = match tile_program(&prog, &cfg) {
+            Ok(t) => t,
+            Err(e) => return Err(TestCaseError::fail(format!("tiling failed: {e}"))),
+        };
+        tiled.validate().unwrap();
+
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xm: Vec<f32> = (0..m * p).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ym: Vec<f32> = (0..p * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let inputs = vec![
+            Value::tensor_f32(&[m as usize, p as usize], xm),
+            Value::tensor_f32(&[p as usize, n as usize], ym),
+        ];
+        let base = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
+        let got = Interpreter::new(&tiled, &sizes).run(inputs).unwrap();
+        prop_assert!(base[0].approx_eq(&got[0], 1e-3));
+    }
+
+    /// A predicated reduction (tpchq6 shape) survives tiling for any
+    /// threshold and data.
+    #[test]
+    fn tiled_predicated_fold_equivalent(
+        data in prop::collection::vec(0.0f32..100.0, 16..128),
+        threshold in 0.0f32..100.0,
+    ) {
+        // Pad to a multiple of 8 so the tile divides.
+        let mut data = data;
+        while data.len() % 8 != 0 {
+            data.push(0.0);
+        }
+        let n = data.len() as i64;
+
+        let mut b = ProgramBuilder::new("predsum");
+        let d = b.size("n");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.fold(
+            "s", vec![d], vec![], ScalarType::Prim(DType::F32), Init::zeros(),
+            |c, i, acc| {
+                let v = c.read(x, vec![c.var(i[0])]);
+                let contrib = c.select(c.lt(c.f32(threshold), v.clone()), v, c.f32(0.0));
+                c.add(c.var(acc), contrib)
+            },
+            |c, a, b2| c.add(c.var(a), c.var(b2)),
+        );
+        let prog = b.finish(vec![out]);
+
+        let sizes = [("n", n)];
+        let cfg = TileConfig::new(&[("n", 8)], &sizes);
+        let tiled = tile_program(&prog, &cfg).unwrap();
+        let inputs = vec![Value::tensor_f32(&[n as usize], data.clone())];
+        let base = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
+        let got = Interpreter::new(&tiled, &sizes).run(inputs).unwrap();
+        prop_assert!(base[0].approx_eq(&got[0], 1e-3));
+    }
+
+    /// Tiling never increases the modeled DRAM read traffic of gemm.
+    #[test]
+    fn tiling_never_increases_gemm_traffic(
+        b in prop::sample::select(vec![2i64, 4, 8]),
+    ) {
+        let prog = gemm_program();
+        let sizes = [("m", 16), ("n", 16), ("p", 16)];
+        let env = pphw_ir::Size::env(&sizes);
+        let cfg = TileConfig::new(&[("m", b), ("n", b), ("p", b)], &sizes);
+        let tiled = tile_program(&prog, &cfg).unwrap();
+        let before = pphw_transform::cost::analyze_cost(&prog)
+            .total_reads(&env)
+            .unwrap();
+        let after = pphw_transform::cost::analyze_cost(&tiled)
+            .total_reads(&env)
+            .unwrap();
+        prop_assert!(after <= before, "tiling increased traffic: {after} > {before}");
+    }
+}

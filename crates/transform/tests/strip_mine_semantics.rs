@@ -1,0 +1,423 @@
+//! Semantic equivalence of strip mining (Table 1 / Table 2): the tiled
+//! program must compute exactly what the original computes.
+
+use pphw_ir::builder::ProgramBuilder;
+use pphw_ir::expr::Expr;
+use pphw_ir::interp::{Interpreter, Value};
+use pphw_ir::pattern::Init;
+use pphw_ir::size::Size;
+use pphw_ir::types::{DType, ScalarType};
+use pphw_ir::Program;
+use pphw_transform::{strip_mine_program, TileConfig};
+
+fn check_equiv(prog: &Program, cfg: &TileConfig, sizes: &[(&str, i64)], inputs: Vec<Value>) {
+    let tiled = strip_mine_program(prog, cfg).expect("strip mining succeeds");
+    tiled.validate().expect("tiled program validates");
+    let base = Interpreter::new(prog, sizes)
+        .run(inputs.clone())
+        .expect("original runs");
+    let out = Interpreter::new(&tiled, sizes)
+        .run(inputs)
+        .expect("tiled runs");
+    assert_eq!(base.len(), out.len());
+    for (a, b) in base.iter().zip(&out) {
+        assert!(
+            a.approx_eq(b, 1e-5),
+            "strip-mined output differs:\noriginal: {a:?}\ntiled: {b:?}\n\ntiled IR:\n{}",
+            pphw_ir::pretty::print_program(&tiled)
+        );
+    }
+}
+
+fn vec_f32(n: usize, f: impl Fn(usize) -> f32) -> Value {
+    Value::tensor_f32(&[n], (0..n).map(f).collect())
+}
+
+fn mat_f32(r: usize, c: usize, f: impl Fn(usize, usize) -> f32) -> Value {
+    let mut data = Vec::with_capacity(r * c);
+    for i in 0..r {
+        for j in 0..c {
+            data.push(f(i, j));
+        }
+    }
+    Value::tensor_f32(&[r, c], data)
+}
+
+/// Table 2 row 1: element-wise map.
+#[test]
+fn strip_mine_map_1d() {
+    let mut b = ProgramBuilder::new("double");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.map(vec![d], |c, idx| {
+        c.mul(c.f32(2.0), c.read(x, vec![c.var(idx[0])]))
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 16)], &[("d", 64)]);
+    check_equiv(&prog, &cfg, &[("d", 64)], vec![vec_f32(64, |i| i as f32)]);
+}
+
+/// 2-D map with both dimensions tiled.
+#[test]
+fn strip_mine_map_2d_both_dims() {
+    let mut b = ProgramBuilder::new("scale2d");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+    let out = b.map(vec![m, n], |c, idx| {
+        c.add(
+            c.read(x, vec![c.var(idx[0]), c.var(idx[1])]),
+            c.f32(1.0),
+        )
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("m", 4), ("n", 8)], &[("m", 12), ("n", 24)]);
+    check_equiv(
+        &prog,
+        &cfg,
+        &[("m", 12), ("n", 24)],
+        vec![mat_f32(12, 24, |i, j| (i * 31 + j) as f32)],
+    );
+}
+
+/// 2-D map with only one dimension tiled (the other stays inner).
+#[test]
+fn strip_mine_map_2d_one_dim() {
+    let mut b = ProgramBuilder::new("scale1of2");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+    let out = b.map(vec![m, n], |c, idx| {
+        c.mul(c.read(x, vec![c.var(idx[0]), c.var(idx[1])]), c.f32(0.5))
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("m", 3)], &[("m", 9), ("n", 5)]);
+    check_equiv(
+        &prog,
+        &cfg,
+        &[("m", 9), ("n", 5)],
+        vec![mat_f32(9, 5, |i, j| (i + j * 7) as f32)],
+    );
+}
+
+/// Scalar full fold (tpchq6-style reduction).
+#[test]
+fn strip_mine_scalar_fold() {
+    let mut b = ProgramBuilder::new("sum");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.fold(
+        "sum",
+        vec![d],
+        vec![],
+        ScalarType::Prim(DType::F32),
+        Init::zeros(),
+        |c, i, acc| c.add(c.var(acc), c.read(x, vec![c.var(i[0])])),
+        |c, a, b2| c.add(c.var(a), c.var(b2)),
+    );
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 8)], &[("d", 48)]);
+    check_equiv(&prog, &cfg, &[("d", 48)], vec![vec_f32(48, |i| i as f32)]);
+}
+
+/// Argmin-style tuple fold: combine is a selection, not an addition.
+#[test]
+fn strip_mine_argmin_fold() {
+    let mut b = ProgramBuilder::new("argmin");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.fold(
+        "argmin",
+        vec![d],
+        vec![],
+        ScalarType::Tuple(vec![DType::F32, DType::I32]),
+        Init::argmin(),
+        |c, i, acc| {
+            let v = c.read(x, vec![c.var(i[0])]);
+            let cand = c.tuple(vec![v.clone(), c.var(i[0])]);
+            c.select(c.lt(c.field(c.var(acc), 0), v), c.var(acc), cand)
+        },
+        |c, a, b2| {
+            c.select(
+                c.lt(c.field(c.var(a), 0), c.field(c.var(b2), 0)),
+                c.var(a),
+                c.var(b2),
+            )
+        },
+    );
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 6)], &[("d", 24)]);
+    // Distinct values so the argmin is unique and order-insensitive.
+    check_equiv(
+        &prog,
+        &cfg,
+        &[("d", 24)],
+        vec![vec_f32(24, |i| ((i * 7 + 3) % 24) as f32)],
+    );
+}
+
+/// Table 2 row 2: sumrows as a MultiFold with a tracked (point) update.
+#[test]
+fn strip_mine_sumrows_tracked() {
+    let mut b = ProgramBuilder::new("sumrows");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.multi_fold(
+            "rowsums",
+            vec![m.clone(), n.clone()],
+            vec![m.clone()],
+            ScalarType::Prim(DType::F32),
+            Init::zeros(),
+            |c, idx| {
+                let (i, j) = (idx[0], idx[1]);
+                let v = c.read(x, vec![c.var(i), c.var(j)]);
+                (
+                    vec![Expr::var(i)],
+                    vec![],
+                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| {
+                        c2.add(c2.var(acc), v)
+                    }),
+                )
+            },
+            Some(Box::new(|c2: &mut pphw_ir::builder::Ctx<'_>, a, b2| {
+                c2.add(c2.var(a), c2.var(b2))
+            })),
+        )
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("m", 4), ("n", 8)], &[("m", 16), ("n", 32)]);
+    check_equiv(
+        &prog,
+        &cfg,
+        &[("m", 16), ("n", 32)],
+        vec![mat_f32(16, 32, |i, j| ((i * j) % 13) as f32)],
+    );
+}
+
+/// Histogram-style dynamic-location MultiFold (untracked dimension).
+#[test]
+fn strip_mine_dynamic_location_fold() {
+    let mut b = ProgramBuilder::new("bincount");
+    let n = b.size("n");
+    let k = b.size("k");
+    let x = b.input("x", DType::I32, vec![n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.multi_fold(
+            "counts",
+            vec![n.clone()],
+            vec![k.clone()],
+            ScalarType::Prim(DType::F32),
+            Init::zeros(),
+            |c, idx| {
+                let bucket = c.scalar("bucket", c.read(x, vec![c.var(idx[0])]));
+                (
+                    vec![Expr::var(bucket)],
+                    vec![],
+                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| {
+                        c2.add(c2.var(acc), c2.f32(1.0))
+                    }),
+                )
+            },
+            Some(Box::new(|c2: &mut pphw_ir::builder::Ctx<'_>, a, b2| {
+                c2.add(c2.var(a), c2.var(b2))
+            })),
+        )
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("n", 8)], &[("n", 32), ("k", 4)]);
+    let data = Value::tensor_i32(&[32], (0..32).map(|i| (i * 5 + 1) % 4).collect());
+    check_equiv(&prog, &cfg, &[("n", 32), ("k", 4)], vec![data]);
+}
+
+/// Table 2 row 3: filter via FlatMap.
+#[test]
+fn strip_mine_filter() {
+    let mut b = ProgramBuilder::new("pos");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.filter("pos", d, |c, i| {
+        let v = c.read(x, vec![c.var(i)]);
+        (c.lt(c.f32(10.0), v.clone()), v)
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 8)], &[("d", 40)]);
+    check_equiv(
+        &prog,
+        &cfg,
+        &[("d", 40)],
+        vec![vec_f32(40, |i| ((i * 11) % 23) as f32)],
+    );
+}
+
+/// Table 2 row 4: histogram via GroupByFold, tiled into a dict merge.
+#[test]
+fn strip_mine_histogram() {
+    let mut b = ProgramBuilder::new("hist");
+    let d = b.size("d");
+    let x = b.input("x", DType::I32, vec![d.clone()]);
+    let out = b.group_by_fold(
+        "hist",
+        d,
+        ScalarType::Prim(DType::I32),
+        Init::zero_i32(),
+        |c, i| (c.div(c.read(x, vec![c.var(i)]), c.int(10)), c.int(1)),
+        |a, b| a.add(b),
+    );
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 16)], &[("d", 64)]);
+    let data = Value::tensor_i32(&[64], (0..64).map(|i| (i * 7) % 50).collect());
+    check_equiv(&prog, &cfg, &[("d", 64)], vec![data]);
+}
+
+/// Nested patterns: only the inner fold's dimension tiled.
+#[test]
+fn strip_mine_nested_inner_only() {
+    let mut b = ProgramBuilder::new("sumrows_nested");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.map(vec![m], |c, i| {
+            let i = i[0];
+            c.fold(
+                "rowsum",
+                vec![n.clone()],
+                vec![],
+                ScalarType::Prim(DType::F32),
+                Init::zeros(),
+                |c, j, acc| c.add(c.var(acc), c.read(x, vec![c.var(i), c.var(j[0])])),
+                |c, a, b2| c.add(c.var(a), c.var(b2)),
+            )
+        })
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("n", 8)], &[("m", 6), ("n", 32)]);
+    check_equiv(
+        &prog,
+        &cfg,
+        &[("m", 6), ("n", 32)],
+        vec![mat_f32(6, 32, |i, j| (i * 3 + j) as f32)],
+    );
+}
+
+/// Nested patterns with both levels tiled.
+#[test]
+fn strip_mine_nested_both_levels() {
+    let mut b = ProgramBuilder::new("sumrows_nested2");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+    let out = b.with_ctx(|c| {
+        c.map(vec![m], |c, i| {
+            let i = i[0];
+            c.fold(
+                "rowsum",
+                vec![n.clone()],
+                vec![],
+                ScalarType::Prim(DType::F32),
+                Init::zeros(),
+                |c, j, acc| c.add(c.var(acc), c.read(x, vec![c.var(i), c.var(j[0])])),
+                |c, a, b2| c.add(c.var(a), c.var(b2)),
+            )
+        })
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("m", 2), ("n", 8)], &[("m", 6), ("n", 32)]);
+    check_equiv(
+        &prog,
+        &cfg,
+        &[("m", 6), ("n", 32)],
+        vec![mat_f32(6, 32, |i, j| ((i * 17 + j * 3) % 29) as f32)],
+    );
+}
+
+/// Strip mining with no matching tile config is the identity.
+#[test]
+fn strip_mine_noop_without_config() {
+    let mut b = ProgramBuilder::new("id");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.map(vec![d], |c, idx| c.read(x, vec![c.var(idx[0])]));
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[], &[("d", 16)]);
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    assert_eq!(
+        pphw_ir::pretty::print_program(&tiled),
+        pphw_ir::pretty::print_program(&prog)
+    );
+}
+
+/// Indivisible tile sizes are rejected.
+#[test]
+fn strip_mine_rejects_indivisible() {
+    let mut b = ProgramBuilder::new("bad");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.map(vec![d], |c, idx| c.read(x, vec![c.var(idx[0])]));
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 7)], &[("d", 16)]);
+    assert!(strip_mine_program(&prog, &cfg).is_err());
+}
+
+/// The tiled program validates and contains a strided (d/b) domain.
+#[test]
+fn strip_mine_introduces_strided_domain() {
+    let mut b = ProgramBuilder::new("double");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.map(vec![d], |c, idx| {
+        c.mul(c.f32(2.0), c.read(x, vec![c.var(idx[0])]))
+    });
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 16)], &[("d", 64)]);
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    let text = pphw_ir::pretty::print_program(&tiled);
+    assert!(text.contains("multiFold(d/16)"), "got:\n{text}");
+    assert!(text.contains("map(16)"), "got:\n{text}");
+}
+
+/// Two independent outputs both get tiled.
+#[test]
+fn strip_mine_multiple_outputs() {
+    let mut b = ProgramBuilder::new("two");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let doubled = b.map(vec![d.clone()], |c, idx| {
+        c.mul(c.f32(2.0), c.read(x, vec![c.var(idx[0])]))
+    });
+    let total = b.fold(
+        "sum",
+        vec![d],
+        vec![],
+        ScalarType::Prim(DType::F32),
+        Init::zeros(),
+        |c, i, acc| c.add(c.var(acc), c.read(x, vec![c.var(i[0])])),
+        |c, a, b2| c.add(c.var(a), c.var(b2)),
+    );
+    let prog = b.finish(vec![doubled, total]);
+    let cfg = TileConfig::new(&[("d", 4)], &[("d", 16)]);
+    check_equiv(&prog, &cfg, &[("d", 16)], vec![vec_f32(16, |i| i as f32)]);
+}
+
+/// Tile size equal to the dimension leaves the pattern untouched.
+#[test]
+fn strip_mine_full_tile_is_noop() {
+    let mut b = ProgramBuilder::new("fulltile");
+    let d = b.size("d");
+    let x = b.input("x", DType::F32, vec![d.clone()]);
+    let out = b.map(vec![d], |c, idx| c.read(x, vec![c.var(idx[0])]));
+    let prog = b.finish(vec![out]);
+    let cfg = TileConfig::new(&[("d", 16)], &[("d", 16)]);
+    let tiled = strip_mine_program(&prog, &cfg).unwrap();
+    let text = pphw_ir::pretty::print_program(&tiled);
+    assert!(text.contains("map(d)"), "got:\n{text}");
+}
+
+/// Size expressions in strided domains evaluate to the tile count.
+#[test]
+fn strided_domain_evaluates() {
+    let s = (Size::var("d") / Size::Const(16)).simplified();
+    assert_eq!(s.eval(&Size::env(&[("d", 64)])), Ok(4));
+}

@@ -1,0 +1,28 @@
+//! Automated tile-size selection — the paper's stated future work
+//! ("automated tile size selection using modeling and design space
+//! exploration", §4 Discussion) implemented as a search over dividing
+//! tile sizes ranked by simulated cycles.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use pphw::autotune::autotune;
+use pphw::CompileOptions;
+use pphw_apps::simple::gemm_program;
+use pphw_sim::SimConfig;
+
+fn main() {
+    let prog = gemm_program();
+    let base = CompileOptions::new(&[("m", 256), ("n", 256), ("p", 256)]);
+    let sim = SimConfig::default();
+    let result = autotune(&prog, &base, &["m", "n", "p"], &sim, 128).expect("tuning succeeds");
+
+    println!("gemm 256x256x256 — tile-size design space (top 10 of {} evaluated, {} skipped)\n",
+        result.evaluated.len(), result.skipped);
+    println!("{:<24} {:>12} {:>16}", "tiles", "cycles", "on-chip bytes");
+    for c in result.evaluated.iter().take(10) {
+        let tiles: Vec<String> = c.tiles.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("{:<24} {:>12} {:>16}", tiles.join(" "), c.cycles, c.on_chip_bytes);
+    }
+    let best: Vec<String> = result.best.tiles.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("\nbest: {} at {} cycles", best.join(" "), result.best.cycles);
+}

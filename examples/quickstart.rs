@@ -1,0 +1,83 @@
+//! Quickstart: write a parallel-pattern program, tile it, generate
+//! hardware, simulate it, and check the result — the complete pipeline in
+//! one file.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pphw::{compile, CompileOptions, OptLevel};
+use pphw_ir::builder::ProgramBuilder;
+use pphw_ir::interp::Value;
+use pphw_ir::pattern::Init;
+use pphw_ir::types::{DType, ScalarType};
+use pphw_sim::SimConfig;
+
+fn main() {
+    // 1. Write a program with parallel patterns: a dot product,
+    //    `sum(x .* y)`, as a scalar fold over element-wise products.
+    let mut b = ProgramBuilder::new("dot");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![n.clone()]);
+    let y = b.input("y", DType::F32, vec![n.clone()]);
+    let out = b.fold(
+        "dot",
+        vec![n],
+        vec![],
+        ScalarType::Prim(DType::F32),
+        Init::zeros(),
+        |c, i, acc| {
+            let prod = c.mul(
+                c.read(x, vec![c.var(i[0])]),
+                c.read(y, vec![c.var(i[0])]),
+            );
+            c.add(c.var(acc), prod)
+        },
+        |c, a, b2| c.add(c.var(a), c.var(b2)),
+    );
+    let prog = b.finish(vec![out]);
+    println!("=== PPL program ===\n{}", pphw_ir::pretty::print_program(&prog));
+
+    // 2. Compile at each optimization level for a 1M-element workload.
+    let n_val = 1 << 20;
+    let sim = SimConfig::default();
+    let mut baseline_cycles = 0;
+    for level in OptLevel::all() {
+        let opts = CompileOptions::new(&[("n", n_val)])
+            .tiles(&[("n", 8192)])
+            .opt(level);
+        let compiled = compile(&prog, &opts).expect("compiles");
+
+        // 3. Simulate the generated design.
+        let report = compiled.simulate(&sim);
+        if level == OptLevel::Baseline {
+            baseline_cycles = report.cycles;
+        }
+        println!(
+            "{level:<24} {:>12} cycles  ({:.2} ms, {:.2}x)",
+            report.cycles,
+            report.seconds * 1e3,
+            baseline_cycles as f64 / report.cycles as f64
+        );
+
+        // 4. Check functional correctness on real data.
+        let xs: Vec<f32> = (0..n_val).map(|i| ((i % 17) as f32) * 0.25).collect();
+        let ys: Vec<f32> = (0..n_val).map(|i| ((i % 13) as f32) * 0.5).collect();
+        let expect: f32 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        let got = compiled
+            .execute(vec![
+                Value::tensor_f32(&[n_val as usize], xs),
+                Value::tensor_f32(&[n_val as usize], ys),
+            ])
+            .expect("executes");
+        let got = got[0].as_f32_slice()[0];
+        let rel = ((got - expect) / expect).abs();
+        assert!(rel < 1e-3, "result mismatch: {got} vs {expect}");
+    }
+
+    // 5. Look at what was generated for the best design.
+    let opts = CompileOptions::new(&[("n", n_val)])
+        .tiles(&[("n", 8192)])
+        .opt(OptLevel::Metapipelined);
+    let compiled = compile(&prog, &opts).expect("compiles");
+    println!("\n=== hardware design ===\n{}", compiled.design.to_diagram());
+    println!("=== emitted MaxJ ===\n{}", compiled.emit_hgl());
+}

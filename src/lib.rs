@@ -1,0 +1,24 @@
+//! # pphw-repro — reproduction of *Generating Configurable Hardware from
+//! Parallel Patterns*
+//!
+//! This crate re-exports the whole stack for convenience:
+//!
+//! * [`pphw_ir`] — the parallel pattern IR (Figure 2), interpreter, and
+//!   analyses;
+//! * [`pphw_transform`] — fusion/CSE/DCE, strip mining (Table 1),
+//!   interchange (§4), tile copies, and the Figure 5c cost model;
+//! * [`pphw_hw`] — template-based hardware generation (Table 4), memory
+//!   allocation, metapipelining, the area model, and MaxJ emission;
+//! * [`pphw_sim`] — the cycle-approximate DRAM/controller simulator;
+//! * [`pphw`] — the compiler driver (`compile`, `evaluate`);
+//! * [`pphw_apps`] — the six benchmarks of Table 5.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+pub use pphw;
+pub use pphw_apps;
+pub use pphw_hw;
+pub use pphw_ir;
+pub use pphw_sim;
+pub use pphw_transform;
