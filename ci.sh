@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline CI gate: build, test, formatting, lints.
+# The workspace has no registry dependencies, so --offline must always work.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,9 +1,12 @@
 //! Workload generation helpers.
+//!
+//! All randomness comes from the hermetic [`pphw_testkit::Rng`] so that
+//! workloads are reproducible from a single `u64` seed with no registry
+//! dependencies.
 
 use pphw_ir::interp::Value;
 use pphw_ir::size::SizeEnv;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pphw_testkit::Rng;
 
 /// Looks up a dimension value.
 ///
@@ -16,24 +19,25 @@ pub fn dim(env: &SizeEnv, name: &str) -> usize {
 }
 
 /// A seeded random vector with values in `[lo, hi)`.
-pub fn rand_vec(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+pub fn rand_vec(rng: &mut Rng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
     (0..n).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
 /// A seeded random f32 tensor value.
-pub fn rand_tensor(rng: &mut StdRng, shape: &[usize], lo: f32, hi: f32) -> Value {
+pub fn rand_tensor(rng: &mut Rng, shape: &[usize], lo: f32, hi: f32) -> Value {
     let n = shape.iter().product();
     Value::tensor_f32(shape, rand_vec(rng, n, lo, hi))
 }
 
 /// A seeded random i32 tensor value in `[0, bound)`.
-pub fn rand_labels(rng: &mut StdRng, n: usize, bound: i64) -> Value {
+pub fn rand_labels(rng: &mut Rng, n: usize, bound: i64) -> Value {
     Value::tensor_i32(&[n], (0..n).map(|_| rng.gen_range(0..bound)).collect())
 }
 
 /// Deterministic RNG for a benchmark seed.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+#[must_use]
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Compares two flat f32 sequences with relative tolerance.

@@ -85,7 +85,9 @@ pub fn kmeans_program() -> Program {
         });
 
         // sums update: add point i into row minIdx.
-        let sums_acc = c.syms().fresh("accRow", Type::tensor(f32t.clone(), vec![d2.clone()]));
+        let sums_acc = c
+            .syms()
+            .fresh("accRow", Type::tensor(f32t.clone(), vec![d2.clone()]));
         let (mut sums_body, sums_new) = c.block(|uc| {
             uc.map(vec![d2.clone()], |mc, j| {
                 let j = j[0];

@@ -112,9 +112,7 @@ pub fn sumrows_fused_program() -> Program {
                 (
                     vec![Expr::var(i)],
                     vec![],
-                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| {
-                        c2.add(c2.var(acc), v)
-                    }),
+                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| c2.add(c2.var(acc), v)),
                 )
             },
             Some(Box::new(|c2: &mut pphw_ir::builder::Ctx<'_>, a, b2| {
@@ -138,16 +136,19 @@ pub fn sumrows_tiles() -> Vec<(&'static str, i64)> {
 /// Random inputs for sumrows.
 pub fn sumrows_inputs(env: &SizeEnv, seed: u64) -> Vec<Value> {
     let mut r = rng(seed);
-    vec![rand_tensor(&mut r, &[dim(env, "m"), dim(env, "n")], 0.0, 1.0)]
+    vec![rand_tensor(
+        &mut r,
+        &[dim(env, "m"), dim(env, "n")],
+        0.0,
+        1.0,
+    )]
 }
 
 /// Reference implementation of sumrows.
 pub fn sumrows_golden(inputs: &[Value], env: &SizeEnv) -> Vec<Value> {
     let (m, n) = (dim(env, "m"), dim(env, "n"));
     let x = inputs[0].as_f32_slice();
-    let out: Vec<f32> = (0..m)
-        .map(|i| x[i * n..(i + 1) * n].iter().sum())
-        .collect();
+    let out: Vec<f32> = (0..m).map(|i| x[i * n..(i + 1) * n].iter().sum()).collect();
     vec![Value::tensor_f32(&[m], out)]
 }
 

@@ -6,11 +6,12 @@
 //! * accumulator elision on/off for the k-means tile merge;
 //! * parallelism-factor sweep for gda's outer-product stage.
 //!
-//! Each ablation prints its table once; Criterion tracks the simulate call.
+//! Each ablation prints its table once; the `pphw-testkit` timer tracks
+//! the simulate/compile call.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pphw::{compile, CompileOptions, OptLevel};
 use pphw_sim::SimConfig;
+use pphw_testkit::bench::BenchGroup;
 use pphw_transform::cost::analyze_cost;
 use pphw_transform::{tile_program, tile_program_no_interchange, TileConfig};
 
@@ -18,7 +19,7 @@ fn cycles(compiled: &pphw::Compiled, sim: &SimConfig) -> u64 {
     compiled.simulate(sim).cycles
 }
 
-fn ablation_metapipeline(c: &mut Criterion) {
+fn ablation_metapipeline(group: &mut BenchGroup) {
     let sim = SimConfig::default();
     println!("\n=== ablation: metapipelining on/off (same tiled IR) ===");
     for spec in pphw_apps::all_benchmarks() {
@@ -37,21 +38,21 @@ fn ablation_metapipeline(c: &mut Criterion) {
             cs as f64 / cm as f64
         );
     }
-    c.bench_function("ablation/metapipeline_gemm", |b| {
-        let spec = pphw_apps::all_benchmarks()
-            .into_iter()
-            .find(|s| s.name == "gemm")
-            .expect("gemm");
-        let prog = (spec.program)();
-        let opts = CompileOptions::new(&(spec.sizes)())
-            .tiles(&(spec.tiles)())
-            .opt(OptLevel::Metapipelined);
-        let compiled = compile(&prog, &opts).expect("compiles");
-        b.iter(|| std::hint::black_box(cycles(&compiled, &sim)))
+    let spec = pphw_apps::all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "gemm")
+        .expect("gemm");
+    let prog = (spec.program)();
+    let opts = CompileOptions::new(&(spec.sizes)())
+        .tiles(&(spec.tiles)())
+        .opt(OptLevel::Metapipelined);
+    let compiled = compile(&prog, &opts).expect("compiles");
+    group.bench("metapipeline_gemm", || {
+        std::hint::black_box(cycles(&compiled, &sim))
     });
 }
 
-fn ablation_tile_size(c: &mut Criterion) {
+fn ablation_tile_size(group: &mut BenchGroup) {
     let sim = SimConfig::default();
     println!("\n=== ablation: gemm tile size (cycles vs on-chip bytes) ===");
     let prog = pphw_apps::simple::gemm_program();
@@ -69,17 +70,15 @@ fn ablation_tile_size(c: &mut Criterion) {
             compiled.design.on_chip_bytes()
         );
     }
-    c.bench_function("ablation/tile_sweep_compile", |b| {
-        b.iter(|| {
-            let opts = CompileOptions::new(&sizes)
-                .tiles(&[("m", 64), ("n", 64), ("p", 64)])
-                .opt(OptLevel::Metapipelined);
-            std::hint::black_box(compile(&prog, &opts).expect("compiles"))
-        })
+    group.bench("tile_sweep_compile", || {
+        let opts = CompileOptions::new(&sizes)
+            .tiles(&[("m", 64), ("n", 64), ("p", 64)])
+            .opt(OptLevel::Metapipelined);
+        std::hint::black_box(compile(&prog, &opts).expect("compiles"))
     });
 }
 
-fn ablation_interchange(c: &mut Criterion) {
+fn ablation_interchange(group: &mut BenchGroup) {
     println!("\n=== ablation: k-means interchange on/off (Figure 5 traffic) ===");
     let prog = pphw_apps::kmeans::kmeans_program();
     let sizes = [("n", 16384), ("k", 16), ("d", 32)];
@@ -94,12 +93,12 @@ fn ablation_interchange(c: &mut Criterion) {
         rs as f64 / ri as f64
     );
     assert!(ri < rs, "interchange must reduce traffic");
-    c.bench_function("ablation/kmeans_interchange", |b| {
-        b.iter(|| std::hint::black_box(tile_program(&prog, &cfg).expect("tile")))
+    group.bench("kmeans_interchange", || {
+        std::hint::black_box(tile_program(&prog, &cfg).expect("tile"))
     });
 }
 
-fn ablation_elision(c: &mut Criterion) {
+fn ablation_elision(group: &mut BenchGroup) {
     let sim = SimConfig::default();
     // gemm's tiled update is real compute (the interchanged map-of-fold),
     // so elision correctly never fires there; k-means' outer tile merge is
@@ -115,13 +114,8 @@ fn ablation_elision(c: &mut Criterion) {
             elide_accumulators: elide,
             ..pphw_hw::HwConfig::default()
         };
-        let design = pphw_hw::generate(
-            &tiled,
-            &env,
-            &hw,
-            pphw_hw::DesignStyle::Metapipelined,
-        )
-        .expect("generates");
+        let design = pphw_hw::generate(&tiled, &env, &hw, pphw_hw::DesignStyle::Metapipelined)
+            .expect("generates");
         let report = pphw_sim::simulate(&design, &sim);
         let area = pphw_hw::design_area(&design);
         println!(
@@ -131,18 +125,16 @@ fn ablation_elision(c: &mut Criterion) {
             design.buffers.len()
         );
     }
-    c.bench_function("ablation/kmeans_generate", |b| {
-        b.iter(|| {
-            let hw = pphw_hw::HwConfig::default();
-            std::hint::black_box(
-                pphw_hw::generate(&tiled, &env, &hw, pphw_hw::DesignStyle::Metapipelined)
-                    .expect("generates"),
-            )
-        })
+    group.bench("kmeans_generate", || {
+        let hw = pphw_hw::HwConfig::default();
+        std::hint::black_box(
+            pphw_hw::generate(&tiled, &env, &hw, pphw_hw::DesignStyle::Metapipelined)
+                .expect("generates"),
+        )
     });
 }
 
-fn ablation_gda_parallelism(c: &mut Criterion) {
+fn ablation_gda_parallelism(group: &mut BenchGroup) {
     let sim = SimConfig::default();
     println!("\n=== ablation: gda outer-product parallelism sweep ===");
     let prog = pphw_apps::gda::gda_program();
@@ -161,23 +153,23 @@ fn ablation_gda_parallelism(c: &mut Criterion) {
             report.cycles, area.logic
         );
     }
-    c.bench_function("ablation/gda_par_512", |b| {
-        let opts = CompileOptions::new(&sizes)
-            .tiles(&[("n", 256)])
-            .inner_par(128)
-            .meta_inner_par(512)
-            .opt(OptLevel::Metapipelined);
-        let compiled = compile(&prog, &opts).expect("compiles");
-        b.iter(|| std::hint::black_box(compiled.simulate(&sim).cycles))
+    let opts = CompileOptions::new(&sizes)
+        .tiles(&[("n", 256)])
+        .inner_par(128)
+        .meta_inner_par(512)
+        .opt(OptLevel::Metapipelined);
+    let compiled = compile(&prog, &opts).expect("compiles");
+    group.bench("gda_par_512", || {
+        std::hint::black_box(compiled.simulate(&sim).cycles)
     });
 }
 
-criterion_group!(
-    benches,
-    ablation_metapipeline,
-    ablation_tile_size,
-    ablation_interchange,
-    ablation_elision,
-    ablation_gda_parallelism
-);
-criterion_main!(benches);
+fn main() {
+    let mut group = BenchGroup::new("ablation");
+    ablation_metapipeline(&mut group);
+    ablation_tile_size(&mut group);
+    ablation_interchange(&mut group);
+    ablation_elision(&mut group);
+    ablation_gda_parallelism(&mut group);
+    let _ = group.finish();
+}

@@ -1,61 +1,63 @@
 //! Compiler-throughput benchmarks: how fast the reproduction's own passes
 //! run (strip mining, interchange, copy insertion, hardware generation,
-//! and the reference interpreter).
+//! and the reference interpreter). Runs under `cargo bench` via the
+//! `pphw-testkit` timer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pphw_ir::interp::Interpreter;
+use pphw_testkit::bench::BenchGroup;
 use pphw_transform::{tile_program, TileConfig};
 
-fn bench_tiling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile/tile_program");
+fn bench_tiling() {
+    let mut group = BenchGroup::new("compile/tile_program");
     for spec in pphw_apps::all_benchmarks() {
         let prog = (spec.program)();
         let cfg = TileConfig::new(&(spec.tiles)(), &(spec.sizes)());
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &prog, |b, prog| {
-            b.iter(|| std::hint::black_box(tile_program(prog, &cfg).expect("tiles")))
+        group.bench(spec.name, || {
+            std::hint::black_box(tile_program(&prog, &cfg).expect("tiles"))
         });
     }
-    group.finish();
+    let _ = group.finish();
 }
 
-fn bench_hwgen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile/generate");
+fn bench_hwgen() {
+    let mut group = BenchGroup::new("compile/generate");
     for spec in pphw_apps::all_benchmarks() {
         let prog = (spec.program)();
         let cfg = TileConfig::new(&(spec.tiles)(), &(spec.sizes)());
         let tiled = tile_program(&prog, &cfg).expect("tiles");
         let env = spec.env();
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &tiled, |b, tiled| {
-            b.iter(|| {
-                std::hint::black_box(
-                    pphw_hw::generate(
-                        tiled,
-                        &env,
-                        &pphw_hw::HwConfig::default(),
-                        pphw_hw::DesignStyle::Metapipelined,
-                    )
-                    .expect("generates"),
+        group.bench(spec.name, || {
+            std::hint::black_box(
+                pphw_hw::generate(
+                    &tiled,
+                    &env,
+                    &pphw_hw::HwConfig::default(),
+                    pphw_hw::DesignStyle::Metapipelined,
                 )
-            })
+                .expect("generates"),
+            )
         });
     }
-    group.finish();
+    let _ = group.finish();
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     // Interpreter throughput on a modest gemm (the functional oracle used
     // in all correctness tests).
     let prog = pphw_apps::simple::gemm_program();
     let sizes = [("m", 16), ("n", 16), ("p", 16)];
     let env = pphw_ir::Size::env(&sizes);
     let inputs = pphw_apps::simple::gemm_inputs(&env, 5);
-    c.bench_function("interp/gemm_16", |b| {
-        b.iter(|| {
-            let interp = Interpreter::new(&prog, &sizes);
-            std::hint::black_box(interp.run(inputs.clone()).expect("runs"))
-        })
+    let mut group = BenchGroup::new("interp");
+    group.bench("gemm_16", || {
+        let interp = Interpreter::new(&prog, &sizes);
+        std::hint::black_box(interp.run(inputs.clone()).expect("runs"))
     });
+    let _ = group.finish();
 }
 
-criterion_group!(benches, bench_tiling, bench_hwgen, bench_interpreter);
-criterion_main!(benches);
+fn main() {
+    bench_tiling();
+    bench_hwgen();
+    bench_interpreter();
+}

@@ -1,17 +1,18 @@
-//! Criterion benchmark regenerating Figure 7: for every benchmark of
-//! Table 5, measures the simulated design at all three optimization levels
-//! and reports the speedups alongside the paper's numbers.
+//! Benchmark regenerating Figure 7: for every benchmark of Table 5,
+//! measures the simulated design at all three optimization levels and
+//! reports the speedups alongside the paper's numbers.
 //!
 //! The *measured quantity* here is the simulated cycle count of each
-//! design (the paper's y-axis); Criterion's wall-clock numbers measure the
-//! compile+simulate pipeline itself.
+//! design (the paper's y-axis); the wall-clock numbers measure the
+//! compile+simulate pipeline itself. Runs under `cargo bench` via the
+//! `pphw-testkit` timer (set `PPHW_BENCH_QUICK=1` for a smoke pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pphw::{compile, OptLevel};
 use pphw_bench::{evaluate_benchmark, format_fig7, format_fig7_area, options_for, paper_speedups};
 use pphw_sim::SimConfig;
+use pphw_testkit::bench::BenchGroup;
 
-fn figure7_speedups(c: &mut Criterion) {
+fn main() {
     let sim = SimConfig::default();
 
     // Print the Figure 7 tables once, up front, so `cargo bench` output
@@ -20,26 +21,19 @@ fn figure7_speedups(c: &mut Criterion) {
     println!("\n{}", format_fig7(&rows));
     println!("{}", format_fig7_area(&rows));
 
-    let mut group = c.benchmark_group("figure7");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("figure7");
     for spec in pphw_apps::all_benchmarks() {
         for level in OptLevel::all() {
             let prog = (spec.program)();
             let opts = options_for(&spec).opt(level);
             let compiled = compile(&prog, &opts).expect("compiles");
-            group.bench_with_input(
-                BenchmarkId::new(spec.name, level.to_string()),
-                &compiled,
-                |b, compiled| {
-                    b.iter(|| {
-                        let report = compiled.simulate(&sim);
-                        std::hint::black_box(report.cycles)
-                    })
-                },
-            );
+            group.bench(&format!("{}/{level}", spec.name), || {
+                let report = compiled.simulate(&sim);
+                std::hint::black_box(report.cycles)
+            });
         }
     }
-    group.finish();
+    let _ = group.finish();
 
     // Sanity: the headline relationships of Figure 7 hold.
     for spec in pphw_apps::all_benchmarks() {
@@ -58,6 +52,3 @@ fn figure7_speedups(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, figure7_speedups);
-criterion_main!(benches);

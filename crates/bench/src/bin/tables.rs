@@ -60,7 +60,9 @@ fn table1() {
     // Map
     let prog = pphw_apps::simple::outerprod_program();
     let cfg = TileConfig::new(&[("m", 16), ("n", 16)], &[("m", 64), ("n", 64)]);
-    println!("\n--- T[ Map(d)(m) ] => MultiFold(d/b)(d)(zeros){{ ii => (ii*b, acc => Map(b)) }}(_)");
+    println!(
+        "\n--- T[ Map(d)(m) ] => MultiFold(d/b)(d)(zeros){{ ii => (ii*b, acc => Map(b)) }}(_)"
+    );
     println!("before:\n{}", print_program(&prog));
     println!(
         "after:\n{}",
@@ -70,7 +72,9 @@ fn table1() {
     // MultiFold (fold special case)
     let prog = pphw_apps::tpchq6::tpchq6_program();
     let cfg = TileConfig::new(&[("n", 64)], &[("n", 1024)]);
-    println!("\n--- T[ MultiFold(d)(r)(z)(f)(c) ] => MultiFold(d/b){{ acc => c(acc, MultiFold(b)) }}(c)");
+    println!(
+        "\n--- T[ MultiFold(d)(r)(z)(f)(c) ] => MultiFold(d/b){{ acc => c(acc, MultiFold(b)) }}(c)"
+    );
     println!(
         "after:\n{}",
         print_program(&strip_mine_program(&prog, &cfg).unwrap())
@@ -177,7 +181,10 @@ fn table3() {
 /// Table 4: template inventory, plus instance counts per benchmark design.
 fn table4() {
     header("Table 4 — hardware templates");
-    println!("{:<16} {:<28} {:<48} IR construct", "template", "category", "description");
+    println!(
+        "{:<16} {:<28} {:<48} IR construct",
+        "template", "category", "description"
+    );
     for row in pphw_hw::design::table4() {
         println!(
             "{:<16} {:<28} {:<48} {}",

@@ -142,7 +142,10 @@ pub fn autotune(
         });
     }
     evaluated.sort_by_key(|c| c.cycles);
-    let best = evaluated.first().cloned().ok_or(TuneError::NoFeasibleConfig)?;
+    let best = evaluated
+        .first()
+        .cloned()
+        .ok_or(TuneError::NoFeasibleConfig)?;
     Ok(TuneResult {
         best,
         evaluated,

@@ -95,7 +95,11 @@ fn metapipelined_level_has_memory_overlap_tiled_does_not() {
         found
     };
     assert!(has_mem_meta(&meta.design), "{}", meta.design.to_diagram());
-    assert!(!has_mem_meta(&tiled.design), "{}", tiled.design.to_diagram());
+    assert!(
+        !has_mem_meta(&tiled.design),
+        "{}",
+        tiled.design.to_diagram()
+    );
 }
 
 #[test]
@@ -128,8 +132,11 @@ fn interchange_toggle_changes_the_ir() {
         })
     });
     let prog = b.finish(vec![out]);
-    let base = CompileOptions::new(&[("m", 32), ("n", 32), ("p", 32)])
-        .tiles(&[("m", 8), ("n", 8), ("p", 8)]);
+    let base = CompileOptions::new(&[("m", 32), ("n", 32), ("p", 32)]).tiles(&[
+        ("m", 8),
+        ("n", 8),
+        ("p", 8),
+    ]);
     let with_ic = compile(&prog, &base.clone()).expect("interchange on");
     let without = compile(&prog, &base.clone().interchange(false)).expect("interchange off");
     assert_ne!(
@@ -250,11 +257,8 @@ fn autotune_finds_a_good_gemm_tile() {
     let worst = result.evaluated.last().expect("non-empty");
     assert!(result.best.cycles <= worst.cycles);
     // And beats an arbitrary small tiling by a sane margin.
-    let small = compile(
-        &prog,
-        &base.clone().tiles(&[("m", 4), ("n", 4), ("p", 4)]),
-    )
-    .expect("compiles");
+    let small =
+        compile(&prog, &base.clone().tiles(&[("m", 4), ("n", 4), ("p", 4)])).expect("compiles");
     assert!(
         result.best.cycles <= small.simulate(&sim).cycles,
         "autotuned {} vs 4x4x4 {}",
@@ -269,12 +273,6 @@ fn autotune_finds_a_good_gemm_tile() {
 fn autotune_rejects_unknown_dimension() {
     let prog = sumrows_program();
     let base = CompileOptions::new(&[("m", 64), ("n", 64)]);
-    let r = pphw::autotune::autotune(
-        &prog,
-        &base,
-        &["zzz"],
-        &SimConfig::default(),
-        8,
-    );
+    let r = pphw::autotune::autotune(&prog, &base, &["zzz"], &SimConfig::default(), 8);
     assert!(matches!(r, Err(pphw::autotune::TuneError::UnknownDim(_))));
 }

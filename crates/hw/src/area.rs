@@ -77,14 +77,12 @@ pub fn unit_area(kind: &UnitKind, ops_per_elem: u32, depth: u32) -> Area {
         },
         UnitKind::Vector { lanes } => Area {
             logic: *lanes as f64 * ops_per_elem.max(1) as f64 * LANE_OP_LOGIC,
-            ff: *lanes as f64 * ops_per_elem.max(1) as f64 * LANE_OP_FF
-                + depth as f64 * 64.0,
+            ff: *lanes as f64 * ops_per_elem.max(1) as f64 * LANE_OP_FF + depth as f64 * 64.0,
             mem: 0.0,
         },
         UnitKind::ReduceTree { lanes } => {
             // lanes leaf operators plus (lanes-1) combiners in the tree.
-            let ops = *lanes as f64 * ops_per_elem.max(1) as f64
-                + (*lanes as f64 - 1.0).max(0.0);
+            let ops = *lanes as f64 * ops_per_elem.max(1) as f64 + (*lanes as f64 - 1.0).max(0.0);
             Area {
                 logic: ops * LANE_OP_LOGIC,
                 ff: ops * LANE_OP_FF + depth as f64 * 64.0,
@@ -138,7 +136,10 @@ pub fn design_area(design: &Design) -> Area {
         // command generator and address/data stream FIFOs — the structures
         // the paper identifies as dominating the baseline k-means memory
         // usage. Tile load/store units already include this cost.
-        if !matches!(u.kind, UnitKind::TileLoad { .. } | UnitKind::TileStore { .. }) {
+        if !matches!(
+            u.kind,
+            UnitKind::TileLoad { .. } | UnitKind::TileStore { .. }
+        ) {
             let n = u.streams.len() as f64;
             total = total.add(Area {
                 logic: n * MEM_UNIT_LOGIC,

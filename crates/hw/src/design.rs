@@ -296,7 +296,9 @@ impl Design {
         use std::collections::BTreeMap;
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         self.root.visit_units(&mut |u| {
-            *counts.entry(u.kind.template_name().to_string()).or_default() += 1;
+            *counts
+                .entry(u.kind.template_name().to_string())
+                .or_default() += 1;
         });
         self.root.visit_ctrls(&mut |c| {
             *counts.entry(c.kind.to_string()).or_default() += 1;
@@ -336,10 +338,7 @@ fn render(node: &Node, indent: usize, design: &Design, out: &mut String) {
     let pad = "  ".repeat(indent);
     match node {
         Node::Ctrl(c) => {
-            out.push_str(&format!(
-                "{pad}{} `{}` x{}\n",
-                c.kind, c.name, c.iters
-            ));
+            out.push_str(&format!("{pad}{} `{}` x{}\n", c.kind, c.name, c.iters));
             for s in &c.stages {
                 render(s, indent + 1, design, out);
             }

@@ -155,13 +155,7 @@ impl<'a> Gen<'a> {
         Ok(n)
     }
 
-    fn alloc_buffer(
-        &mut self,
-        name: &str,
-        words: u64,
-        word_bytes: u32,
-        kind: BufferKind,
-    ) -> BufId {
+    fn alloc_buffer(&mut self, name: &str, words: u64, word_bytes: u32, kind: BufferKind) -> BufId {
         let id = BufId(self.buffers.len());
         self.buffers.push(Buffer {
             id,
@@ -369,10 +363,7 @@ impl<'a> Gen<'a> {
                             stages.push(Node::Unit(Unit {
                                 name: format!("acc_{name}"),
                                 kind: UnitKind::Vector {
-                                    lanes: self
-                                        .cfg
-                                        .inner_par
-                                        .min(region_words.max(1) as u32),
+                                    lanes: self.cfg.inner_par.min(region_words.max(1) as u32),
                                 },
                                 elems: region_words,
                                 ops_per_elem: ops.max(1),
@@ -424,7 +415,12 @@ impl<'a> Gen<'a> {
                         depth: 4,
                         streams: vec![],
                         reads: self.block_buffer_reads(&m.body.body),
-                        writes: self.buf_of.get(&stmt.syms[0]).copied().into_iter().collect(),
+                        writes: self
+                            .buf_of
+                            .get(&stmt.syms[0])
+                            .copied()
+                            .into_iter()
+                            .collect(),
                     }));
                 }
                 // Allocate output storage; DRAM outputs are streamed out
@@ -574,12 +570,7 @@ impl<'a> Gen<'a> {
                 self.dram.insert(*sym);
                 out.push(None);
             } else if fits {
-                let buf = self.alloc_buffer(
-                    &self.name_of(*sym),
-                    words,
-                    wb,
-                    BufferKind::Buffer,
-                );
+                let buf = self.alloc_buffer(&self.name_of(*sym), words, wb, BufferKind::Buffer);
                 self.buf_of.insert(*sym, buf);
                 self.dram.remove(sym);
                 out.push(Some(buf));
@@ -850,9 +841,7 @@ impl<'a> Gen<'a> {
                     self.slice_base.insert(stmt.sym(), s.tensor);
                 }
                 Op::Copy(_) => {
-                    return Err(HwError::Unsupported(
-                        "tile copy inside leaf pattern".into(),
-                    ))
+                    return Err(HwError::Unsupported("tile copy inside leaf pattern".into()))
                 }
                 Op::Expr(_) | Op::VarVec(_) => {}
                 Op::Pattern(q) => {
@@ -885,20 +874,19 @@ impl<'a> Gen<'a> {
                 let is_local_unit = |e: &Expr| -> bool {
                     match classify_index(e, idx) {
                         IndexClass::Affine { terms, .. } => {
-                            terms.len() == 1
-                                && terms.values().next() == Some(&Size::Const(1))
+                            terms.len() == 1 && terms.values().next() == Some(&Size::Const(1))
                         }
                         _ => false,
                     }
                 };
                 let last_local = index.last().map(&is_local_unit).unwrap_or(false);
-                let affine_in_scope = index
-                    .iter()
-                    .all(|e| !matches!(classify_index(e, &full_scope), IndexClass::NonAffine)
+                let affine_in_scope = index.iter().all(|e| {
+                    !matches!(classify_index(e, &full_scope), IndexClass::NonAffine)
                         && !matches!(
                             classify_index(e, &full_scope),
                             IndexClass::AffineDynamic { .. }
-                        ));
+                        )
+                });
                 // Contiguity extends across every trailing dimension swept
                 // by a unit-coefficient local index (e.g. the whole k×d
                 // centroid array streams as one run when both j and p are
@@ -1087,9 +1075,8 @@ fn is_identity_merge(m: &pphw_ir::pattern::MapPat, acc_param: Sym) -> bool {
 /// Wraps runs of two or more consecutive tile-load stages in a Parallel
 /// controller so independent tile fetches start together.
 fn group_parallel_loads(stages: Vec<Node>) -> Vec<Node> {
-    let is_load = |n: &Node| {
-        matches!(n, Node::Unit(u) if matches!(u.kind, UnitKind::TileLoad { .. }))
-    };
+    let is_load =
+        |n: &Node| matches!(n, Node::Unit(u) if matches!(u.kind, UnitKind::TileLoad { .. }));
     let mut out: Vec<Node> = Vec::with_capacity(stages.len());
     let mut run: Vec<Node> = Vec::new();
     for stage in stages {

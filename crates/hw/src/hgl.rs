@@ -123,10 +123,7 @@ fn unit_decl(u: &Unit, design: &Design) -> String {
             "compute.parallelFifo(\"{name}\", {lanes} /* lanes */, {} /* elems */);",
             u.elems
         ),
-        UnitKind::Cam => format!(
-            "compute.camUpdate(\"{name}\", {} /* elems */);",
-            u.elems
-        ),
+        UnitKind::Cam => format!("compute.camUpdate(\"{name}\", {} /* elems */);", u.elems),
     }
 }
 
@@ -211,7 +208,10 @@ mod tests {
     #[test]
     fn emits_kernel_class() {
         let text = emit_maxj(&tiny());
-        assert!(text.contains("class SumRowsKernel extends Kernel"), "{text}");
+        assert!(
+            text.contains("class SumRowsKernel extends Kernel"),
+            "{text}"
+        );
         assert!(text.contains("mem.doubleBuffer"), "{text}");
         assert!(text.contains("control.metapipeline(4"), "{text}");
         assert!(text.contains("io.tileLoad"), "{text}");

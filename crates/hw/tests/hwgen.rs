@@ -2,13 +2,13 @@
 //! metapipelined template designs (Figure 6 structure) and untiled
 //! programs become the HLS-style baseline.
 
+use pphw_hw::design::{BufferKind, CtrlKind, DesignStyle, Node, UnitKind};
+use pphw_hw::{design_area, generate, HwConfig};
 use pphw_ir::builder::ProgramBuilder;
 use pphw_ir::pattern::Init;
 use pphw_ir::size::Size;
 use pphw_ir::types::{DType, ScalarType};
 use pphw_ir::Program;
-use pphw_hw::design::{BufferKind, CtrlKind, DesignStyle, Node, UnitKind};
-use pphw_hw::{design_area, generate, HwConfig};
 use pphw_transform::{tile_program, TileConfig};
 
 fn gemm_program() -> Program {
@@ -54,8 +54,13 @@ fn tiled_gemm_generates_metapipeline() {
     let prog = gemm_program();
     let cfg = TileConfig::new(&[("m", 16), ("n", 16), ("p", 16)], &sizes());
     let tiled = tile_program(&prog, &cfg).unwrap();
-    let design = generate(&tiled, &env(), &HwConfig::default(), DesignStyle::Metapipelined)
-        .unwrap();
+    let design = generate(
+        &tiled,
+        &env(),
+        &HwConfig::default(),
+        DesignStyle::Metapipelined,
+    )
+    .unwrap();
 
     let mut meta = 0;
     design.root.visit_ctrls(&mut |c| {
@@ -72,8 +77,16 @@ fn tiled_gemm_generates_metapipeline() {
         UnitKind::ReduceTree { .. } => trees += 1,
         _ => {}
     });
-    assert!(loads >= 2, "expected x and y tile loads:\n{}", design.to_diagram());
-    assert!(trees >= 1, "expected dot-product reduce tree:\n{}", design.to_diagram());
+    assert!(
+        loads >= 2,
+        "expected x and y tile loads:\n{}",
+        design.to_diagram()
+    );
+    assert!(
+        trees >= 1,
+        "expected dot-product reduce tree:\n{}",
+        design.to_diagram()
+    );
 }
 
 #[test]
@@ -81,8 +94,13 @@ fn tiled_gemm_promotes_double_buffers() {
     let prog = gemm_program();
     let cfg = TileConfig::new(&[("m", 16), ("n", 16), ("p", 16)], &sizes());
     let tiled = tile_program(&prog, &cfg).unwrap();
-    let design = generate(&tiled, &env(), &HwConfig::default(), DesignStyle::Metapipelined)
-        .unwrap();
+    let design = generate(
+        &tiled,
+        &env(),
+        &HwConfig::default(),
+        DesignStyle::Metapipelined,
+    )
+    .unwrap();
     let doubles = design
         .buffers
         .iter()
@@ -172,12 +190,19 @@ fn tiled_gemm_moves_less_dram_data_than_baseline() {
     let prog = gemm_program();
     let cfg = TileConfig::new(&[("m", 16), ("n", 16), ("p", 16)], &sizes());
     let tiled = tile_program(&prog, &cfg).unwrap();
-    let t = generate(&tiled, &env(), &HwConfig::default(), DesignStyle::Metapipelined).unwrap();
+    let t = generate(
+        &tiled,
+        &env(),
+        &HwConfig::default(),
+        DesignStyle::Metapipelined,
+    )
+    .unwrap();
     let b = generate(&prog, &env(), &HwConfig::baseline(), DesignStyle::Baseline).unwrap();
     let words = |d: &pphw_hw::Design| {
         let mut total = 0u64;
         let mut per_iter = Vec::new();
-        d.root.visit_units(&mut |u| per_iter.push(u.streams.iter().map(|s| s.words).sum::<u64>()));
+        d.root
+            .visit_units(&mut |u| per_iter.push(u.streams.iter().map(|s| s.words).sum::<u64>()));
         // Scale by controller iterations: walk with multipliers.
         fn walk(n: &Node, mult: u64, total: &mut u64) {
             match n {
@@ -216,7 +241,13 @@ fn area_grows_from_baseline_to_metapipelined_mem() {
         DesignStyle::Tiled,
     )
     .unwrap();
-    let meta = generate(&tiled, &env(), &HwConfig::default(), DesignStyle::Metapipelined).unwrap();
+    let meta = generate(
+        &tiled,
+        &env(),
+        &HwConfig::default(),
+        DesignStyle::Metapipelined,
+    )
+    .unwrap();
     let (ab, at, am) = (design_area(&base), design_area(&seq), design_area(&meta));
     assert!(at.mem > 0.0 && am.mem > 0.0 && ab.mem >= 0.0);
     // Metapipelining costs extra memory (double buffers) over plain tiling.
@@ -326,8 +357,13 @@ fn maxj_emission_contains_templates() {
     let prog = gemm_program();
     let cfg = TileConfig::new(&[("m", 16), ("n", 16), ("p", 16)], &sizes());
     let tiled = tile_program(&prog, &cfg).unwrap();
-    let design = generate(&tiled, &env(), &HwConfig::default(), DesignStyle::Metapipelined)
-        .unwrap();
+    let design = generate(
+        &tiled,
+        &env(),
+        &HwConfig::default(),
+        DesignStyle::Metapipelined,
+    )
+    .unwrap();
     let maxj = pphw_hw::hgl::emit_maxj(&design);
     assert!(maxj.contains("class GemmKernel"), "{maxj}");
     assert!(maxj.contains("io.tileLoad"), "{maxj}");
@@ -405,8 +441,13 @@ fn group_by_fold_infers_cam() {
     let env = Size::env(&[("n", 1024)]);
     let cfg = TileConfig::new(&[("n", 128)], &[("n", 1024)]);
     let tiled = tile_program(&prog, &cfg).unwrap();
-    let design =
-        generate(&tiled, &env, &HwConfig::default(), DesignStyle::Metapipelined).unwrap();
+    let design = generate(
+        &tiled,
+        &env,
+        &HwConfig::default(),
+        DesignStyle::Metapipelined,
+    )
+    .unwrap();
     assert!(
         design.buffers.iter().any(|buf| buf.kind == BufferKind::Cam),
         "no CAM in the histogram design:\n{}",
@@ -420,8 +461,13 @@ fn independent_loads_start_in_parallel() {
     let prog = gemm_program();
     let cfg = TileConfig::new(&[("m", 16), ("n", 16), ("p", 16)], &sizes());
     let tiled = tile_program(&prog, &cfg).unwrap();
-    let design =
-        generate(&tiled, &env(), &HwConfig::default(), DesignStyle::Metapipelined).unwrap();
+    let design = generate(
+        &tiled,
+        &env(),
+        &HwConfig::default(),
+        DesignStyle::Metapipelined,
+    )
+    .unwrap();
     let mut par = 0;
     design.root.visit_ctrls(&mut |c| {
         if c.kind == CtrlKind::Parallel {

@@ -105,11 +105,7 @@ fn linearize(e: &Expr, control: &BTreeSet<Sym>) -> Option<LinForm> {
             let lb = linearize(b, control)?;
             let mut terms = la.terms;
             for (s, c) in lb.terms {
-                let c = if negate {
-                    Size::Const(0) - c
-                } else {
-                    c
-                };
+                let c = if negate { Size::Const(0) - c } else { c };
                 let entry = terms.entry(s).or_insert(Size::Const(0));
                 *entry = entry.clone() + c;
             }

@@ -248,10 +248,7 @@ impl<'a> Ctx<'a> {
         self.sub_block(f)
     }
 
-    fn sub_block<R>(
-        &mut self,
-        f: impl FnOnce(&mut Ctx<'_>) -> R,
-    ) -> (Block, R) {
+    fn sub_block<R>(&mut self, f: impl FnOnce(&mut Ctx<'_>) -> R) -> (Block, R) {
         let mut inner = Ctx::new(self.syms);
         let r = f(&mut inner);
         (inner.block, r)
@@ -364,7 +361,14 @@ impl<'a> Ctx<'a> {
         shape: Vec<Size>,
         elem: ScalarType,
         init: Init,
-        body: impl FnOnce(&mut Ctx<'_>, &[Sym]) -> (Vec<Expr>, Vec<Size>, Box<dyn FnOnce(&mut Ctx<'_>, Sym) -> R>),
+        body: impl FnOnce(
+            &mut Ctx<'_>,
+            &[Sym],
+        ) -> (
+            Vec<Expr>,
+            Vec<Size>,
+            Box<dyn FnOnce(&mut Ctx<'_>, Sym) -> R>,
+        ),
         combine: Option<Box<dyn FnOnce(&mut Ctx<'_>, Sym, Sym) -> R2>>,
     ) -> Sym {
         let idx = self.fresh_indices(domain.len());
@@ -448,7 +452,9 @@ impl<'a> Ctx<'a> {
         let (mut body, items) = self.sub_block(|c| f(c, i));
         let elem = infer_scalar_type(&items[0].value, self.syms)
             .unwrap_or_else(|e| panic!("ill-typed flatMap item: {e}"));
-        let vv = self.syms.fresh("items", Type::DynVec { elem: elem.clone() });
+        let vv = self
+            .syms
+            .fresh("items", Type::DynVec { elem: elem.clone() });
         body.push(vv, Op::VarVec(items));
         body.result = vec![vv];
         let out = self.syms.fresh(name, Type::DynVec { elem });
@@ -517,8 +523,7 @@ impl<'a> Ctx<'a> {
                 value: Box::new(Type::Scalar(elem)),
             },
         );
-        self.block
-            .push(out, Op::Pattern(Pattern::GroupByFold(pat)));
+        self.block.push(out, Op::Pattern(Pattern::GroupByFold(pat)));
         out
     }
 }
@@ -795,10 +800,7 @@ mod tests {
     #[test]
     fn slice_result_type_drops_points() {
         let ty = Type::tensor(DType::F32, vec![Size::var("n"), Size::var("d")]);
-        let r = slice_result_type(
-            &ty,
-            &[SliceDim::Point(Expr::int(0)), SliceDim::Full],
-        );
+        let r = slice_result_type(&ty, &[SliceDim::Point(Expr::int(0)), SliceDim::Full]);
         assert_eq!(r, Type::tensor(DType::F32, vec![Size::var("d")]));
     }
 

@@ -15,10 +15,7 @@ pub enum TypeError {
     /// A read indexed a non-tensor symbol.
     NotTensor(String),
     /// Operand types disagree where they must match.
-    Mismatch {
-        left: ScalarType,
-        right: ScalarType,
-    },
+    Mismatch { left: ScalarType, right: ScalarType },
     /// Tuple expressions may only contain primitive fields.
     NestedTuple,
 }
@@ -116,10 +113,7 @@ pub fn infer_scalar_type(expr: &Expr, syms: &SymTable) -> Result<ScalarType, Typ
             let at = infer_scalar_type(a, syms)?;
             match &at {
                 ScalarType::Tuple(fs) if *i < fs.len() => Ok(ScalarType::Prim(fs[*i])),
-                _ => Err(TypeError::BadField {
-                    ty: at,
-                    index: *i,
-                }),
+                _ => Err(TypeError::BadField { ty: at, index: *i }),
             }
         }
         Expr::Read { tensor, .. } => match syms.ty(*tensor) {
@@ -203,7 +197,11 @@ mod tests {
     #[test]
     fn select_mismatch_errors() {
         let syms = SymTable::new();
-        let e = Expr::select(Expr::Lit(Lit::Bool(true)), Expr::int(1), Expr::Lit(Lit::Bool(false)));
+        let e = Expr::select(
+            Expr::Lit(Lit::Bool(true)),
+            Expr::int(1),
+            Expr::Lit(Lit::Bool(false)),
+        );
         assert!(infer_scalar_type(&e, &syms).is_err());
     }
 }

@@ -262,7 +262,10 @@ impl fmt::Display for EvalError {
                 tensor,
                 index,
                 shape,
-            } => write!(f, "index {index:?} out of bounds for {tensor} shape {shape:?}"),
+            } => write!(
+                f,
+                "index {index:?} out of bounds for {tensor} shape {shape:?}"
+            ),
             EvalError::Size(e) => write!(f, "size error: {e}"),
             EvalError::Type(m) => write!(f, "type error: {m}"),
             EvalError::InputArity { got, expected } => {
@@ -315,13 +318,7 @@ impl<'a> Interpreter<'a> {
                 expected: self.prog.inputs.len(),
             });
         }
-        let mut env: Env = self
-            .prog
-            .inputs
-            .iter()
-            .copied()
-            .zip(inputs)
-            .collect();
+        let mut env: Env = self.prog.inputs.iter().copied().zip(inputs).collect();
         self.eval_block(&self.prog.body, &mut env)?;
         self.prog
             .body
@@ -510,9 +507,7 @@ impl<'a> Interpreter<'a> {
                         Value::DynVec(v) => out.extend(v.iter().cloned()),
                         Value::Tensor(t) => out.extend(t.data.iter().cloned()),
                         other => {
-                            return Err(EvalError::Type(format!(
-                                "flatMap body produced {other:?}"
-                            )))
+                            return Err(EvalError::Type(format!("flatMap body produced {other:?}")))
                         }
                     }
                 }
@@ -589,12 +584,7 @@ impl<'a> Interpreter<'a> {
 
     /// Applies one accumulator update: reads the (squeezed) region, binds
     /// it as the update parameter, evaluates the update body, writes back.
-    fn apply_update(
-        &self,
-        acc: &mut Value,
-        u: &AccUpdate,
-        env: &mut Env,
-    ) -> Result<(), EvalError> {
+    fn apply_update(&self, acc: &mut Value, u: &AccUpdate, env: &mut Env) -> Result<(), EvalError> {
         match acc {
             Value::Scalar(s) => {
                 // Scalar accumulator: update replaces the whole value.
@@ -606,9 +596,7 @@ impl<'a> Interpreter<'a> {
                 match r {
                     Value::Scalar(v) => *s = v.clone(),
                     other => {
-                        return Err(EvalError::Type(format!(
-                            "scalar update produced {other:?}"
-                        )))
+                        return Err(EvalError::Type(format!("scalar update produced {other:?}")))
                     }
                 }
                 Ok(())
@@ -681,9 +669,7 @@ impl<'a> Interpreter<'a> {
                         }
                         nt.data
                     }
-                    other => {
-                        return Err(EvalError::Type(format!("update produced {other:?}")))
-                    }
+                    other => return Err(EvalError::Type(format!("update produced {other:?}"))),
                 };
                 for (flat, v) in new_data.into_iter().enumerate() {
                     let rel = unflatten(flat, &region);
@@ -944,7 +930,10 @@ mod tests {
         });
         let prog = b.finish(vec![out]);
         let r = Interpreter::new(&prog, &[("d", 5)])
-            .run(vec![Value::tensor_f32(&[5], vec![1.0, -2.0, 3.0, -4.0, 5.0])])
+            .run(vec![Value::tensor_f32(
+                &[5],
+                vec![1.0, -2.0, 3.0, -4.0, 5.0],
+            )])
             .unwrap();
         assert_eq!(r[0].as_f32_slice(), vec![1.0, 3.0, 5.0]);
     }
@@ -990,8 +979,8 @@ mod tests {
             c.read(x, vec![c.add(c.var(idx[0]), c.int(1))])
         });
         let prog = b.finish(vec![out]);
-        let r = Interpreter::new(&prog, &[("d", 2)])
-            .run(vec![Value::tensor_f32(&[2], vec![1.0, 2.0])]);
+        let r =
+            Interpreter::new(&prog, &[("d", 2)]).run(vec![Value::tensor_f32(&[2], vec![1.0, 2.0])]);
         assert!(matches!(r, Err(EvalError::OutOfBounds { .. })));
     }
 
@@ -1035,11 +1024,7 @@ mod tests {
             |c, i, acc| {
                 let v = c.read(x, vec![c.var(i[0])]);
                 let cand = c.tuple(vec![v.clone(), c.var(i[0])]);
-                c.select(
-                    c.lt(c.field(c.var(acc), 0), v),
-                    c.var(acc),
-                    cand,
-                )
+                c.select(c.lt(c.field(c.var(acc), 0), v), c.var(acc), cand)
             },
             |c, a, b2| {
                 c.select(

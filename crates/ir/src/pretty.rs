@@ -232,10 +232,7 @@ impl<'a> Printer<'a> {
                 match &g.body {
                     GbfBody::Element { key, update } => {
                         let key = self.expr(key);
-                        self.line(&format!(
-                            "key = {key}; {} =>",
-                            self.name(update.acc_param)
-                        ));
+                        self.line(&format!("key = {key}; {} =>", self.name(update.acc_param)));
                         self.nested(&update.body, true);
                     }
                     GbfBody::Merge { dict } => {

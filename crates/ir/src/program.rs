@@ -121,11 +121,7 @@ impl Program {
         Ok(())
     }
 
-    fn check_size(
-        &self,
-        size: &Size,
-        declared: &BTreeSet<&String>,
-    ) -> Result<(), ValidateError> {
+    fn check_size(&self, size: &Size, declared: &BTreeSet<&String>) -> Result<(), ValidateError> {
         for v in size.vars() {
             if !declared.contains(&v) {
                 return Err(ValidateError::UnknownSizeVar { var: v });

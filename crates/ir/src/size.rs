@@ -260,10 +260,7 @@ impl fmt::Display for Size {
 
 /// Computes the product of a shape's extents as a single [`Size`].
 pub fn shape_elems(shape: &[Size]) -> Size {
-    shape
-        .iter()
-        .cloned()
-        .fold(Size::Const(1), |a, b| a * b)
+    shape.iter().cloned().fold(Size::Const(1), |a, b| a * b)
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! A dependency-free wall-clock micro-benchmark timer (`criterion`
+//! replacement for `cargo bench` targets with `harness = false`).
+//!
+//! Timing model: each measurement auto-calibrates a batch size so one batch
+//! takes a few milliseconds, then records a fixed number of batch samples
+//! and reports min / median / mean per-iteration times. `PPHW_BENCH_QUICK=1`
+//! collapses the budget to one short sample per benchmark (used by smoke
+//! tests and CI, where trend data is not needed).
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStat {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Fastest batch, per iteration.
+    pub min_ns: f64,
+    /// Median batch, per iteration.
+    pub median_ns: f64,
+    /// Mean over all batches, per iteration.
+    pub mean_ns: f64,
+}
+
+impl BenchStat {
+    fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    }
+
+    /// One formatted report line.
+    #[must_use]
+    pub fn line(&self) -> String {
+        format!(
+            "{:<40} min {:>12}   median {:>12}   mean {:>12}   ({} iters)",
+            self.name,
+            Self::fmt_ns(self.min_ns),
+            Self::fmt_ns(self.median_ns),
+            Self::fmt_ns(self.mean_ns),
+            self.iters
+        )
+    }
+}
+
+/// Whether quick mode is on (short, smoke-test-grade measurements).
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("PPHW_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Measures `f`, returning per-iteration statistics.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> BenchStat {
+    let (samples, batch_budget) = if quick_mode() {
+        (3usize, Duration::from_micros(500))
+    } else {
+        (12usize, Duration::from_millis(5))
+    };
+
+    // Calibrate: grow the batch until it fills the budget.
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let took = t.elapsed();
+        if took >= batch_budget || batch >= 1 << 20 {
+            break;
+        }
+        // Aim directly at the budget, with headroom for noise.
+        let scale = (batch_budget.as_secs_f64() / took.as_secs_f64().max(1e-9)).ceil();
+        batch = (batch.saturating_mul(scale as u64)).clamp(batch + 1, 1 << 20);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    let mut iters = 0u64;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        iters += batch;
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min_ns = per_iter[0];
+    let median_ns = per_iter[per_iter.len() / 2];
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    BenchStat {
+        name: name.to_string(),
+        iters,
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+/// A named group of benchmarks printed as one table (loose analogue of
+/// `criterion`'s `benchmark_group`).
+pub struct BenchGroup {
+    name: String,
+    stats: Vec<BenchStat>,
+}
+
+impl BenchGroup {
+    /// Creates a group.
+    #[must_use]
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_string(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Measures one benchmark within the group.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, f: F) -> &BenchStat {
+        let full = format!("{}/{}", self.name, id);
+        let stat = bench(&full, f);
+        println!("  {}", stat.line());
+        self.stats.push(stat);
+        self.stats.last().expect("just pushed")
+    }
+
+    /// Finishes the group, returning its statistics.
+    #[must_use]
+    pub fn finish(self) -> Vec<BenchStat> {
+        println!();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        // Force quick mode semantics by keeping the workload tiny either way.
+        let stat = bench("test/noop_sum", || (0..100u64).sum::<u64>());
+        assert!(stat.iters > 0);
+        assert!(stat.min_ns >= 0.0);
+        assert!(stat.min_ns <= stat.mean_ns * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn ordering_reflects_work() {
+        let small = bench("test/small", || (0..10u64).product::<u64>());
+        let big = bench("test/big", || {
+            std::hint::black_box((0..50_000u64).fold(0u64, |a, b| a.wrapping_add(b * b)))
+        });
+        assert!(
+            big.min_ns > small.min_ns,
+            "big {} !> small {}",
+            big.min_ns,
+            small.min_ns
+        );
+    }
+}

@@ -1,0 +1,508 @@
+//! Differential testing across the three executable semantics of the
+//! pipeline.
+//!
+//! The paper's central correctness claim (§4) is that tiling — strip
+//! mining, pattern interchange, tile-copy insertion — preserves program
+//! semantics, and that the generated hardware implements exactly the tiled
+//! program. This module confronts the three executable artifacts the repo
+//! has for every program, on the same seeded inputs:
+//!
+//! 1. the **untiled** program under the reference interpreter (the oracle);
+//! 2. the **tiled** program (through a configurable transform, by default
+//!    [`tile_program`]) under the same interpreter;
+//! 3. the **generated design** at every optimization level — its functional
+//!    results via [`pphw::Compiled::execute`], and its simulated timing,
+//!    which must be deterministic and non-trivial.
+//!
+//! Element-wise comparison uses the interpreter's tolerance-aware
+//! [`Value::approx_eq`], because tiling legitimately reassociates floating
+//! point reductions. A sweep runs many seeded size/tile configurations per
+//! program, turning the fixed-size asserts of the integration tests into a
+//! randomized, reproducible check.
+
+use std::fmt;
+
+use pphw::{compile, CompileOptions, OptLevel};
+use pphw_ir::interp::{Interpreter, Value};
+use pphw_ir::size::{Size, SizeEnv};
+use pphw_ir::Program;
+use pphw_sim::SimConfig;
+use pphw_transform::{tile_program, TileConfig, TileError};
+
+/// The tiling transform under test. Swappable so tests can inject a
+/// deliberately broken transform and assert the harness catches it.
+pub type TileFn = fn(&Program, &TileConfig) -> Result<Program, TileError>;
+
+/// One size/tile/seed configuration of a differential sweep.
+#[derive(Debug, Clone)]
+pub struct DiffCase {
+    /// Human-readable label (shows up in errors and the report).
+    pub label: String,
+    /// Concrete dimension sizes.
+    pub sizes: Vec<(String, i64)>,
+    /// Tile sizes (must divide the corresponding dimensions).
+    pub tiles: Vec<(String, i64)>,
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl DiffCase {
+    /// Builds a case.
+    #[must_use]
+    pub fn new(sizes: &[(&str, i64)], tiles: &[(&str, i64)], seed: u64) -> DiffCase {
+        let label = sizes
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .chain(tiles.iter().map(|(k, v)| format!("{k}/{v}")))
+            .collect::<Vec<_>>()
+            .join(",");
+        DiffCase {
+            label: format!("{label},seed={seed}"),
+            sizes: sizes.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+            tiles: tiles.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+            seed,
+        }
+    }
+
+    fn size_pairs(&self) -> Vec<(&str, i64)> {
+        self.sizes.iter().map(|(k, v)| (k.as_str(), *v)).collect()
+    }
+
+    fn tile_pairs(&self) -> Vec<(&str, i64)> {
+        self.tiles.iter().map(|(k, v)| (k.as_str(), *v)).collect()
+    }
+}
+
+/// Sweep configuration.
+#[derive(Clone)]
+pub struct DiffOptions {
+    /// Relative float tolerance for output comparison.
+    pub tol: f32,
+    /// Innermost parallelism for compiled designs.
+    pub inner_par: u32,
+    /// Also simulate each compiled design and check cycle-count
+    /// determinism.
+    pub check_simulation: bool,
+    /// The tiling transform under test.
+    pub tile_fn: TileFn,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tol: 1e-3,
+            inner_par: 16,
+            check_simulation: true,
+            tile_fn: tile_program,
+        }
+    }
+}
+
+/// Simulated timing of one optimization level of one case.
+#[derive(Debug, Clone)]
+pub struct LevelOutcome {
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// DRAM words requested.
+    pub dram_words: u64,
+}
+
+/// Everything checked for one case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case label.
+    pub label: String,
+    /// Per-level simulation outcomes (empty when simulation is off).
+    pub levels: Vec<LevelOutcome>,
+}
+
+/// A completed differential sweep.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Program name.
+    pub name: String,
+    /// Per-case outcomes, in input order.
+    pub cases: Vec<CaseOutcome>,
+}
+
+impl DiffReport {
+    /// Formats the sweep as a text table.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "differential sweep `{}`: {} cases ok\n",
+            self.name,
+            self.cases.len()
+        );
+        for case in &self.cases {
+            out.push_str(&format!("  {}\n", case.label));
+            for l in &case.levels {
+                out.push_str(&format!(
+                    "    {:<16} {:>12} cycles {:>12} DRAM words\n",
+                    l.level.to_string(),
+                    l.cycles,
+                    l.dram_words
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A differential failure: which case and which stage of the cross-check
+/// diverged.
+#[derive(Debug)]
+pub enum DiffError {
+    /// The reference interpreter rejected the program or inputs.
+    Interp {
+        /// Case label.
+        case: String,
+        /// Which artifact was being interpreted.
+        stage: &'static str,
+        /// Interpreter error.
+        err: String,
+    },
+    /// The tiling transform failed.
+    Tile {
+        /// Case label.
+        case: String,
+        /// Transform error.
+        err: String,
+    },
+    /// A compiled artifact failed to build.
+    Compile {
+        /// Case label.
+        case: String,
+        /// Optimization level being compiled.
+        level: OptLevel,
+        /// Compiler error.
+        err: String,
+    },
+    /// Two artifacts computed different results (or simulation was
+    /// non-deterministic / trivial).
+    Mismatch {
+        /// Case label.
+        case: String,
+        /// Which comparison diverged.
+        stage: String,
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Interp { case, stage, err } => {
+                write!(f, "[{case}] interpreter failed on {stage}: {err}")
+            }
+            DiffError::Tile { case, err } => write!(f, "[{case}] tiling failed: {err}"),
+            DiffError::Compile { case, level, err } => {
+                write!(f, "[{case}] compile at {level} failed: {err}")
+            }
+            DiffError::Mismatch {
+                case,
+                stage,
+                detail,
+            } => {
+                write!(f, "[{case}] DIVERGENCE at {stage}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Describes the first element-wise divergence between two output lists, or
+/// `None` if they agree within `tol`.
+#[must_use]
+pub fn first_divergence(base: &[Value], other: &[Value], tol: f32) -> Option<String> {
+    if base.len() != other.len() {
+        return Some(format!(
+            "output arity differs: {} vs {}",
+            base.len(),
+            other.len()
+        ));
+    }
+    for (o, (a, b)) in base.iter().zip(other).enumerate() {
+        if a.approx_eq(b, tol) {
+            continue;
+        }
+        // Localize the divergence for tensor outputs.
+        if let (Value::Tensor(_), Value::Tensor(_)) = (a, b) {
+            let (av, bv) = (a.as_f32_slice(), b.as_f32_slice());
+            if av.len() != bv.len() {
+                return Some(format!(
+                    "output {o}: element count {} vs {}",
+                    av.len(),
+                    bv.len()
+                ));
+            }
+            for (i, (x, y)) in av.iter().zip(&bv).enumerate() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                if (x - y).abs() > tol * scale {
+                    return Some(format!("output {o}, element {i}: {x} vs {y} (tol {tol})"));
+                }
+            }
+        }
+        return Some(format!("output {o} differs beyond tol {tol}"));
+    }
+    None
+}
+
+fn mismatch(case: &DiffCase, stage: impl Into<String>, detail: impl Into<String>) -> DiffError {
+    DiffError::Mismatch {
+        case: case.label.clone(),
+        stage: stage.into(),
+        detail: detail.into(),
+    }
+}
+
+/// Runs one case: oracle vs golden vs tiled vs compiled designs.
+///
+/// # Errors
+///
+/// Returns the first [`DiffError`] encountered.
+#[allow(clippy::type_complexity)]
+pub fn run_case(
+    program: &Program,
+    inputs_fn: &dyn Fn(&SizeEnv, u64) -> Vec<Value>,
+    golden: Option<&dyn Fn(&[Value], &SizeEnv) -> Vec<Value>>,
+    case: &DiffCase,
+    opts: &DiffOptions,
+) -> Result<CaseOutcome, DiffError> {
+    let sizes = case.size_pairs();
+    let env = Size::env(&sizes);
+    let inputs = inputs_fn(&env, case.seed);
+
+    // (a) Untiled program under the reference interpreter: the oracle.
+    let base = Interpreter::new(program, &sizes)
+        .run(inputs.clone())
+        .map_err(|e| DiffError::Interp {
+            case: case.label.clone(),
+            stage: "untiled program",
+            err: e.to_string(),
+        })?;
+
+    // Oracle vs plain-Rust golden model, when one exists.
+    if let Some(golden) = golden {
+        let want = golden(&inputs, &env);
+        if let Some(d) = first_divergence(&want, &base, opts.tol) {
+            return Err(mismatch(case, "interpreter vs golden", d));
+        }
+    }
+
+    // (b) Tiled program under the same interpreter.
+    let cfg = TileConfig::new(&case.tile_pairs(), &sizes);
+    let tiled = (opts.tile_fn)(program, &cfg).map_err(|e| DiffError::Tile {
+        case: case.label.clone(),
+        err: e.to_string(),
+    })?;
+    tiled.validate().map_err(|e| DiffError::Tile {
+        case: case.label.clone(),
+        err: format!("tiled program fails validation: {e}"),
+    })?;
+    let tiled_out = Interpreter::new(&tiled, &sizes)
+        .run(inputs.clone())
+        .map_err(|e| DiffError::Interp {
+            case: case.label.clone(),
+            stage: "tiled program",
+            err: e.to_string(),
+        })?;
+    if let Some(d) = first_divergence(&base, &tiled_out, opts.tol) {
+        return Err(mismatch(case, "tiled vs untiled", d));
+    }
+
+    // (c) Generated designs at every optimization level: functional results
+    // plus (optionally) deterministic, non-trivial simulated timing.
+    let mut levels = Vec::new();
+    for level in OptLevel::all() {
+        let copts = CompileOptions::new(&sizes)
+            .tiles(&case.tile_pairs())
+            .inner_par(opts.inner_par)
+            .opt(level);
+        let compiled = compile(program, &copts).map_err(|e| DiffError::Compile {
+            case: case.label.clone(),
+            level,
+            err: e.to_string(),
+        })?;
+        let got = compiled
+            .execute(inputs.clone())
+            .map_err(|e| DiffError::Interp {
+                case: case.label.clone(),
+                stage: "compiled design",
+                err: e.to_string(),
+            })?;
+        if let Some(d) = first_divergence(&base, &got, opts.tol) {
+            return Err(mismatch(case, format!("design@{level} vs untiled"), d));
+        }
+
+        if opts.check_simulation {
+            let sim = SimConfig::default();
+            let r1 = compiled.simulate(&sim);
+            let r2 = compiled.simulate(&sim);
+            if r1.cycles == 0 {
+                return Err(mismatch(
+                    case,
+                    format!("simulation@{level}"),
+                    "design simulated to zero cycles",
+                ));
+            }
+            if r1.cycles != r2.cycles || r1.dram_words != r2.dram_words {
+                return Err(mismatch(
+                    case,
+                    format!("simulation@{level}"),
+                    format!(
+                        "non-deterministic simulation: {} vs {} cycles, {} vs {} words",
+                        r1.cycles, r2.cycles, r1.dram_words, r2.dram_words
+                    ),
+                ));
+            }
+            levels.push(LevelOutcome {
+                level,
+                cycles: r1.cycles,
+                dram_words: r1.dram_words,
+            });
+        }
+    }
+
+    Ok(CaseOutcome {
+        label: case.label.clone(),
+        levels,
+    })
+}
+
+/// Runs a full differential sweep over `cases`.
+///
+/// # Errors
+///
+/// Returns the first [`DiffError`] encountered; a passing sweep returns a
+/// [`DiffReport`] with one outcome per case.
+#[allow(clippy::type_complexity)]
+pub fn run_differential(
+    name: &str,
+    program: &Program,
+    inputs_fn: &dyn Fn(&SizeEnv, u64) -> Vec<Value>,
+    golden: Option<&dyn Fn(&[Value], &SizeEnv) -> Vec<Value>>,
+    cases: &[DiffCase],
+    opts: &DiffOptions,
+) -> Result<DiffReport, DiffError> {
+    let mut outcomes = Vec::with_capacity(cases.len());
+    for case in cases {
+        outcomes.push(run_case(program, inputs_fn, golden, case, opts)?);
+    }
+    Ok(DiffReport {
+        name: name.to_string(),
+        cases: outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphw_ir::builder::ProgramBuilder;
+    use pphw_ir::expr::{BinOp, Expr};
+    use pphw_ir::types::DType;
+    use pphw_transform::rewrite::map_exprs;
+
+    fn scale_program() -> Program {
+        let mut b = ProgramBuilder::new("scale");
+        let d = b.size("n");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.map(vec![d], |c, i| {
+            c.add(c.mul(c.f32(2.0), c.read(x, vec![c.var(i[0])])), c.f32(1.0))
+        });
+        b.finish(vec![out])
+    }
+
+    fn inputs(env: &SizeEnv, seed: u64) -> Vec<Value> {
+        let n = *env.get("n").expect("n bound") as usize;
+        let mut rng = crate::rng::Rng::seed_from_u64(seed);
+        vec![Value::tensor_f32(&[n], rng.f32_vec(n, -1.0, 1.0))]
+    }
+
+    fn cases() -> Vec<DiffCase> {
+        vec![
+            DiffCase::new(&[("n", 32)], &[("n", 8)], 1),
+            DiffCase::new(&[("n", 64)], &[("n", 16)], 2),
+        ]
+    }
+
+    #[test]
+    fn healthy_program_passes() {
+        let report = run_differential(
+            "scale",
+            &scale_program(),
+            &inputs,
+            None,
+            &cases(),
+            &DiffOptions::default(),
+        )
+        .expect("sweep passes");
+        assert_eq!(report.cases.len(), 2);
+        assert!(report.cases.iter().all(|c| c.levels.len() == 3));
+        assert!(report.summary().contains("scale"));
+    }
+
+    /// A transform that tiles correctly and then corrupts the arithmetic —
+    /// the harness must flag it at the tiled-vs-untiled comparison. Only
+    /// the first add is flipped: a single-operator mutant can't cancel
+    /// itself the way an even number of sign flips on one accumulation
+    /// chain would.
+    fn broken_tile(prog: &Program, cfg: &TileConfig) -> Result<Program, TileError> {
+        let mut t = tile_program(prog, cfg)?;
+        let mut flipped = false;
+        map_exprs(&mut t.body, &mut |e| {
+            e.map(&mut |sub| match sub {
+                Expr::Bin(BinOp::Add, a, b) if !flipped => {
+                    flipped = true;
+                    Expr::Bin(BinOp::Sub, a, b)
+                }
+                other => other,
+            })
+        });
+        Ok(t)
+    }
+
+    #[test]
+    fn broken_transform_is_caught() {
+        let opts = DiffOptions {
+            tile_fn: broken_tile,
+            ..DiffOptions::default()
+        };
+        let err = run_differential("scale", &scale_program(), &inputs, None, &cases(), &opts)
+            .expect_err("mutation must be detected");
+        match err {
+            DiffError::Mismatch { stage, .. } => assert_eq!(stage, "tiled vs untiled"),
+            other => panic!("wrong error class: {other}"),
+        }
+    }
+
+    #[test]
+    fn golden_disagreement_is_caught() {
+        let wrong_golden = |inp: &[Value], _env: &SizeEnv| -> Vec<Value> {
+            // Claims the map is 2x+2 instead of 2x+1.
+            let data: Vec<f32> = inp[0]
+                .as_f32_slice()
+                .iter()
+                .map(|v| 2.0 * v + 2.0)
+                .collect();
+            vec![Value::tensor_f32(&[data.len()], data)]
+        };
+        let err = run_differential(
+            "scale",
+            &scale_program(),
+            &inputs,
+            Some(&wrong_golden),
+            &cases(),
+            &DiffOptions::default(),
+        )
+        .expect_err("golden disagreement must be detected");
+        match err {
+            DiffError::Mismatch { stage, .. } => assert_eq!(stage, "interpreter vs golden"),
+            other => panic!("wrong error class: {other}"),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # pphw-testkit — hermetic test infrastructure
+//!
+//! Everything the workspace needs to test itself with **zero registry
+//! dependencies**, so `cargo build --offline` / `cargo test --offline`
+//! succeed with no network access:
+//!
+//! * [`rng`] — a deterministic, seedable xoshiro256++ generator (the
+//!   `rand` replacement behind every seeded workload);
+//! * [`prop`] — a minimal property-testing harness with input shrinking
+//!   and `PPHW_PROP_SEED` replay (the `proptest` replacement);
+//! * [`bench`] — a wall-clock micro-benchmark timer (the `criterion`
+//!   replacement for `harness = false` bench targets);
+//! * [`differential`] — the interpreter ↔ tiling ↔ simulator differential
+//!   harness that executes the paper's "tiling preserves semantics" claim
+//!   (§4) as a randomized cross-check over seeded size/tile sweeps.
+
+pub mod bench;
+pub mod differential;
+pub mod prop;
+pub mod rng;
+
+pub use differential::{run_case, run_differential, DiffCase, DiffError, DiffOptions, DiffReport};
+pub use prop::Check;
+pub use rng::Rng;

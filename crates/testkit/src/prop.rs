@@ -1,0 +1,311 @@
+//! A minimal property-testing harness (closure-driven `proptest`
+//! replacement).
+//!
+//! Each property is a closure from a generated input to `Result<(), String>`;
+//! generators are closures over [`Rng`]. The runner draws a fixed number of
+//! cases from per-case seeds derived deterministically from a pinned run
+//! seed, so CI runs are reproducible; on failure it greedily shrinks the
+//! input through a caller-supplied shrinker and panics with the per-case
+//! seed, which can be fed back through `PPHW_PROP_SEED` to replay exactly
+//! that input.
+//!
+//! ```
+//! use pphw_testkit::prop::Check;
+//!
+//! Check::new("addition_commutes").cases(64).run(
+//!     |rng| (rng.gen_range(-100i64..100), rng.gen_range(-100i64..100)),
+//!     |&(a, b)| {
+//!         if a + b == b + a { Ok(()) } else { Err(format!("{a} {b}")) }
+//!     },
+//! );
+//! ```
+
+use std::fmt::Debug;
+
+use crate::rng::{splitmix64, Rng};
+
+/// Default run seed — pinned so CI is reproducible run-to-run.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Environment variable overriding the run seed (replay a failure).
+pub const SEED_ENV: &str = "PPHW_PROP_SEED";
+
+/// Environment variable overriding the case count.
+pub const CASES_ENV: &str = "PPHW_PROP_CASES";
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("{name}={raw} is not a u64")))
+}
+
+/// A named property check with its run configuration.
+pub struct Check {
+    name: String,
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+}
+
+impl Check {
+    /// A check with default configuration (overridable via `PPHW_PROP_SEED`
+    /// and `PPHW_PROP_CASES`).
+    #[must_use]
+    pub fn new(name: &str) -> Check {
+        Check {
+            name: name.to_string(),
+            cases: env_u64(CASES_ENV).map_or(DEFAULT_CASES, |v| v as u32),
+            seed: env_u64(SEED_ENV).unwrap_or(DEFAULT_SEED),
+            max_shrink_steps: 1000,
+        }
+    }
+
+    /// Sets the case count (unless `PPHW_PROP_CASES` overrides it).
+    #[must_use]
+    pub fn cases(mut self, cases: u32) -> Check {
+        if env_u64(CASES_ENV).is_none() {
+            self.cases = cases;
+        }
+        self
+    }
+
+    /// Sets the run seed (unless `PPHW_PROP_SEED` overrides it).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Check {
+        if env_u64(SEED_ENV).is_none() {
+            self.seed = seed;
+        }
+        self
+    }
+
+    /// Runs the property with no shrinking.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the test) if any case fails.
+    pub fn run<T, G, P>(self, gen: G, prop: P)
+    where
+        T: Debug,
+        G: Fn(&mut Rng) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        self.run_shrink(gen, |_| Vec::new(), prop);
+    }
+
+    /// Runs the property, shrinking failing inputs through `shrink` (which
+    /// returns candidate simplifications of an input; candidates that still
+    /// fail are shrunk further, greedily).
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the test) if any case fails, reporting the minimal
+    /// failing input and the seed that reproduces it.
+    pub fn run_shrink<T, G, S, P>(self, gen: G, shrink: S, prop: P)
+    where
+        T: Debug,
+        G: Fn(&mut Rng) -> T,
+        S: Fn(&T) -> Vec<T>,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        for case in 0..self.cases {
+            // Per-case seed: replayable alone by exporting it as the run
+            // seed (the failing input becomes case 0).
+            let case_seed = if case == 0 {
+                self.seed
+            } else {
+                splitmix64(self.seed.wrapping_add(u64::from(case)))
+            };
+            let input = gen(&mut Rng::seed_from_u64(case_seed));
+            let Err(first_err) = prop(&input) else {
+                continue;
+            };
+
+            // Greedy shrink: repeatedly move to the first simplification
+            // that still fails.
+            let mut minimal = input;
+            let mut err = first_err;
+            let mut steps = 0u32;
+            'outer: while steps < self.max_shrink_steps {
+                for candidate in shrink(&minimal) {
+                    steps += 1;
+                    if let Err(e) = prop(&candidate) {
+                        minimal = candidate;
+                        err = e;
+                        continue 'outer;
+                    }
+                    if steps >= self.max_shrink_steps {
+                        break;
+                    }
+                }
+                break;
+            }
+
+            panic!(
+                "property `{}` failed at case {case}/{}:\n  {err}\n  \
+                 minimal failing input ({steps} shrink steps): {minimal:?}\n  \
+                 reproduce with: {SEED_ENV}={case_seed:#x} {CASES_ENV}=1",
+                self.name, self.cases
+            );
+        }
+    }
+}
+
+/// Shrink candidates for numeric and vector inputs.
+pub mod shrink {
+    /// Candidates for an integer: pull toward `floor` (binary search style).
+    #[must_use]
+    pub fn i64_toward(v: i64, floor: i64) -> Vec<i64> {
+        let mut out = Vec::new();
+        if v != floor {
+            out.push(floor);
+            let mid = floor + (v - floor) / 2;
+            if mid != floor && mid != v {
+                out.push(mid);
+            }
+            if (v - floor).abs() > 1 {
+                out.push(v - (v - floor).signum());
+            }
+        }
+        out
+    }
+
+    /// Candidates for a vector: halves, then single-element removals (for
+    /// short vectors), never below `min_len`.
+    #[must_use]
+    pub fn vec<T: Clone>(v: &[T], min_len: usize) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        if v.len() > min_len {
+            let half = (v.len() / 2).max(min_len);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+                out.push(v[v.len() - half..].to_vec());
+            }
+            if v.len() <= 16 {
+                for i in 0..v.len() {
+                    if v.len() > min_len {
+                        let mut w = v.to_vec();
+                        w.remove(i);
+                        out.push(w);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Asserts a condition inside a property closure, returning `Err` on
+/// failure (mirrors `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property closure, returning `Err` on failure
+/// (mirrors `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        Check::new("square_nonneg").cases(50).run(
+            |rng| rng.gen_range(-1000i64..1000),
+            |&v| {
+                prop_assert!(v * v >= 0);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        let caught = std::panic::catch_unwind(|| {
+            Check::new("finds_large").cases(200).run_shrink(
+                |rng| {
+                    (0..rng.gen_range(0usize..50))
+                        .map(|_| rng.gen_range(0i64..100))
+                        .collect()
+                },
+                |v: &Vec<i64>| shrink::vec(v, 0),
+                |v| {
+                    prop_assert!(!v.iter().any(|&x| x >= 50), "contains >= 50: {v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *caught
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("finds_large"), "{msg}");
+        assert!(msg.contains(SEED_ENV), "{msg}");
+        // Shrinking should reduce the witness to a single offending element.
+        assert!(msg.contains("minimal failing input"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_same_cases() {
+        let collect = || {
+            let mut drawn = Vec::new();
+            Check::new("det").cases(10).seed(123).run(
+                |rng| rng.gen_range(0i64..1_000_000),
+                |&v| {
+                    // Record via closure capture; always passes.
+                    let _ = v;
+                    Ok(())
+                },
+            );
+            // Re-draw the same way the runner does, to compare sequences.
+            for case in 0..10u32 {
+                let s = if case == 0 {
+                    123
+                } else {
+                    splitmix64(123u64.wrapping_add(u64::from(case)))
+                };
+                drawn.push(Rng::seed_from_u64(s).gen_range(0i64..1_000_000));
+            }
+            drawn
+        };
+        assert_eq!(collect(), collect());
+    }
+}

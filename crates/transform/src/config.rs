@@ -76,11 +76,7 @@ impl TileConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TileError {
     /// A configured tile size does not evenly divide the dimension.
-    Indivisible {
-        dim: String,
-        value: i64,
-        tile: i64,
-    },
+    Indivisible { dim: String, value: i64, tile: i64 },
     /// A tiled dimension has no concrete size.
     UnknownSize(String),
     /// A write-once `MultiFold` could not be tiled because an accumulator

@@ -329,7 +329,13 @@ fn dim_sig(e: &Expr, ctl: &Ctl) -> Option<(DimSig, usize)> {
                 Some(sym) => ctl.get(&sym)?.extent.clone(),
                 None => Size::Const(1),
             };
-            Some((DimSig::Window { start: simplify_start(start), len }, level))
+            Some((
+                DimSig::Window {
+                    start: simplify_start(start),
+                    len,
+                },
+                level,
+            ))
         }
         _ => None,
     }
@@ -400,12 +406,7 @@ fn copy_stmt(plan: &TensorPlan, st: &mut St<'_>) -> Option<(Stmt, Sym)> {
     ))
 }
 
-fn apply_plan_at_pattern(
-    p: &mut Pattern,
-    plan: &TensorPlan,
-    ancestors: &Ctl,
-    st: &mut St<'_>,
-) {
+fn apply_plan_at_pattern(p: &mut Pattern, plan: &TensorPlan, ancestors: &Ctl, st: &mut St<'_>) {
     let Some((stmt, tile)) = copy_stmt(plan, st) else {
         return;
     };

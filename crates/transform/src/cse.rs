@@ -39,8 +39,8 @@ pub fn cse_block(block: &mut Block) {
             stmt = tmp.stmts.pop().expect("one stmt");
         }
         // Only single-output, pattern-free ops are deduplicated.
-        let dedupable = matches!(stmt.op, Op::Expr(_) | Op::Slice(_) | Op::Copy(_))
-            && stmt.syms.len() == 1;
+        let dedupable =
+            matches!(stmt.op, Op::Expr(_) | Op::Slice(_) | Op::Copy(_)) && stmt.syms.len() == 1;
         if dedupable {
             if let Some((_, orig)) = seen.iter().find(|(op, _)| *op == stmt.op) {
                 replace.insert(stmt.sym(), *orig);

@@ -98,16 +98,20 @@ fn rule1_fold_out_of_map(p: &Pattern, syms: &mut SymTable) -> Option<Pattern> {
     }
     // The map body must end in a strided scalar fold whose result is the
     // map's element.
-    let (fold_pos, fold) = m.body.body.stmts.iter().enumerate().find_map(|(i, s)| {
-        match &s.op {
+    let (fold_pos, fold) = m
+        .body
+        .body
+        .stmts
+        .iter()
+        .enumerate()
+        .find_map(|(i, s)| match &s.op {
             Op::Pattern(Pattern::MultiFold(mf))
                 if mf.is_fold() && mf.accs[0].shape.is_empty() && is_strided(&mf.domain) =>
             {
                 Some((i, mf.clone()))
             }
             _ => None,
-        }
-    })?;
+        })?;
     if m.body.body.stmts[fold_pos].sym() != m.body.body.result_sym() {
         return None;
     }
@@ -164,10 +168,13 @@ fn rule1_fold_out_of_map(p: &Pattern, syms: &mut SymTable) -> Option<Pattern> {
     };
     let idx_exprs: Vec<Expr> = m.body.params.iter().map(|s| Expr::var(*s)).collect();
     let mut subst = BTreeMap::new();
-    subst.insert(update.acc_param, Expr::Read {
-        tensor: acc_tensor,
-        index: idx_exprs,
-    });
+    subst.insert(
+        update.acc_param,
+        Expr::Read {
+            tensor: acc_tensor,
+            index: idx_exprs,
+        },
+    );
     subst_vars(&mut inner_body, &subst);
 
     let inner_map = Pattern::Map(MapPat {
@@ -217,7 +224,9 @@ fn rule1_fold_out_of_map(p: &Pattern, syms: &mut SymTable) -> Option<Pattern> {
 /// producing every tile of `W_i` for each `i`, the strided tile loop moves
 /// outermost and each tile is reduced over `D` once.
 fn rule2_multifold_out_of_fold(p: &Pattern, syms: &mut SymTable) -> Option<Pattern> {
-    let Pattern::MultiFold(f) = p else { return None };
+    let Pattern::MultiFold(f) = p else {
+        return None;
+    };
     if !f.is_fold() || is_strided(&f.domain) || f.accs.len() != 1 {
         return None;
     }
@@ -282,14 +291,7 @@ fn rule2_multifold_out_of_fold(p: &Pattern, syms: &mut SymTable) -> Option<Patte
     fold_update.stmts.extend(f_pre.stmts);
     fold_update.stmts.extend(w_update_body.stmts.clone());
     let tile_val = w_update_body.result_sym();
-    let merged = crate::strip_mine::merge_region(
-        combine,
-        tile_acc,
-        tile_val,
-        &region,
-        &elem,
-        syms,
-    );
+    let merged = crate::strip_mine::merge_region(combine, tile_acc, tile_val, &region, &elem, syms);
     let merged_sym = merged.result_sym();
     fold_update.stmts.extend(merged.stmts);
     fold_update.result = vec![merged_sym];
@@ -435,7 +437,11 @@ fn try_split(mf: &mut MultiFoldPat, syms: &mut SymTable, cfg: &TileConfig) -> Op
     slice_idx.reverse();
 
     // Build the extracted map over the fold's domain.
-    let params: Vec<Sym> = mf.idx.iter().map(|_| syms.fresh("i", Type::i32())).collect();
+    let params: Vec<Sym> = mf
+        .idx
+        .iter()
+        .map(|_| syms.fresh("i", Type::i32()))
+        .collect();
     let slice_block = Block {
         stmts: slice_idx.iter().map(|i| mf.pre.stmts[*i].clone()).collect(),
         result: vec![target_sym],
@@ -470,10 +476,13 @@ fn try_split(mf: &mut MultiFoldPat, syms: &mut SymTable, cfg: &TileConfig) -> Op
     mf.pre.stmts.remove(pos);
     let idx_exprs: Vec<Expr> = mf.idx.iter().map(|s| Expr::var(*s)).collect();
     let mut subst = BTreeMap::new();
-    subst.insert(target_sym, Expr::Read {
-        tensor: map_out,
-        index: idx_exprs,
-    });
+    subst.insert(
+        target_sym,
+        Expr::Read {
+            tensor: map_out,
+            index: idx_exprs,
+        },
+    );
     subst_vars(&mut mf.pre, &subst);
     for u in &mut mf.updates {
         for e in &mut u.loc {

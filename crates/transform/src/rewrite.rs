@@ -83,9 +83,7 @@ fn map_exprs_pattern(p: &mut Pattern, f: &mut impl FnMut(&Expr) -> Expr) {
 /// Substitutes occurrences of variables per `subst` (as [`Expr::Var`]
 /// replacements) throughout the block.
 pub fn subst_vars(block: &mut Block, subst: &BTreeMap<Sym, Expr>) {
-    map_exprs(block, &mut |e| {
-        e.subst_vars(&|s| subst.get(&s).cloned())
-    });
+    map_exprs(block, &mut |e| e.subst_vars(&|s| subst.get(&s).cloned()));
 }
 
 /// Renames *symbol occurrences* (both variables and tensor references,

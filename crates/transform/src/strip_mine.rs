@@ -170,11 +170,7 @@ fn sm_pattern(
 }
 
 /// T[ Map(d)(m) ] = MultiFold(d/b)(d)(zeros(d)){ ii => (ii*b, acc => Map(b)(T[m])) }(_)
-fn sm_map(
-    m: &MapPat,
-    syms: &mut SymTable,
-    cfg: &TileConfig,
-) -> Result<Option<Pattern>, TileError> {
+fn sm_map(m: &MapPat, syms: &mut SymTable, cfg: &TileConfig) -> Result<Option<Pattern>, TileError> {
     let plans = plan_dims(&m.domain, Some(&m.body.params), syms, cfg)?;
     if plans.iter().all(|p| p.tile.is_none()) {
         return Ok(None);
@@ -266,8 +262,7 @@ fn sm_multifold(
         let mut dims = Vec::with_capacity(acc.shape.len());
         let mut unsafe_write_once = false;
         for (j, loc) in update.loc.iter().enumerate() {
-            let point_region = update.shape.is_empty()
-                || update.shape[j].as_const() == Some(1);
+            let point_region = update.shape.is_empty() || update.shape[j].as_const() == Some(1);
             let plan = match classify_index(loc, &control) {
                 IndexClass::Affine { terms, offset }
                     if point_region
@@ -277,9 +272,7 @@ fn sm_multifold(
                 {
                     let idx_sym = *terms.keys().next().expect("one term");
                     match mf.idx.iter().position(|s| *s == idx_sym) {
-                        Some(k) if plans[k].tile.is_some() => {
-                            AccDimPlan::Tracked { domain_dim: k }
-                        }
+                        Some(k) if plans[k].tile.is_some() => AccDimPlan::Tracked { domain_dim: k },
                         Some(_) => AccDimPlan::Free, // tracked by untiled index
                         None => {
                             unsafe_write_once = true;
@@ -400,14 +393,7 @@ fn sm_multifold(
                 stmts: Vec::new(),
                 result: vec![partial_syms[q]],
             },
-            Some(c) => merge_region(
-                c,
-                acc_param,
-                partial_syms[q],
-                &region,
-                &acc.elem,
-                syms,
-            ),
+            Some(c) => merge_region(c, acc_param, partial_syms[q], &region, &acc.elem, syms),
         };
         outer_updates.push(AccUpdate {
             loc,
@@ -482,7 +468,10 @@ pub(crate) fn merge_region(
         };
     }
     // Tensor region: map(region){ rid => combine(acc(rid), partial(rid)) }.
-    let rid: Vec<Sym> = region.iter().map(|_| syms.fresh("r", Type::i32())).collect();
+    let rid: Vec<Sym> = region
+        .iter()
+        .map(|_| syms.fresh("r", Type::i32()))
+        .collect();
     let rid_exprs: Vec<Expr> = rid.iter().map(|s| Expr::var(*s)).collect();
     let mut stmts = Vec::new();
     let merged = instantiate_lambda(
@@ -621,11 +610,8 @@ fn sm_groupbyfold(
 
 fn dict_key_type(g: &GroupByFoldPat, syms: &SymTable) -> ScalarType {
     match &g.body {
-        GbfBody::Element { key, .. } => {
-            pphw_ir::infer::infer_scalar_type(key, syms).unwrap_or(ScalarType::Prim(
-                pphw_ir::types::DType::I32,
-            ))
-        }
+        GbfBody::Element { key, .. } => pphw_ir::infer::infer_scalar_type(key, syms)
+            .unwrap_or(ScalarType::Prim(pphw_ir::types::DType::I32)),
         GbfBody::Merge { dict } => match syms.ty(*dict) {
             Type::Dict { key, .. } => key.clone(),
             _ => ScalarType::Prim(pphw_ir::types::DType::I32),

@@ -38,10 +38,7 @@ pub fn tile_program(prog: &Program, cfg: &TileConfig) -> Result<Program, TileErr
 /// # Errors
 ///
 /// Returns a [`TileError`] if strip mining fails.
-pub fn tile_program_no_interchange(
-    prog: &Program,
-    cfg: &TileConfig,
-) -> Result<Program, TileError> {
+pub fn tile_program_no_interchange(prog: &Program, cfg: &TileConfig) -> Result<Program, TileError> {
     let p = strip_mine_program(prog, cfg)?;
     let p = insert_copies(&p, cfg);
     let p = hoist_program(&p);

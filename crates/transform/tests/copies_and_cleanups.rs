@@ -94,10 +94,18 @@ fn strip_mined_program_gets_window_copies() {
     let cfg = TileConfig::new(&[("d", 16)], &[("d", 64)]);
     let strip = strip_mine_program(&prog, &cfg).unwrap();
     let with_copies = insert_copies(&strip, &cfg);
-    assert_eq!(count_copies(&with_copies), 1, "{}", print_program(&with_copies));
+    assert_eq!(
+        count_copies(&with_copies),
+        1,
+        "{}",
+        print_program(&with_copies)
+    );
     let text = print_program(&with_copies);
-    assert!(text.contains(":+ 16"), "expected a 16-wide window:
-{text}");
+    assert!(
+        text.contains(":+ 16"),
+        "expected a 16-wide window:
+{text}"
+    );
 }
 
 #[test]
@@ -148,10 +156,7 @@ fn small_resident_tensor_is_preloaded_at_top_level() {
     let cfg = TileConfig::new(&[("n", 8)], &[("n", 32), ("k", 16)]);
     let tiled = tile_program(&prog, &cfg).unwrap();
     let text = print_program(&tiled);
-    assert!(
-        text.contains("lutTile"),
-        "lut should be preloaded:\n{text}"
-    );
+    assert!(text.contains("lutTile"), "lut should be preloaded:\n{text}");
     // Semantics preserved.
     let lut_v = Value::tensor_f32(&[16], (0..16).map(|i| i as f32).collect());
     let x_v = Value::tensor_f32(&[32, 16], (0..512).map(|i| (i % 7) as f32).collect());
@@ -247,5 +252,9 @@ fn hoisting_enables_cse_of_duplicate_copies() {
     let tiled = tile_program(&prog, &cfg).unwrap();
     // gemm has exactly two distinct tile copies (x and y) per loop level.
     let n = count_copies(&tiled);
-    assert!(n <= 2, "duplicate copies survived: {n}\n{}", print_program(&tiled));
+    assert!(
+        n <= 2,
+        "duplicate copies survived: {n}\n{}",
+        print_program(&tiled)
+    );
 }

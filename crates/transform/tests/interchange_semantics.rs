@@ -80,7 +80,12 @@ fn gemm_strip_mine_then_interchange() {
     let after_tile = run_gemm(&tiled, &sizes);
     let after_inter = run_gemm(&inter, &sizes);
     assert_eq!(base, after_tile, "strip mining changed gemm");
-    assert_eq!(base, after_inter, "interchange changed gemm:\n{}", print_program(&inter));
+    assert_eq!(
+        base,
+        after_inter,
+        "interchange changed gemm:\n{}",
+        print_program(&inter)
+    );
 }
 
 /// Interchange actually fires on tiled gemm: the strided reduction domain
@@ -156,11 +161,7 @@ fn kmeans_assign_program() -> Program {
                             |c, a, b2| c.add(c.var(a), c.var(b2)),
                         );
                         let cand = c.tuple(vec![c.var(dist), c.var(j)]);
-                        c.select(
-                            c.lt(c.field(c.var(acc), 0), c.var(dist)),
-                            c.var(acc),
-                            cand,
-                        )
+                        c.select(c.lt(c.field(c.var(acc), 0), c.var(dist)), c.var(acc), cand)
                     },
                     |c, a, b2| {
                         c.select(
@@ -215,11 +216,20 @@ fn kmeans_split_and_interchange_preserve_semantics() {
 
     let tiled = strip_mine_program(&prog, &cfg).unwrap();
     tiled.validate().unwrap();
-    assert_eq!(base, run_assign(&tiled, &sizes), "strip mining broke kmeans");
+    assert_eq!(
+        base,
+        run_assign(&tiled, &sizes),
+        "strip mining broke kmeans"
+    );
 
     let split = split_multifolds(&tiled, &cfg);
     split.validate().unwrap();
-    assert_eq!(base, run_assign(&split, &sizes), "split broke kmeans:\n{}", print_program(&split));
+    assert_eq!(
+        base,
+        run_assign(&split, &sizes),
+        "split broke kmeans:\n{}",
+        print_program(&split)
+    );
 
     let inter = interchange_program(&split, &cfg);
     inter.validate().unwrap();
@@ -305,21 +315,29 @@ fn rule2_program() -> Program {
                         vec![Size::Const(tile)],
                         Box::new(move |uc: &mut pphw_ir::builder::Ctx<'_>, _reg| {
                             uc.map(vec![Size::Const(tile)], |mc, j| {
-                                let col = mc.add(
-                                    mc.mul(mc.var(ii), mc.int(tile)),
-                                    mc.var(j[0]),
-                                );
+                                let col = mc.add(mc.mul(mc.var(ii), mc.int(tile)), mc.var(j[0]));
                                 mc.mul(mc.f32(2.0), mc.read(x, vec![mc.var(i), col]))
                             })
                         }),
                     )
                 },
-                None::<Box<dyn FnOnce(&mut pphw_ir::builder::Ctx<'_>, pphw_ir::Sym, pphw_ir::Sym) -> Expr>>,
+                None::<
+                    Box<
+                        dyn FnOnce(
+                            &mut pphw_ir::builder::Ctx<'_>,
+                            pphw_ir::Sym,
+                            pphw_ir::Sym,
+                        ) -> Expr,
+                    >,
+                >,
             );
             // Elementwise merge of the accumulator with W's row.
             let dd2 = dd.clone();
             c.map(vec![dd2], move |mc, r| {
-                mc.add(mc.read(acc, vec![mc.var(r[0])]), mc.read(w, vec![mc.var(r[0])]))
+                mc.add(
+                    mc.read(acc, vec![mc.var(r[0])]),
+                    mc.read(w, vec![mc.var(r[0])]),
+                )
             })
         },
         |c, a, b2| c.add(c.var(a), c.var(b2)),

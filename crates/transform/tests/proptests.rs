@@ -1,7 +1,10 @@
 //! Property-based tests: the tiling pipeline preserves program semantics
-//! for arbitrary workloads and (dividing) tile-size choices.
+//! for arbitrary workloads and (dividing) tile-size choices — on the
+//! hermetic `pphw-testkit` harness, with a pinned seed for reproducible CI
+//! runs.
 
-use proptest::prelude::*;
+use pphw_testkit::prop::{shrink, Check};
+use pphw_testkit::{prop_assert, Rng};
 
 use pphw_ir::builder::ProgramBuilder;
 use pphw_ir::interp::{Interpreter, Value};
@@ -40,100 +43,142 @@ fn gemm_program() -> Program {
     b.finish(vec![out])
 }
 
-/// A divisor of `v` drawn from the small powers of two.
-fn divisor_of(v: i64) -> impl Strategy<Value = i64> {
+/// A dimension that is a multiple of 8 (up to 24), with a dividing tile
+/// size drawn from the small powers of two.
+fn dim_and_tile(rng: &mut Rng) -> (i64, i64) {
+    let v = rng.gen_range(1i64..4) * 8;
     let divs: Vec<i64> = [1i64, 2, 4, 8].into_iter().filter(|d| v % d == 0).collect();
-    prop::sample::select(divs)
+    (v, *rng.choose(&divs))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// gemm tiled with arbitrary dividing tile sizes computes the same matrix
+/// as the untiled program, for random inputs.
+#[test]
+fn tiled_gemm_equivalent() {
+    Check::new("tiled_gemm_equivalent").cases(24).run(
+        |rng| {
+            (
+                dim_and_tile(rng),
+                dim_and_tile(rng),
+                dim_and_tile(rng),
+                rng.gen_range(0u64..1000),
+            )
+        },
+        |&((m, bm), (n, bn), (p, bp), seed)| {
+            let prog = gemm_program();
+            let sizes = [("m", m), ("n", n), ("p", p)];
+            // Tile sizes must divide; clamp away degenerate 1-wide tiles.
+            let cfg = TileConfig::new(
+                &[("m", bm.max(2)), ("n", bn.max(2)), ("p", bp.max(2))],
+                &sizes,
+            );
+            let tiled = match tile_program(&prog, &cfg) {
+                Ok(t) => t,
+                Err(e) => return Err(format!("tiling failed: {e}")),
+            };
+            tiled.validate().unwrap();
 
-    /// gemm tiled with arbitrary dividing tile sizes computes the same
-    /// matrix as the untiled program, for random inputs.
-    #[test]
-    fn tiled_gemm_equivalent(
-        (m, bm) in (1i64..4).prop_map(|k| k * 8).prop_flat_map(|m| (Just(m), divisor_of(m))),
-        (n, bn) in (1i64..4).prop_map(|k| k * 8).prop_flat_map(|n| (Just(n), divisor_of(n))),
-        (p, bp) in (1i64..4).prop_map(|k| k * 8).prop_flat_map(|p| (Just(p), divisor_of(p))),
-        seed in 0u64..1000,
-    ) {
-        let prog = gemm_program();
-        let sizes = [("m", m), ("n", n), ("p", p)];
-        // Tile sizes must divide; skip degenerate full-size tiles sometimes.
-        let cfg = TileConfig::new(&[("m", bm.max(2)), ("n", bn.max(2)), ("p", bp.max(2))], &sizes);
-        let tiled = match tile_program(&prog, &cfg) {
-            Ok(t) => t,
-            Err(e) => return Err(TestCaseError::fail(format!("tiling failed: {e}"))),
-        };
-        tiled.validate().unwrap();
+            let mut rng = Rng::seed_from_u64(seed);
+            let xm = rng.f32_vec((m * p) as usize, -1.0, 1.0);
+            let ym = rng.f32_vec((p * n) as usize, -1.0, 1.0);
+            let inputs = vec![
+                Value::tensor_f32(&[m as usize, p as usize], xm),
+                Value::tensor_f32(&[p as usize, n as usize], ym),
+            ];
+            let base = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
+            let got = Interpreter::new(&tiled, &sizes).run(inputs).unwrap();
+            prop_assert!(
+                base[0].approx_eq(&got[0], 1e-3),
+                "tiled gemm diverged at m={m}/{bm} n={n}/{bn} p={p}/{bp} seed={seed}"
+            );
+            Ok(())
+        },
+    );
+}
 
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let xm: Vec<f32> = (0..m * p).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let ym: Vec<f32> = (0..p * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let inputs = vec![
-            Value::tensor_f32(&[m as usize, p as usize], xm),
-            Value::tensor_f32(&[p as usize, n as usize], ym),
-        ];
-        let base = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
-        let got = Interpreter::new(&tiled, &sizes).run(inputs).unwrap();
-        prop_assert!(base[0].approx_eq(&got[0], 1e-3));
-    }
-
-    /// A predicated reduction (tpchq6 shape) survives tiling for any
-    /// threshold and data.
-    #[test]
-    fn tiled_predicated_fold_equivalent(
-        data in prop::collection::vec(0.0f32..100.0, 16..128),
-        threshold in 0.0f32..100.0,
-    ) {
-        // Pad to a multiple of 8 so the tile divides.
-        let mut data = data;
-        while data.len() % 8 != 0 {
-            data.push(0.0);
-        }
-        let n = data.len() as i64;
-
-        let mut b = ProgramBuilder::new("predsum");
-        let d = b.size("n");
-        let x = b.input("x", DType::F32, vec![d.clone()]);
-        let out = b.fold(
-            "s", vec![d], vec![], ScalarType::Prim(DType::F32), Init::zeros(),
-            |c, i, acc| {
-                let v = c.read(x, vec![c.var(i[0])]);
-                let contrib = c.select(c.lt(c.f32(threshold), v.clone()), v, c.f32(0.0));
-                c.add(c.var(acc), contrib)
+/// A predicated reduction (tpchq6 shape) survives tiling for any threshold
+/// and data.
+#[test]
+fn tiled_predicated_fold_equivalent() {
+    Check::new("tiled_predicated_fold_equivalent")
+        .cases(32)
+        .run_shrink(
+            |rng| {
+                let n = rng.gen_range(16usize..128);
+                (rng.f32_vec(n, 0.0, 100.0), rng.gen_range(0.0f32..100.0))
             },
-            |c, a, b2| c.add(c.var(a), c.var(b2)),
+            |(data, threshold)| {
+                shrink::vec(data, 16)
+                    .into_iter()
+                    .map(|d| (d, *threshold))
+                    .collect()
+            },
+            |(data, threshold)| {
+                let threshold = *threshold;
+                // Pad to a multiple of 8 so the tile divides.
+                let mut data = data.clone();
+                while data.len() % 8 != 0 {
+                    data.push(0.0);
+                }
+                let n = data.len() as i64;
+
+                let mut b = ProgramBuilder::new("predsum");
+                let d = b.size("n");
+                let x = b.input("x", DType::F32, vec![d.clone()]);
+                let out = b.fold(
+                    "s",
+                    vec![d],
+                    vec![],
+                    ScalarType::Prim(DType::F32),
+                    Init::zeros(),
+                    |c, i, acc| {
+                        let v = c.read(x, vec![c.var(i[0])]);
+                        let contrib = c.select(c.lt(c.f32(threshold), v.clone()), v, c.f32(0.0));
+                        c.add(c.var(acc), contrib)
+                    },
+                    |c, a, b2| c.add(c.var(a), c.var(b2)),
+                );
+                let prog = b.finish(vec![out]);
+
+                let sizes = [("n", n)];
+                let cfg = TileConfig::new(&[("n", 8)], &sizes);
+                let tiled = tile_program(&prog, &cfg).unwrap();
+                let inputs = vec![Value::tensor_f32(&[n as usize], data.clone())];
+                let base = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
+                let got = Interpreter::new(&tiled, &sizes).run(inputs).unwrap();
+                prop_assert!(
+                    base[0].approx_eq(&got[0], 1e-3),
+                    "predicated fold diverged at n={n} threshold={threshold}"
+                );
+                Ok(())
+            },
         );
-        let prog = b.finish(vec![out]);
+}
 
-        let sizes = [("n", n)];
-        let cfg = TileConfig::new(&[("n", 8)], &sizes);
-        let tiled = tile_program(&prog, &cfg).unwrap();
-        let inputs = vec![Value::tensor_f32(&[n as usize], data.clone())];
-        let base = Interpreter::new(&prog, &sizes).run(inputs.clone()).unwrap();
-        let got = Interpreter::new(&tiled, &sizes).run(inputs).unwrap();
-        prop_assert!(base[0].approx_eq(&got[0], 1e-3));
-    }
-
-    /// Tiling never increases the modeled DRAM read traffic of gemm.
-    #[test]
-    fn tiling_never_increases_gemm_traffic(
-        b in prop::sample::select(vec![2i64, 4, 8]),
-    ) {
-        let prog = gemm_program();
-        let sizes = [("m", 16), ("n", 16), ("p", 16)];
-        let env = pphw_ir::Size::env(&sizes);
-        let cfg = TileConfig::new(&[("m", b), ("n", b), ("p", b)], &sizes);
-        let tiled = tile_program(&prog, &cfg).unwrap();
-        let before = pphw_transform::cost::analyze_cost(&prog)
-            .total_reads(&env)
-            .unwrap();
-        let after = pphw_transform::cost::analyze_cost(&tiled)
-            .total_reads(&env)
-            .unwrap();
-        prop_assert!(after <= before, "tiling increased traffic: {after} > {before}");
-    }
+/// Tiling never increases the modeled DRAM read traffic of gemm.
+#[test]
+fn tiling_never_increases_gemm_traffic() {
+    Check::new("tiling_never_increases_gemm_traffic")
+        .cases(8)
+        .run(
+            |rng| *rng.choose(&[2i64, 4, 8]),
+            |&b| {
+                let prog = gemm_program();
+                let sizes = [("m", 16), ("n", 16), ("p", 16)];
+                let env = pphw_ir::Size::env(&sizes);
+                let cfg = TileConfig::new(&[("m", b), ("n", b), ("p", b)], &sizes);
+                let tiled = tile_program(&prog, &cfg).unwrap();
+                let before = pphw_transform::cost::analyze_cost(&prog)
+                    .total_reads(&env)
+                    .unwrap();
+                let after = pphw_transform::cost::analyze_cost(&tiled)
+                    .total_reads(&env)
+                    .unwrap();
+                prop_assert!(
+                    after <= before,
+                    "tiling increased traffic: {after} > {before}"
+                );
+                Ok(())
+            },
+        );
 }

@@ -65,10 +65,7 @@ fn strip_mine_map_2d_both_dims() {
     let n = b.size("n");
     let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
     let out = b.map(vec![m, n], |c, idx| {
-        c.add(
-            c.read(x, vec![c.var(idx[0]), c.var(idx[1])]),
-            c.f32(1.0),
-        )
+        c.add(c.read(x, vec![c.var(idx[0]), c.var(idx[1])]), c.f32(1.0))
     });
     let prog = b.finish(vec![out]);
     let cfg = TileConfig::new(&[("m", 4), ("n", 8)], &[("m", 12), ("n", 24)]);
@@ -176,9 +173,7 @@ fn strip_mine_sumrows_tracked() {
                 (
                     vec![Expr::var(i)],
                     vec![],
-                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| {
-                        c2.add(c2.var(acc), v)
-                    }),
+                    Box::new(move |c2: &mut pphw_ir::builder::Ctx<'_>, acc| c2.add(c2.var(acc), v)),
                 )
             },
             Some(Box::new(|c2: &mut pphw_ir::builder::Ctx<'_>, a, b2| {

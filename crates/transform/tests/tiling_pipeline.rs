@@ -127,11 +127,7 @@ fn kmeans_assign_program() -> Program {
                             |c, a, b2| c.add(c.var(a), c.var(b2)),
                         );
                         let cand = c.tuple(vec![c.var(dist), c.var(j)]);
-                        c.select(
-                            c.lt(c.field(c.var(acc), 0), c.var(dist)),
-                            c.var(acc),
-                            cand,
-                        )
+                        c.select(c.lt(c.field(c.var(acc), 0), c.var(dist)), c.var(acc), cand)
                     },
                     |c, a, b2| {
                         c.select(
@@ -213,14 +209,34 @@ fn kmeans_cost_matches_figure_5c() {
     let (n, k, d, b0) = (16i64, 8, 4, 4);
 
     // Points are read exactly once in both variants.
-    let pts_strip = cost_strip.get("points").expect("points cost").dram_reads.eval(&env).unwrap();
-    let pts_inter = cost_inter.get("points").expect("points cost").dram_reads.eval(&env).unwrap();
+    let pts_strip = cost_strip
+        .get("points")
+        .expect("points cost")
+        .dram_reads
+        .eval(&env)
+        .unwrap();
+    let pts_inter = cost_inter
+        .get("points")
+        .expect("points cost")
+        .dram_reads
+        .eval(&env)
+        .unwrap();
     assert_eq!(pts_strip, n * d, "strip-mined points reads");
     assert_eq!(pts_inter, n * d, "interchanged points reads");
 
     // Centroids: n×k×d strip-mined, (n/b0)×k×d after interchange.
-    let cen_strip = cost_strip.get("centroids").expect("centroids").dram_reads.eval(&env).unwrap();
-    let cen_inter = cost_inter.get("centroids").expect("centroids").dram_reads.eval(&env).unwrap();
+    let cen_strip = cost_strip
+        .get("centroids")
+        .expect("centroids")
+        .dram_reads
+        .eval(&env)
+        .unwrap();
+    let cen_inter = cost_inter
+        .get("centroids")
+        .expect("centroids")
+        .dram_reads
+        .eval(&env)
+        .unwrap();
     assert_eq!(cen_strip, n * k * d, "strip-mined centroids reads");
     assert_eq!(cen_inter, (n / b0) * k * d, "interchanged centroids reads");
     assert!(
@@ -252,8 +268,14 @@ fn untiled_gemm_cost_is_quadratic_in_reuse() {
     let report = analyze_cost(&prog);
     let (m, n, p) = (8i64, 12, 16);
     // Untransformed gemm reads each input element once per (i,j,k).
-    assert_eq!(report.get("x").unwrap().dram_reads.eval(&env).unwrap(), m * n * p);
-    assert_eq!(report.get("y").unwrap().dram_reads.eval(&env).unwrap(), m * n * p);
+    assert_eq!(
+        report.get("x").unwrap().dram_reads.eval(&env).unwrap(),
+        m * n * p
+    );
+    assert_eq!(
+        report.get("y").unwrap().dram_reads.eval(&env).unwrap(),
+        m * n * p
+    );
 }
 
 /// Tiling reduces gemm's y traffic by the m-tile factor and x traffic by

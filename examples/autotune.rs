@@ -16,13 +16,30 @@ fn main() {
     let sim = SimConfig::default();
     let result = autotune(&prog, &base, &["m", "n", "p"], &sim, 128).expect("tuning succeeds");
 
-    println!("gemm 256x256x256 — tile-size design space (top 10 of {} evaluated, {} skipped)\n",
-        result.evaluated.len(), result.skipped);
+    println!(
+        "gemm 256x256x256 — tile-size design space (top 10 of {} evaluated, {} skipped)\n",
+        result.evaluated.len(),
+        result.skipped
+    );
     println!("{:<24} {:>12} {:>16}", "tiles", "cycles", "on-chip bytes");
     for c in result.evaluated.iter().take(10) {
         let tiles: Vec<String> = c.tiles.iter().map(|(k, v)| format!("{k}={v}")).collect();
-        println!("{:<24} {:>12} {:>16}", tiles.join(" "), c.cycles, c.on_chip_bytes);
+        println!(
+            "{:<24} {:>12} {:>16}",
+            tiles.join(" "),
+            c.cycles,
+            c.on_chip_bytes
+        );
     }
-    let best: Vec<String> = result.best.tiles.iter().map(|(k, v)| format!("{k}={v}")).collect();
-    println!("\nbest: {} at {} cycles", best.join(" "), result.best.cycles);
+    let best: Vec<String> = result
+        .best
+        .tiles
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    println!(
+        "\nbest: {} at {} cycles",
+        best.join(" "),
+        result.best.cycles
+    );
 }

@@ -25,16 +25,16 @@ fn main() {
         ScalarType::Prim(DType::F32),
         Init::zeros(),
         |c, i, acc| {
-            let prod = c.mul(
-                c.read(x, vec![c.var(i[0])]),
-                c.read(y, vec![c.var(i[0])]),
-            );
+            let prod = c.mul(c.read(x, vec![c.var(i[0])]), c.read(y, vec![c.var(i[0])]));
             c.add(c.var(acc), prod)
         },
         |c, a, b2| c.add(c.var(a), c.var(b2)),
     );
     let prog = b.finish(vec![out]);
-    println!("=== PPL program ===\n{}", pphw_ir::pretty::print_program(&prog));
+    println!(
+        "=== PPL program ===\n{}",
+        pphw_ir::pretty::print_program(&prog)
+    );
 
     // 2. Compile at each optimization level for a 1M-element workload.
     let n_val = 1 << 20;
@@ -78,6 +78,9 @@ fn main() {
         .tiles(&[("n", 8192)])
         .opt(OptLevel::Metapipelined);
     let compiled = compile(&prog, &opts).expect("compiles");
-    println!("\n=== hardware design ===\n{}", compiled.design.to_diagram());
+    println!(
+        "\n=== hardware design ===\n{}",
+        compiled.design.to_diagram()
+    );
     println!("=== emitted MaxJ ===\n{}", compiled.emit_hgl());
 }

@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example tpchq6`
 
 use pphw::{compile, evaluate, CompileOptions, OptLevel};
-use pphw_apps::tpchq6::{
-    tpchq6_filter_program, tpchq6_golden, tpchq6_inputs, tpchq6_program,
-};
+use pphw_apps::tpchq6::{tpchq6_filter_program, tpchq6_golden, tpchq6_inputs, tpchq6_program};
 use pphw_ir::size::Size;
 use pphw_sim::SimConfig;
 

@@ -1,0 +1,214 @@
+//! Differential sweep over the six paper benchmarks (Table 5).
+//!
+//! For every benchmark, each seeded size/tile configuration is pushed
+//! through the three executable semantics the repo has — the untiled
+//! program under the reference interpreter (oracle, cross-checked against
+//! the plain-Rust golden model), the tiled program under the same
+//! interpreter, and the generated design at all three optimization levels
+//! (functional results plus deterministic simulated timing). Any
+//! divergence beyond float tolerance fails the sweep with the offending
+//! case and stage.
+//!
+//! The final test injects a deliberately corrupted tiling transform and
+//! asserts the harness catches it — the mutation smoke-check that keeps
+//! the differential suite honest.
+
+use pphw_apps::all_benchmarks;
+use pphw_ir::expr::{BinOp, Expr};
+use pphw_ir::Program;
+use pphw_testkit::differential::{run_differential, DiffCase, DiffError, DiffOptions};
+use pphw_transform::rewrite::map_exprs;
+use pphw_transform::{tile_program, TileConfig, TileError};
+
+/// Seeded size/tile sweeps per benchmark: at least three configurations
+/// each, small enough that the interpreter-based oracle stays fast, large
+/// enough to cover several tiles per dimension and uneven aspect ratios.
+fn sweep(name: &str) -> Vec<DiffCase> {
+    match name {
+        "outerprod" => vec![
+            DiffCase::new(&[("m", 32), ("n", 32)], &[("m", 8), ("n", 8)], 11),
+            DiffCase::new(&[("m", 64), ("n", 48)], &[("m", 16), ("n", 16)], 12),
+            DiffCase::new(&[("m", 48), ("n", 16)], &[("m", 8), ("n", 16)], 13),
+        ],
+        "sumrows" => vec![
+            DiffCase::new(&[("m", 16), ("n", 64)], &[("m", 4), ("n", 64)], 21),
+            DiffCase::new(&[("m", 32), ("n", 32)], &[("m", 8), ("n", 32)], 22),
+            DiffCase::new(&[("m", 64), ("n", 16)], &[("m", 16), ("n", 16)], 23),
+        ],
+        "gemm" => vec![
+            DiffCase::new(
+                &[("m", 16), ("n", 16), ("p", 16)],
+                &[("m", 4), ("n", 4), ("p", 4)],
+                31,
+            ),
+            DiffCase::new(
+                &[("m", 24), ("n", 16), ("p", 32)],
+                &[("m", 8), ("n", 8), ("p", 8)],
+                32,
+            ),
+            DiffCase::new(
+                &[("m", 32), ("n", 24), ("p", 16)],
+                &[("m", 16), ("n", 8), ("p", 8)],
+                33,
+            ),
+        ],
+        "tpchq6" => vec![
+            DiffCase::new(&[("n", 256)], &[("n", 32)], 41),
+            DiffCase::new(&[("n", 512)], &[("n", 64)], 42),
+            DiffCase::new(&[("n", 1024)], &[("n", 128)], 43),
+        ],
+        "gda" => vec![
+            DiffCase::new(&[("n", 64), ("d", 8)], &[("n", 16)], 51),
+            DiffCase::new(&[("n", 96), ("d", 8)], &[("n", 32)], 52),
+            DiffCase::new(&[("n", 128), ("d", 16)], &[("n", 32)], 53),
+        ],
+        "kmeans" => vec![
+            DiffCase::new(&[("n", 64), ("k", 4), ("d", 4)], &[("n", 16), ("k", 2)], 61),
+            DiffCase::new(
+                &[("n", 128), ("k", 8), ("d", 8)],
+                &[("n", 16), ("k", 4)],
+                62,
+            ),
+            DiffCase::new(
+                &[("n", 256), ("k", 8), ("d", 4)],
+                &[("n", 32), ("k", 4)],
+                63,
+            ),
+        ],
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+fn run_sweep(name: &str) {
+    let spec = all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("benchmark exists");
+    let prog = (spec.program)();
+    let cases = sweep(name);
+    assert!(cases.len() >= 3, "sweep must cover >= 3 configurations");
+    let report = run_differential(
+        name,
+        &prog,
+        &spec.inputs,
+        Some(&spec.golden),
+        &cases,
+        &DiffOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("differential sweep failed: {e}"));
+    assert_eq!(report.cases.len(), cases.len());
+    // Every case simulated all three optimization levels, non-trivially.
+    for case in &report.cases {
+        assert_eq!(case.levels.len(), 3, "{}: missing levels", case.label);
+        assert!(case.levels.iter().all(|l| l.cycles > 0));
+    }
+}
+
+#[test]
+fn outerprod_differential() {
+    run_sweep("outerprod");
+}
+
+#[test]
+fn sumrows_differential() {
+    run_sweep("sumrows");
+}
+
+#[test]
+fn gemm_differential() {
+    run_sweep("gemm");
+}
+
+#[test]
+fn tpchq6_differential() {
+    run_sweep("tpchq6");
+}
+
+#[test]
+fn gda_differential() {
+    run_sweep("gda");
+}
+
+#[test]
+fn kmeans_differential() {
+    run_sweep("kmeans");
+}
+
+/// A transform that tiles correctly, then corrupts one reduction: the
+/// first floating add in the tiled body becomes a subtract. A single
+/// operator flip is the classic mutation-testing mutant — flipping *every*
+/// add would be a weaker check, since an even number of sign flips along
+/// one accumulation chain cancels out (as it does in tiled gemm).
+fn broken_tile(prog: &Program, cfg: &TileConfig) -> Result<Program, TileError> {
+    let mut t = tile_program(prog, cfg)?;
+    let mut flipped = false;
+    map_exprs(&mut t.body, &mut |e| {
+        e.map(&mut |sub| match sub {
+            Expr::Bin(BinOp::Add, a, b) if !flipped => {
+                flipped = true;
+                Expr::Bin(BinOp::Sub, a, b)
+            }
+            other => other,
+        })
+    });
+    Ok(t)
+}
+
+/// Mutation smoke-check: the sweep must flag a deliberately broken
+/// transform at the tiled-vs-untiled comparison, for every benchmark whose
+/// body contains an additive reduction.
+#[test]
+fn broken_transform_is_caught_on_gemm() {
+    let spec = all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "gemm")
+        .expect("gemm");
+    let prog = (spec.program)();
+    let opts = DiffOptions {
+        tile_fn: broken_tile,
+        ..DiffOptions::default()
+    };
+    let err = run_differential(
+        "gemm-mutated",
+        &prog,
+        &spec.inputs,
+        Some(&spec.golden),
+        &sweep("gemm"),
+        &opts,
+    )
+    .expect_err("mutated tiling must be caught");
+    match err {
+        DiffError::Mismatch { ref stage, .. } => {
+            assert_eq!(stage, "tiled vs untiled", "wrong stage: {err}")
+        }
+        ref other => panic!("expected a mismatch, got: {other}"),
+    }
+}
+
+/// The same smoke-check on a reduction-of-reductions benchmark (sumrows),
+/// guarding against the harness only being sensitive on gemm's shape.
+#[test]
+fn broken_transform_is_caught_on_sumrows() {
+    let spec = all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "sumrows")
+        .expect("sumrows");
+    let prog = (spec.program)();
+    let opts = DiffOptions {
+        tile_fn: broken_tile,
+        ..DiffOptions::default()
+    };
+    let err = run_differential(
+        "sumrows-mutated",
+        &prog,
+        &spec.inputs,
+        Some(&spec.golden),
+        &sweep("sumrows"),
+        &opts,
+    )
+    .expect_err("mutated tiling must be caught");
+    assert!(
+        matches!(err, DiffError::Mismatch { .. }),
+        "expected a mismatch, got: {err}"
+    );
+}

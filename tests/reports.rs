@@ -95,10 +95,8 @@ fn cost_tables_cover_all_inputs() {
         // Every tensor input that is actually read appears in the table.
         for input in &compiled.program.inputs {
             let name = compiled.program.syms.info(*input).name.clone();
-            if matches!(
-                compiled.program.ty(*input),
-                pphw_ir::Type::Tensor { .. }
-            ) && report.get(&name).is_some()
+            if matches!(compiled.program.ty(*input), pphw_ir::Type::Tensor { .. })
+                && report.get(&name).is_some()
             {
                 assert!(table.contains(&name), "{}: {name} missing", spec.name);
             }
