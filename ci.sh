@@ -10,6 +10,9 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== dse smoke (tiny space, 2 threads)"
+cargo run --release --offline -p pphw-bench --bin dse -- --quick --threads 2
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,195 @@
+//! Design-space exploration over the Table 5 benchmarks: jointly sweeps
+//! tile sizes, innermost parallelism, and DRAM substrate variants, with
+//! the analytic prefilter rejecting infeasible points before they reach
+//! the compiler. Reports the cycles-vs-area Pareto frontier, the single
+//! best point, and how many compiles the prefilter saved.
+//!
+//! Usage:
+//! `cargo run --release -p pphw-bench --bin dse [--bench NAME] [--threads N]
+//!  [--quick] [--budget BYTES] [--area-frac F] [--json PATH] [--csv PATH]`
+//!
+//! - `--bench NAME`   restrict to one benchmark (default: all six)
+//! - `--threads N`    worker threads (0 = one per core; results are
+//!   identical for every value)
+//! - `--quick`        tiny space for CI smoke runs: 2 tile candidates per
+//!   dimension, one parallelism factor, default substrate only
+//! - `--budget BYTES` on-chip memory budget (default 256 KiB — a
+//!   single-kernel scratchpad slice, deliberately tighter than the Max4's
+//!   6 MB so the analytic prune has bite; the paper's full budget would
+//!   keep every candidate)
+//! - `--area-frac F`  fraction of the device the design may use (default 1.0)
+//! - `--json PATH` / `--csv PATH`  export reports (`-` = stdout; with
+//!   multiple benchmarks the name is inserted before the extension)
+
+use std::time::Instant;
+
+use pphw::dse::explore_program;
+use pphw::CompileOptions;
+use pphw_apps::all_benchmarks;
+use pphw_dse::{DseConfig, DseReport, SearchSpace};
+use pphw_hw::AreaBudget;
+use pphw_sim::SimConfig;
+
+struct Args {
+    bench: Option<String>,
+    threads: usize,
+    quick: bool,
+    budget: u64,
+    area_frac: f64,
+    json: Option<String>,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bench: None,
+        threads: 0,
+        quick: false,
+        budget: 256 * 1024,
+        area_frac: 1.0,
+        json: None,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--bench" => args.bench = Some(val("--bench")),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads N"),
+            "--quick" => args.quick = true,
+            "--budget" => args.budget = val("--budget").parse().expect("--budget BYTES"),
+            "--area-frac" => args.area_frac = val("--area-frac").parse().expect("--area-frac F"),
+            "--json" => args.json = Some(val("--json")),
+            "--csv" => args.csv = Some(val("--csv")),
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    args
+}
+
+/// Power-of-two dividing tile candidates around the benchmark's default
+/// tile size: `[default/4, default*2]` clamped to the dimension, largest
+/// first. Keeps the per-benchmark space small while still bracketing the
+/// paper's hand-picked tile from both sides.
+fn tile_candidates_around(n: i64, default_tile: i64, quick: bool) -> Vec<i64> {
+    let lo = (default_tile / 4).max(4);
+    let hi = (default_tile * 2).min(n);
+    let mut out = Vec::new();
+    let mut b = 4i64;
+    while b <= n {
+        if n % b == 0 && b >= lo && b <= hi {
+            out.push(b);
+        }
+        b *= 2;
+    }
+    out.reverse();
+    if quick {
+        // Keep the two smallest candidates: they are the ones guaranteed
+        // to fit the budget, so the smoke run always finds a feasible point.
+        let keep = out.len().saturating_sub(2);
+        out.drain(..keep);
+    }
+    out
+}
+
+fn export(path: &str, name: &str, multi: bool, contents: &str) {
+    if path == "-" {
+        println!("{contents}");
+        return;
+    }
+    let target = if multi {
+        match path.rsplit_once('.') {
+            Some((stem, ext)) => format!("{stem}-{name}.{ext}"),
+            None => format!("{path}-{name}"),
+        }
+    } else {
+        path.to_string()
+    };
+    std::fs::write(&target, contents).unwrap_or_else(|e| panic!("writing {target}: {e}"));
+    println!("  wrote {target}");
+}
+
+fn main() {
+    let args = parse_args();
+    let specs: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|s| args.bench.as_deref().is_none_or(|b| b == s.name))
+        .collect();
+    assert!(!specs.is_empty(), "no benchmark named {:?}", args.bench);
+    let multi = specs.len() > 1;
+
+    let sim_variants: Vec<(String, SimConfig)> = if args.quick {
+        vec![("max4".to_string(), SimConfig::default())]
+    } else {
+        SimConfig::named_variants()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    };
+
+    let mut table: Vec<(String, DseReport, f64)> = Vec::new();
+    for spec in &specs {
+        let sizes = (spec.sizes)();
+        let mut base = CompileOptions::new(&sizes).inner_par(spec.inner_par);
+        base.on_chip_budget_bytes = args.budget;
+
+        let mut space = SearchSpace::new(&sizes);
+        for (dim, t) in (spec.tiles)() {
+            let n = sizes
+                .iter()
+                .find(|(k, _)| *k == dim)
+                .map(|(_, v)| *v)
+                .expect("tile dim has a size");
+            space = space.with_tile_candidates(dim, &tile_candidates_around(n, t, args.quick));
+        }
+        let pars: Vec<u32> = if args.quick {
+            vec![spec.inner_par]
+        } else {
+            vec![32, 64]
+        };
+        let variants: Vec<(&str, SimConfig)> = sim_variants
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        space = space.with_inner_pars(&pars).with_sim_variants(&variants);
+
+        let cfg = DseConfig {
+            threads: args.threads,
+            on_chip_budget_bytes: args.budget,
+            area_budget: AreaBudget::device_fraction(args.area_frac),
+            ..DseConfig::default()
+        };
+        let t0 = Instant::now();
+        let report = explore_program(&(spec.program)(), &base, &space, &cfg)
+            .unwrap_or_else(|e| panic!("{}: search failed: {e}", spec.name));
+        let secs = t0.elapsed().as_secs_f64();
+
+        print!("{}", report.summary());
+        println!("  search wall-clock: {secs:.2}s (threads={})", args.threads);
+        if let Some(p) = &args.json {
+            export(p, spec.name, multi, &report.to_json());
+        }
+        if let Some(p) = &args.csv {
+            export(p, spec.name, multi, &report.to_csv());
+        }
+        println!();
+        table.push((spec.name.to_string(), report, secs));
+    }
+
+    println!(
+        "{:<12} {:<34} {:>12} {:>8} {:>14} {:>8}",
+        "benchmark", "best config", "cycles", "area", "evals/points", "wall"
+    );
+    for (name, r, secs) in &table {
+        println!(
+            "{:<12} {:<34} {:>12} {:>8.4} {:>7}/{:<6} {:>7.2}s",
+            name,
+            r.best.label,
+            r.best.cycles,
+            r.best.area_score,
+            r.stats.evaluated,
+            r.stats.exhaustive,
+            secs
+        );
+    }
+}

@@ -1,15 +1,23 @@
-//! Automated tile-size selection.
+//! Automated tile-size selection — now a thin compatibility shim over the
+//! [`pphw_dse`] design-space-exploration engine.
 //!
 //! The paper leaves tile sizes to the user and names automated selection
 //! "through modeling and design space exploration" as future work (§4,
-//! Discussion). This module implements that extension: it enumerates
-//! dividing tile sizes per dimension, compiles each candidate, prunes
-//! configurations that exceed the on-chip memory budget, and ranks the
-//! rest by simulated cycles.
+//! Discussion). The original implementation of this module compiled and
+//! simulated every dividing tile size serially; that machinery now lives
+//! in [`crate::dse`] (analytic prefilter, memoized parallel evaluation,
+//! Pareto reporting). This module keeps the original single-objective
+//! `autotune` entry point and its types for existing callers: it sweeps
+//! tile sizes only — one parallelism factor, one substrate — and returns
+//! the cycle-optimal configuration.
 
+use pphw_dse::cache::EvalCache;
+use pphw_dse::space::SearchSpace;
+use pphw_dse::{DseConfig, DseError};
 use pphw_sim::SimConfig;
 
-use crate::{compile, CompileError, CompileOptions};
+use crate::dse::CompileEvaluator;
+use crate::CompileOptions;
 use pphw_ir::program::Program;
 
 /// One evaluated tiling configuration.
@@ -30,7 +38,8 @@ pub struct TuneResult {
     pub best: Candidate,
     /// Every evaluated configuration, best first.
     pub evaluated: Vec<Candidate>,
-    /// Configurations skipped (budget exceeded or compile failure).
+    /// Configurations skipped (pruned analytically, budget exceeded, or
+    /// compile failure).
     pub skipped: usize,
 }
 
@@ -54,26 +63,14 @@ impl std::fmt::Display for TuneError {
 
 impl std::error::Error for TuneError {}
 
-/// Power-of-two divisors of `n` in `[4, n)`, largest first.
-fn tile_candidates(n: i64) -> Vec<i64> {
-    let mut out = Vec::new();
-    let mut b = 4i64;
-    while b < n {
-        if n % b == 0 {
-            out.push(b);
-        }
-        b *= 2;
-    }
-    out.reverse();
-    out
-}
-
 /// Searches tile sizes for the named dimensions and returns the
 /// cycle-optimal configuration of the metapipelined design.
 ///
 /// The search is the exhaustive cross product of power-of-two dividing
 /// tile sizes per dimension, capped at `max_evals` simulations (largest
-/// tiles first, since locality usually favors them).
+/// tiles first, since locality usually favors them). For joint sweeps over
+/// parallelism factors and DRAM substrates, Pareto frontiers, and parallel
+/// evaluation, use [`crate::dse::explore_program`] directly.
 ///
 /// # Errors
 ///
@@ -86,62 +83,45 @@ pub fn autotune(
     sim: &SimConfig,
     max_evals: usize,
 ) -> Result<TuneResult, TuneError> {
-    // Candidate lists per dimension.
-    let mut per_dim: Vec<(String, Vec<i64>)> = Vec::new();
+    let size_pairs: Vec<(&str, i64)> = base.sizes.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    // The evaluator lets the candidate's parallelism override any
+    // meta_inner_par in the base options, so resolve the effective lanes
+    // here to preserve the legacy behavior.
+    let effective_par = match base.opt {
+        crate::OptLevel::Metapipelined => base.meta_inner_par.unwrap_or(base.inner_par),
+        _ => base.inner_par,
+    };
+    let mut space = SearchSpace::new(&size_pairs)
+        .with_inner_pars(&[effective_par])
+        .with_sim_variants(&[("tune", sim.clone())]);
     for d in dims {
-        let n = base
-            .sizes
-            .iter()
-            .find(|(k, _)| k == d)
-            .map(|(_, v)| *v)
-            .ok_or_else(|| TuneError::UnknownDim(d.to_string()))?;
-        let cands = tile_candidates(n);
-        if cands.is_empty() {
-            return Err(TuneError::UnknownDim(d.to_string()));
-        }
-        per_dim.push((d.to_string(), cands));
+        space = space.tune_dim(d).map_err(|e| match e {
+            DseError::UnknownDim(d) => TuneError::UnknownDim(d),
+            _ => TuneError::NoFeasibleConfig,
+        })?;
     }
 
-    // Cross product, depth-first, largest tiles first.
-    let mut configs: Vec<Vec<(String, i64)>> = vec![Vec::new()];
-    for (dim, cands) in &per_dim {
-        let mut next = Vec::new();
-        for cfg in &configs {
-            for b in cands {
-                let mut c = cfg.clone();
-                c.push((dim.clone(), *b));
-                next.push(c);
-            }
-        }
-        configs = next;
-    }
-    configs.truncate(max_evals);
+    let cfg = DseConfig {
+        on_chip_budget_bytes: base.on_chip_budget_bytes,
+        max_evals,
+        ..DseConfig::default()
+    };
+    let evaluator = CompileEvaluator::new(prog, base);
+    let report = pphw_dse::engine::explore(prog, &space, &evaluator, &EvalCache::new(), &cfg)
+        .map_err(|e| match e {
+            DseError::UnknownDim(d) => TuneError::UnknownDim(d),
+            DseError::EmptySpace | DseError::NoFeasibleConfig => TuneError::NoFeasibleConfig,
+        })?;
 
-    let mut evaluated: Vec<Candidate> = Vec::new();
-    let mut skipped = 0usize;
-    for tiles in configs {
-        let pairs: Vec<(&str, i64)> = tiles.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-        let opts = base.clone().tiles(&pairs);
-        let compiled = match compile(prog, &opts) {
-            Ok(c) => c,
-            Err(CompileError::Tile(_)) | Err(CompileError::Hw(_)) => {
-                skipped += 1;
-                continue;
-            }
-        };
-        let bytes = compiled.design.on_chip_bytes();
-        if bytes > opts.on_chip_budget_bytes {
-            skipped += 1;
-            continue;
-        }
-        let report = compiled.simulate(sim);
-        evaluated.push(Candidate {
-            tiles: tiles.clone(),
-            cycles: report.cycles,
-            on_chip_bytes: bytes,
-        });
-    }
-    evaluated.sort_by_key(|c| c.cycles);
+    let evaluated: Vec<Candidate> = report
+        .evaluated
+        .iter()
+        .map(|p| Candidate {
+            tiles: p.tiles.clone(),
+            cycles: p.cycles,
+            on_chip_bytes: p.on_chip_bytes,
+        })
+        .collect();
     let best = evaluated
         .first()
         .cloned()
@@ -149,18 +129,19 @@ pub fn autotune(
     Ok(TuneResult {
         best,
         evaluated,
-        skipped,
+        skipped: report.stats.pruned_total() + report.stats.infeasible,
     })
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-
     #[test]
     fn tile_candidates_are_dividing_powers_of_two() {
-        assert_eq!(tile_candidates(64), vec![32, 16, 8, 4]);
-        assert_eq!(tile_candidates(48), vec![16, 8, 4]);
-        assert!(tile_candidates(4).is_empty());
+        // The legacy candidate generator now lives in pphw-dse; the shim
+        // relies on it keeping the same semantics.
+        use pphw_dse::space::pow2_divisors;
+        assert_eq!(pow2_divisors(64), vec![32, 16, 8, 4]);
+        assert_eq!(pow2_divisors(48), vec![16, 8, 4]);
+        assert!(pow2_divisors(4).is_empty());
     }
 }

@@ -1,0 +1,133 @@
+//! Design-space exploration over the real compile+simulate pipeline.
+//!
+//! The generic engine lives in [`pphw_dse`] (below this crate in the
+//! dependency graph); this module supplies the expensive part it is
+//! parameterized over: [`CompileEvaluator`], which runs a candidate
+//! through [`compile`] and [`Compiled::simulate`](crate::Compiled::simulate)
+//! and enforces the authoritative post-compile on-chip budget check that
+//! the analytic prefilter only approximates.
+//!
+//! ```no_run
+//! use pphw::dse::{explore_program, CompileEvaluator};
+//! use pphw::CompileOptions;
+//! use pphw_dse::{DseConfig, SearchSpace};
+//! # let prog: pphw_ir::program::Program = unimplemented!();
+//!
+//! let base = CompileOptions::new(&[("m", 256), ("n", 256)]);
+//! let space = SearchSpace::new(&[("m", 256), ("n", 256)])
+//!     .tune_dim("m").unwrap()
+//!     .with_inner_pars(&[16, 32, 64]);
+//! let report = explore_program(&prog, &base, &space, &DseConfig::default()).unwrap();
+//! println!("{}", report.summary());
+//! ```
+
+use pphw_dse::cache::EvalCache;
+use pphw_dse::report::DseReport;
+use pphw_dse::space::{Candidate, SearchSpace};
+use pphw_dse::{DseConfig, DseError, EvalOutcome, Evaluate, Measurement};
+use pphw_ir::program::Program;
+
+use crate::{compile, CompileOptions};
+
+/// Evaluates a candidate by compiling the program with the candidate's
+/// tile sizes and parallelism factor and simulating the generated design
+/// on the candidate's substrate.
+///
+/// The candidate's `inner_par` is the parallelism being swept, so it
+/// replaces both `inner_par` and any `meta_inner_par` override in the
+/// base options — otherwise a fixed override would silently mask the
+/// sweep. Every other base option (opt level, interchange, budget) is
+/// preserved and folded into the cache salt so cached measurements are
+/// never shared across differing pipelines.
+pub struct CompileEvaluator<'a> {
+    prog: &'a Program,
+    base: CompileOptions,
+}
+
+impl<'a> CompileEvaluator<'a> {
+    /// Creates an evaluator for the program under the given base options.
+    #[must_use]
+    pub fn new(prog: &'a Program, base: &CompileOptions) -> CompileEvaluator<'a> {
+        CompileEvaluator {
+            prog,
+            base: base.clone(),
+        }
+    }
+
+    fn options_for(&self, c: &Candidate) -> CompileOptions {
+        let mut opts = self.base.clone().tiles(&c.tile_pairs());
+        opts.inner_par = c.inner_par;
+        opts.meta_inner_par = None;
+        opts
+    }
+}
+
+impl Evaluate for CompileEvaluator<'_> {
+    fn evaluate(&self, c: &Candidate) -> EvalOutcome {
+        let opts = self.options_for(c);
+        let compiled = match compile(self.prog, &opts) {
+            Ok(compiled) => compiled,
+            Err(e) => return EvalOutcome::Infeasible(e.to_string()),
+        };
+        // Authoritative budget check on the generated design (the analytic
+        // prefilter bounds this from below but cannot see double buffering
+        // or banking).
+        let on_chip_bytes = compiled.design.on_chip_bytes();
+        if on_chip_bytes > opts.on_chip_budget_bytes {
+            return EvalOutcome::Infeasible(format!(
+                "design needs {on_chip_bytes} on-chip bytes, budget is {}",
+                opts.on_chip_budget_bytes
+            ));
+        }
+        let report = compiled.simulate(&c.sim);
+        EvalOutcome::Feasible(Measurement {
+            cycles: report.cycles,
+            dram_words: report.dram_words,
+            on_chip_bytes,
+            area: compiled.area(),
+        })
+    }
+
+    fn cache_salt(&self) -> String {
+        // inner_par and meta_inner_par are intentionally absent: the
+        // candidate overrides both, so they cannot influence a measurement.
+        format!(
+            "opt={:?};interchange={};budget={}",
+            self.base.opt, self.base.interchange, self.base.on_chip_budget_bytes
+        )
+    }
+}
+
+/// One-call exploration: builds a [`CompileEvaluator`] and a fresh cache
+/// and runs the engine.
+///
+/// # Errors
+///
+/// Returns [`DseError`] if the space is empty or no candidate survives
+/// both the prefilter and compilation.
+pub fn explore_program(
+    prog: &Program,
+    base: &CompileOptions,
+    space: &SearchSpace,
+    cfg: &DseConfig,
+) -> Result<DseReport, DseError> {
+    explore_with_cache(prog, base, space, cfg, &EvalCache::new())
+}
+
+/// Like [`explore_program`] but reuses a caller-owned cache, so repeated
+/// or overlapping searches only compile points they have not seen.
+///
+/// # Errors
+///
+/// Returns [`DseError`] if the space is empty or no candidate survives
+/// both the prefilter and compilation.
+pub fn explore_with_cache(
+    prog: &Program,
+    base: &CompileOptions,
+    space: &SearchSpace,
+    cfg: &DseConfig,
+    cache: &EvalCache,
+) -> Result<DseReport, DseError> {
+    let evaluator = CompileEvaluator::new(prog, base);
+    pphw_dse::engine::explore(prog, space, &evaluator, cache, cfg)
+}

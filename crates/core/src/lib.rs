@@ -26,6 +26,7 @@
 //! ```
 
 pub mod autotune;
+pub mod dse;
 
 use pphw_hw::design::DesignStyle;
 use pphw_hw::{design_area, generate, Area, HwConfig, HwError};

@@ -1,0 +1,171 @@
+//! Memoized evaluation cache.
+//!
+//! Every candidate is identified by a canonical 64-bit hash of its full
+//! configuration — program name, concrete sizes, tile sizes, parallelism
+//! factor, simulation substrate, and the evaluator's salt (optimization
+//! level, budgets, …). Repeated searches, resumed searches, and
+//! overlapping sweeps that share a cache therefore never recompile the
+//! same design: the second encounter is a lookup.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::space::Candidate;
+use crate::EvalOutcome;
+
+/// FNV-1a 64-bit over a byte string — stable across runs, platforms, and
+/// thread counts (unlike `std`'s randomized hasher).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical configuration hash of one candidate. Sizes and tiles are
+/// sorted by dimension name so two sweeps that enumerate dimensions in
+/// different orders still share cache entries.
+#[must_use]
+pub fn config_key(program: &str, sizes: &[(String, i64)], salt: &str, c: &Candidate) -> u64 {
+    let mut sorted_sizes: Vec<_> = sizes.iter().collect();
+    sorted_sizes.sort();
+    let mut sorted_tiles: Vec<_> = c.tiles.iter().collect();
+    sorted_tiles.sort();
+    let canon = format!(
+        "prog={program}|sizes={:?}|tiles={:?}|par={}|sim={}|salt={salt}",
+        sorted_sizes,
+        sorted_tiles,
+        c.inner_par,
+        c.sim.canonical_key()
+    );
+    fnv1a64(canon.as_bytes())
+}
+
+/// A thread-safe memoization table from configuration hash to evaluation
+/// outcome, with lifetime hit/miss counters.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<u64, EvalOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Looks up a configuration, counting a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<EvalOutcome> {
+        let out = self.map.lock().expect("cache lock").get(&key).cloned();
+        match out {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Stores a measurement.
+    pub fn insert(&self, key: u64, outcome: EvalOutcome) {
+        self.map.lock().expect("cache lock").insert(key, outcome);
+    }
+
+    /// Number of cached configurations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime lookup hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Measurement;
+    use pphw_hw::Area;
+    use pphw_sim::SimConfig;
+
+    fn cand(tiles: &[(&str, i64)], par: u32) -> Candidate {
+        Candidate {
+            tiles: tiles.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+            inner_par: par,
+            sim_label: "max4".into(),
+            sim: SimConfig::default(),
+        }
+    }
+
+    fn sizes(pairs: &[(&str, i64)]) -> Vec<(String, i64)> {
+        pairs.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
+    }
+
+    fn outcome(cycles: u64) -> EvalOutcome {
+        EvalOutcome::Feasible(Measurement {
+            cycles,
+            dram_words: 1,
+            on_chip_bytes: 1,
+            area: Area::default(),
+        })
+    }
+
+    #[test]
+    fn key_is_stable_and_order_insensitive() {
+        let s1 = sizes(&[("m", 64), ("n", 32)]);
+        let s2 = sizes(&[("n", 32), ("m", 64)]);
+        let c1 = cand(&[("m", 8), ("n", 4)], 16);
+        let c2 = cand(&[("n", 4), ("m", 8)], 16);
+        assert_eq!(config_key("p", &s1, "", &c1), config_key("p", &s2, "", &c2));
+    }
+
+    #[test]
+    fn key_distinguishes_every_component() {
+        let s = sizes(&[("m", 64)]);
+        let base = config_key("p", &s, "", &cand(&[("m", 8)], 16));
+        assert_ne!(base, config_key("q", &s, "", &cand(&[("m", 8)], 16)));
+        assert_ne!(base, config_key("p", &s, "", &cand(&[("m", 4)], 16)));
+        assert_ne!(base, config_key("p", &s, "", &cand(&[("m", 8)], 32)));
+        assert_ne!(base, config_key("p", &s, "meta", &cand(&[("m", 8)], 16)));
+        let mut other_sim = cand(&[("m", 8)], 16);
+        other_sim.sim = SimConfig::default().with_clock_mhz(200.0);
+        assert_ne!(base, config_key("p", &s, "", &other_sim));
+        assert_ne!(
+            base,
+            config_key("p", &sizes(&[("m", 128)]), "", &cand(&[("m", 8)], 16))
+        );
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = EvalCache::new();
+        let key = 42u64;
+        assert!(cache.get(key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.insert(key, outcome(100));
+        assert_eq!(cache.get(key), Some(outcome(100)));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+}

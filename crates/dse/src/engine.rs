@@ -1,0 +1,344 @@
+//! The exploration engine: prefilter, memoized parallel evaluation,
+//! deterministic ranking.
+
+use pphw_hw::{area_objective, AreaBudget};
+use pphw_ir::program::Program;
+
+use crate::cache::{config_key, EvalCache};
+use crate::pareto::{compare_points, pareto_frontier};
+use crate::prune::{prefilter, PruneDecision};
+use crate::report::{DseReport, DseStats, EvaluatedPoint};
+use crate::space::{Candidate, SearchSpace};
+use crate::{DseError, EvalOutcome, Evaluate};
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Worker threads for candidate evaluation (`0` = one per available
+    /// core). The result is identical for every value.
+    pub threads: usize,
+    /// On-chip memory budget in bytes (prefilter and reporting; the
+    /// evaluator enforces its own authoritative post-compile check).
+    pub on_chip_budget_bytes: u64,
+    /// Area budget for the analytic prefilter.
+    pub area_budget: AreaBudget,
+    /// Run the analytic prefilter (disable to force exhaustive
+    /// evaluation, e.g. to measure what pruning saves).
+    pub prefilter: bool,
+    /// Cap on the number of candidates evaluated after pruning (in
+    /// canonical enumeration order; `usize::MAX` = no cap).
+    pub max_evals: usize,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            threads: 0,
+            on_chip_budget_bytes: 6 * 1024 * 1024,
+            area_budget: AreaBudget::full_device(),
+            prefilter: true,
+            max_evals: usize::MAX,
+        }
+    }
+}
+
+impl DseConfig {
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Explores the space: analytic prefilter, then memoized parallel
+/// evaluation of the survivors, then deterministic ranking into the best
+/// point and the cycles-vs-area Pareto frontier.
+///
+/// Determinism: the returned report is a pure function of (program,
+/// space, evaluator, pre-existing cache contents) — thread count and
+/// scheduling cannot change it. Candidates are enumerated and pruned in
+/// canonical order, results are merged by candidate index, and ranking
+/// uses a total order.
+///
+/// # Errors
+///
+/// [`DseError::EmptySpace`] if the space enumerates to nothing;
+/// [`DseError::NoFeasibleConfig`] if every point is pruned or infeasible.
+pub fn explore(
+    prog: &Program,
+    space: &SearchSpace,
+    evaluator: &dyn Evaluate,
+    cache: &EvalCache,
+    cfg: &DseConfig,
+) -> Result<DseReport, DseError> {
+    let candidates = space.candidates();
+    if candidates.is_empty() {
+        return Err(DseError::EmptySpace);
+    }
+    let mut stats = DseStats {
+        exhaustive: candidates.len(),
+        ..DseStats::default()
+    };
+
+    // Analytic prefilter: reject before compiling.
+    let survivors: Vec<Candidate> = if cfg.prefilter {
+        let decisions = prefilter(
+            prog,
+            space.sizes(),
+            &candidates,
+            cfg.on_chip_budget_bytes,
+            &cfg.area_budget,
+        );
+        candidates
+            .into_iter()
+            .zip(decisions)
+            .filter_map(|(c, d)| match d {
+                PruneDecision::Keep => Some(c),
+                PruneDecision::Tile(_) => {
+                    stats.pruned_tile += 1;
+                    None
+                }
+                PruneDecision::Budget { .. } => {
+                    stats.pruned_budget += 1;
+                    None
+                }
+                PruneDecision::Area => {
+                    stats.pruned_area += 1;
+                    None
+                }
+            })
+            .collect()
+    } else {
+        candidates
+    };
+    let mut survivors = survivors;
+    survivors.truncate(cfg.max_evals);
+    stats.evaluated = survivors.len();
+
+    // Memoized evaluation on the work-stealing pool. The bool records
+    // whether the measurement came from the cache; counted after the
+    // parallel section so the tallies are scheduling-independent.
+    let salt = evaluator.cache_salt();
+    let outcomes: Vec<(EvalOutcome, bool)> =
+        crate::pool::run_indexed(cfg.resolved_threads(), &survivors, |_, c| {
+            let key = config_key(&prog.name, space.sizes(), &salt, c);
+            if let Some(hit) = cache.get(key) {
+                (hit, true)
+            } else {
+                let out = evaluator.evaluate(c);
+                cache.insert(key, out.clone());
+                (out, false)
+            }
+        });
+
+    let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(survivors.len());
+    for (c, (outcome, from_cache)) in survivors.iter().zip(&outcomes) {
+        if *from_cache {
+            stats.cache_hits += 1;
+        } else {
+            stats.cache_misses += 1;
+        }
+        match outcome {
+            EvalOutcome::Feasible(m) => points.push(EvaluatedPoint {
+                label: c.label(),
+                tiles: c.tiles.clone(),
+                inner_par: c.inner_par,
+                sim_label: c.sim_label.clone(),
+                cycles: m.cycles,
+                dram_words: m.dram_words,
+                on_chip_bytes: m.on_chip_bytes,
+                area: m.area,
+                area_score: area_objective(m.area),
+            }),
+            EvalOutcome::Infeasible(_) => stats.infeasible += 1,
+        }
+    }
+
+    points.sort_by(compare_points);
+    let best = points.first().cloned().ok_or(DseError::NoFeasibleConfig)?;
+    let frontier = pareto_frontier(&points);
+    Ok(DseReport {
+        name: prog.name.clone(),
+        best,
+        frontier,
+        evaluated: points,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Measurement;
+    use pphw_hw::Area;
+    use pphw_ir::builder::ProgramBuilder;
+    use pphw_ir::types::DType;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// map(m,n){ x * 2 } — trivially tileable in both dims.
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new("scale2d");
+        let m = b.size("m");
+        let n = b.size("n");
+        let x = b.input("x", DType::F32, vec![m.clone(), n.clone()]);
+        let out = b.map(vec![m, n], |c, i| {
+            c.mul(c.f32(2.0), c.read(x, vec![c.var(i[0]), c.var(i[1])]))
+        });
+        b.finish(vec![out])
+    }
+
+    /// A synthetic evaluator: cycles fall with tile volume (locality) and
+    /// lane count; area grows with lanes. Counts invocations so tests can
+    /// assert what was actually (re)computed.
+    struct Synthetic {
+        calls: AtomicU64,
+    }
+
+    impl Synthetic {
+        fn new() -> Synthetic {
+            Synthetic {
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Evaluate for Synthetic {
+        fn evaluate(&self, c: &Candidate) -> EvalOutcome {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let vol: i64 = c.tiles.iter().map(|(_, v)| *v).product::<i64>().max(1);
+            let cycles = 1_000_000 / (vol as u64) / (c.inner_par as u64);
+            EvalOutcome::Feasible(Measurement {
+                cycles,
+                dram_words: vol as u64,
+                on_chip_bytes: (vol * 4) as u64,
+                area: Area {
+                    logic: c.inner_par as f64 * 320.0,
+                    ff: c.inner_par as f64 * 480.0,
+                    mem: 4.0,
+                },
+            })
+        }
+
+        fn cache_salt(&self) -> String {
+            "synthetic".into()
+        }
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(&[("m", 64), ("n", 64)])
+            .tune_dim("m")
+            .unwrap()
+            .tune_dim("n")
+            .unwrap()
+            .with_inner_pars(&[8, 16, 32])
+    }
+
+    #[test]
+    fn best_and_frontier_identical_across_thread_counts() {
+        let mut reference: Option<DseReport> = None;
+        for threads in [1usize, 2, 8] {
+            let eval = Synthetic::new();
+            let cache = EvalCache::new();
+            let cfg = DseConfig {
+                threads,
+                ..DseConfig::default()
+            };
+            let report = explore(&program(), &space(), &eval, &cache, &cfg).unwrap();
+            if let Some(r) = &reference {
+                assert_eq!(r.best.label, report.best.label, "threads={threads}");
+                assert_eq!(r.best.cycles, report.best.cycles);
+                assert_eq!(r.frontier.len(), report.frontier.len());
+                for (a, b) in r.frontier.iter().zip(&report.frontier) {
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(a.cycles, b.cycles);
+                    assert_eq!(a.area_score.to_bits(), b.area_score.to_bits());
+                }
+                let ra: Vec<_> = r.evaluated.iter().map(|p| &p.label).collect();
+                let rb: Vec<_> = report.evaluated.iter().map(|p| &p.label).collect();
+                assert_eq!(ra, rb, "full ranking identical at {threads} threads");
+                assert_eq!(r.stats, report.stats);
+            }
+            reference = Some(report);
+        }
+    }
+
+    #[test]
+    fn shared_cache_prevents_recompilation() {
+        let eval = Synthetic::new();
+        let cache = EvalCache::new();
+        let cfg = DseConfig::default();
+        let first = explore(&program(), &space(), &eval, &cache, &cfg).unwrap();
+        let compiled_once = eval.calls.load(Ordering::SeqCst);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.stats.cache_misses, compiled_once);
+
+        // Same search again: every measurement is a cache hit.
+        let second = explore(&program(), &space(), &eval, &cache, &cfg).unwrap();
+        assert_eq!(eval.calls.load(Ordering::SeqCst), compiled_once);
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits as usize, second.stats.evaluated);
+        assert_eq!(second.best.label, first.best.label);
+
+        // An overlapping sweep (superset of lane counts) only compiles the
+        // new points.
+        let wider = space().with_inner_pars(&[8, 16, 32, 64]);
+        let third = explore(&program(), &wider, &eval, &cache, &cfg).unwrap();
+        assert_eq!(third.stats.cache_hits as usize, first.stats.evaluated);
+        assert_eq!(
+            third.stats.cache_misses as usize,
+            third.stats.evaluated - first.stats.evaluated
+        );
+    }
+
+    #[test]
+    fn empty_space_is_an_error() {
+        let s = SearchSpace::new(&[("m", 64)]).with_inner_pars(&[]);
+        let err = explore(
+            &program(),
+            &s,
+            &Synthetic::new(),
+            &EvalCache::new(),
+            &DseConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, DseError::EmptySpace);
+    }
+
+    /// An evaluator that rejects everything: the engine must report
+    /// NoFeasibleConfig, not panic or return an empty best.
+    struct AlwaysInfeasible;
+    impl Evaluate for AlwaysInfeasible {
+        fn evaluate(&self, _c: &Candidate) -> EvalOutcome {
+            EvalOutcome::Infeasible("nope".into())
+        }
+    }
+
+    #[test]
+    fn all_infeasible_is_an_error() {
+        let err = explore(
+            &program(),
+            &space(),
+            &AlwaysInfeasible,
+            &EvalCache::new(),
+            &DseConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, DseError::NoFeasibleConfig);
+    }
+
+    #[test]
+    fn max_evals_caps_the_survivor_list() {
+        let eval = Synthetic::new();
+        let cfg = DseConfig {
+            max_evals: 3,
+            ..DseConfig::default()
+        };
+        let report = explore(&program(), &space(), &eval, &EvalCache::new(), &cfg).unwrap();
+        assert_eq!(report.stats.evaluated, 3);
+        assert_eq!(eval.calls.load(Ordering::SeqCst), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Pareto-frontier extraction over (cycles, area).
+//!
+//! Points are ranked by a *total* order — cycles, then the scalar area
+//! objective (worst-case device utilization, [`pphw_hw::area_objective`]),
+//! then the candidate label — so the frontier and the best point are
+//! unique and identical regardless of evaluation order or thread count.
+
+use std::cmp::Ordering;
+
+use crate::report::EvaluatedPoint;
+
+/// The canonical total order on evaluated points: fewest cycles first,
+/// ties broken by smaller area, then lexicographic label.
+#[must_use]
+pub fn compare_points(a: &EvaluatedPoint, b: &EvaluatedPoint) -> Ordering {
+    a.cycles
+        .cmp(&b.cycles)
+        .then(a.area_score.total_cmp(&b.area_score))
+        .then_with(|| a.label.cmp(&b.label))
+}
+
+/// Extracts the cycles-vs-area Pareto frontier: every point for which no
+/// other point is at least as fast *and* at least as small (with one
+/// canonical representative per (cycles, area) pair). Returned fastest
+/// first; area strictly decreases along the frontier.
+#[must_use]
+pub fn pareto_frontier(points: &[EvaluatedPoint]) -> Vec<EvaluatedPoint> {
+    let mut sorted: Vec<EvaluatedPoint> = points.to_vec();
+    sorted.sort_by(compare_points);
+    let mut frontier: Vec<EvaluatedPoint> = Vec::new();
+    for p in sorted {
+        match frontier.last() {
+            Some(last) if p.area_score >= last.area_score => {}
+            _ => frontier.push(p),
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphw_hw::Area;
+
+    fn pt(label: &str, cycles: u64, area_score: f64) -> EvaluatedPoint {
+        EvaluatedPoint {
+            label: label.to_string(),
+            tiles: vec![],
+            inner_par: 1,
+            sim_label: "max4".into(),
+            cycles,
+            dram_words: 0,
+            on_chip_bytes: 0,
+            area: Area::default(),
+            area_score,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = vec![
+            pt("fast-big", 100, 0.9),
+            pt("dominated", 200, 0.95), // slower and bigger than fast-big
+            pt("slow-small", 300, 0.1),
+            pt("mid", 150, 0.5),
+        ];
+        let f = pareto_frontier(&pts);
+        let labels: Vec<&str> = f.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["fast-big", "mid", "slow-small"]);
+        // Area strictly decreases along the frontier.
+        for w in f.windows(2) {
+            assert!(w[1].area_score < w[0].area_score);
+            assert!(w[1].cycles > w[0].cycles);
+        }
+    }
+
+    #[test]
+    fn equal_points_keep_one_canonical_representative() {
+        let pts = vec![pt("b", 100, 0.5), pt("a", 100, 0.5)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].label, "a", "lexicographic tie-break");
+    }
+
+    #[test]
+    fn frontier_is_order_independent() {
+        let mut pts = vec![
+            pt("a", 10, 0.3),
+            pt("b", 20, 0.2),
+            pt("c", 15, 0.25),
+            pt("d", 5, 0.9),
+        ];
+        let f1 = pareto_frontier(&pts);
+        pts.reverse();
+        let f2 = pareto_frontier(&pts);
+        let l1: Vec<_> = f1.iter().map(|p| &p.label).collect();
+        let l2: Vec<_> = f2.iter().map(|p| &p.label).collect();
+        assert_eq!(l1, l2);
+    }
+}

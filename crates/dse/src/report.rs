@@ -1,0 +1,284 @@
+//! Search results: the best point, the Pareto frontier, evaluation
+//! counts, and JSON/CSV export (hand-rolled — the workspace carries no
+//! serialization dependency).
+
+use pphw_hw::Area;
+
+/// One evaluated (feasible) point of the search space.
+#[derive(Debug, Clone)]
+pub struct EvaluatedPoint {
+    /// Candidate identity, e.g. `m=32,n=16 par=64 sim=max4`.
+    pub label: String,
+    /// Tile size per tuned dimension.
+    pub tiles: Vec<(String, i64)>,
+    /// Innermost parallelism factor.
+    pub inner_par: u32,
+    /// Simulation substrate variant.
+    pub sim_label: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Useful DRAM words requested during simulation.
+    pub dram_words: u64,
+    /// On-chip memory footprint of the generated design.
+    pub on_chip_bytes: u64,
+    /// Estimated design area.
+    pub area: Area,
+    /// Scalar area objective (worst-case device utilization fraction).
+    pub area_score: f64,
+}
+
+/// Where every enumerated point went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DseStats {
+    /// Size of the exhaustive cross product.
+    pub exhaustive: usize,
+    /// Rejected by the prefilter: tiling infeasible.
+    pub pruned_tile: usize,
+    /// Rejected by the prefilter: predicted on-chip footprint over budget.
+    pub pruned_budget: usize,
+    /// Rejected by the prefilter: area lower bound over budget.
+    pub pruned_area: usize,
+    /// Points that reached the compile+simulate evaluator (cache hits
+    /// included — they were *measured*, just not re-compiled).
+    pub evaluated: usize,
+    /// Evaluated points the evaluator rejected (compile error, post-compile
+    /// budget violation, …).
+    pub infeasible: usize,
+    /// Measurements served from the memoization cache.
+    pub cache_hits: u64,
+    /// Measurements that actually ran the compile+simulate path.
+    pub cache_misses: u64,
+}
+
+impl DseStats {
+    /// Total points removed by the analytic prefilter.
+    #[must_use]
+    pub fn pruned_total(&self) -> usize {
+        self.pruned_tile + self.pruned_budget + self.pruned_area
+    }
+}
+
+/// A completed design-space exploration.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// Program name.
+    pub name: String,
+    /// The single best point (fewest cycles; area and label break ties).
+    pub best: EvaluatedPoint,
+    /// The cycles-vs-area Pareto frontier, fastest first.
+    pub frontier: Vec<EvaluatedPoint>,
+    /// Every feasible point, best first (canonical total order).
+    pub evaluated: Vec<EvaluatedPoint>,
+    /// Where every enumerated point went.
+    pub stats: DseStats,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn point_json(p: &EvaluatedPoint) -> String {
+    let tiles = p
+        .tiles
+        .iter()
+        .map(|(k, v)| format!("{{\"dim\":\"{}\",\"tile\":{v}}}", json_escape(k)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"label\":\"{}\",\"tiles\":[{tiles}],\"inner_par\":{},\"sim\":\"{}\",\
+         \"cycles\":{},\"dram_words\":{},\"on_chip_bytes\":{},\
+         \"area\":{{\"logic\":{},\"ff\":{},\"mem\":{}}},\"area_score\":{}}}",
+        json_escape(&p.label),
+        p.inner_par,
+        json_escape(&p.sim_label),
+        p.cycles,
+        p.dram_words,
+        p.on_chip_bytes,
+        p.area.logic,
+        p.area.ff,
+        p.area.mem,
+        p.area_score
+    )
+}
+
+impl DseReport {
+    /// Renders the full report as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let frontier = self
+            .frontier
+            .iter()
+            .map(point_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        let evaluated = self
+            .evaluated
+            .iter()
+            .map(point_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        let s = &self.stats;
+        format!(
+            "{{\"name\":\"{}\",\"best\":{},\"frontier\":[{frontier}],\
+             \"evaluated\":[{evaluated}],\"stats\":{{\"exhaustive\":{},\
+             \"pruned_tile\":{},\"pruned_budget\":{},\"pruned_area\":{},\
+             \"evaluated\":{},\"infeasible\":{},\"cache_hits\":{},\
+             \"cache_misses\":{}}}}}",
+            json_escape(&self.name),
+            point_json(&self.best),
+            s.exhaustive,
+            s.pruned_tile,
+            s.pruned_budget,
+            s.pruned_area,
+            s.evaluated,
+            s.infeasible,
+            s.cache_hits,
+            s.cache_misses
+        )
+    }
+
+    /// Renders every feasible point as CSV (best first), with a
+    /// `on_frontier` marker column.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "program,label,tiles,inner_par,sim,cycles,dram_words,on_chip_bytes,\
+             logic,ff,mem,area_score,on_frontier\n",
+        );
+        for p in &self.evaluated {
+            let tiles = p
+                .tiles
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let on_frontier = self.frontier.iter().any(|f| f.label == p.label);
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{:.0},{:.0},{:.1},{:.6},{}\n",
+                self.name,
+                p.label,
+                tiles,
+                p.inner_par,
+                p.sim_label,
+                p.cycles,
+                p.dram_words,
+                p.on_chip_bytes,
+                p.area.logic,
+                p.area.ff,
+                p.area.mem,
+                p.area_score,
+                on_frontier
+            ));
+        }
+        out
+    }
+
+    /// Human-readable summary: counts, the frontier, and the best point.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "dse `{}`: {} points enumerated, {} pruned analytically \
+             (tile {}, budget {}, area {}), {} evaluated \
+             ({} compiled, {} from cache), {} infeasible\n",
+            self.name,
+            s.exhaustive,
+            s.pruned_total(),
+            s.pruned_tile,
+            s.pruned_budget,
+            s.pruned_area,
+            s.evaluated,
+            s.cache_misses,
+            s.cache_hits,
+            s.infeasible
+        );
+        out.push_str(&format!(
+            "  {:<34} {:>12} {:>12} {:>10}\n",
+            "pareto frontier (cycles vs area)", "cycles", "DRAM words", "area"
+        ));
+        for p in &self.frontier {
+            out.push_str(&format!(
+                "  {:<34} {:>12} {:>12} {:>9.4}\n",
+                p.label, p.cycles, p.dram_words, p.area_score
+            ));
+        }
+        out.push_str(&format!(
+            "  best: {} at {} cycles (area {:.4})\n",
+            self.best.label, self.best.cycles, self.best.area_score
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(label: &str, cycles: u64) -> EvaluatedPoint {
+        EvaluatedPoint {
+            label: label.to_string(),
+            tiles: vec![("m".into(), 8)],
+            inner_par: 16,
+            sim_label: "max4".into(),
+            cycles,
+            dram_words: 10,
+            on_chip_bytes: 256,
+            area: Area {
+                logic: 100.0,
+                ff: 200.0,
+                mem: 3.0,
+            },
+            area_score: 0.25,
+        }
+    }
+
+    fn report() -> DseReport {
+        DseReport {
+            name: "t".into(),
+            best: pt("a", 10),
+            frontier: vec![pt("a", 10)],
+            evaluated: vec![pt("a", 10), pt("b", 20)],
+            stats: DseStats {
+                exhaustive: 5,
+                pruned_budget: 2,
+                evaluated: 2,
+                cache_misses: 2,
+                ..DseStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let j = report().to_json();
+        for needle in [
+            "\"name\":\"t\"",
+            "\"best\":",
+            "\"frontier\":[",
+            "\"evaluated\":[",
+            "\"exhaustive\":5",
+            "\"pruned_budget\":2",
+            "\"cycles\":10",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_point() {
+        let c = report().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("program,label"));
+        assert!(lines[1].contains("true"), "best is on the frontier");
+        assert!(lines[2].contains("false"));
+    }
+
+    #[test]
+    fn summary_reports_prune_savings() {
+        let s = report().summary();
+        assert!(s.contains("5 points enumerated"));
+        assert!(s.contains("2 pruned analytically"));
+        assert!(s.contains("best: a"));
+    }
+}

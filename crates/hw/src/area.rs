@@ -168,6 +168,61 @@ pub fn design_area(design: &Design) -> Area {
     total
 }
 
+/// A resource budget over the three area categories, in absolute units
+/// (ALM-equivalents / flip-flops / M20K blocks). The design-space explorer
+/// rejects candidates whose estimated area exceeds any category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBudget {
+    /// Logic capacity (ALM-equivalents).
+    pub logic: f64,
+    /// Flip-flop capacity.
+    pub ff: f64,
+    /// On-chip memory capacity (M20K blocks).
+    pub mem: f64,
+}
+
+impl AreaBudget {
+    /// The whole Stratix-V-class device.
+    #[must_use]
+    pub fn full_device() -> AreaBudget {
+        AreaBudget {
+            logic: DEVICE_LOGIC,
+            ff: DEVICE_FF,
+            mem: DEVICE_MEM_BLOCKS,
+        }
+    }
+
+    /// A uniform fraction of the device in every category.
+    #[must_use]
+    pub fn device_fraction(frac: f64) -> AreaBudget {
+        AreaBudget {
+            logic: DEVICE_LOGIC * frac,
+            ff: DEVICE_FF * frac,
+            mem: DEVICE_MEM_BLOCKS * frac,
+        }
+    }
+
+    /// Whether an area estimate fits in every category.
+    #[must_use]
+    pub fn fits(&self, area: Area) -> bool {
+        area.logic <= self.logic && area.ff <= self.ff && area.mem <= self.mem
+    }
+}
+
+impl Default for AreaBudget {
+    fn default() -> Self {
+        AreaBudget::full_device()
+    }
+}
+
+/// Scalar area objective for Pareto comparisons: the worst-case device
+/// utilization fraction across the three categories (the binding resource).
+#[must_use]
+pub fn area_objective(area: Area) -> f64 {
+    let u = utilization(area);
+    u.logic.max(u.ff).max(u.mem)
+}
+
 /// Rough device capacity (Stratix V class) used for utilization fractions.
 pub const DEVICE_LOGIC: f64 = 262_400.0;
 /// Device flip-flop capacity.
@@ -226,6 +281,38 @@ mod tests {
         let r = a.relative_to(a);
         assert!((r.logic - 1.0).abs() < 1e-9);
         assert!((r.mem - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_budget_rejects_any_category_overflow() {
+        let b = AreaBudget {
+            logic: 100.0,
+            ff: 100.0,
+            mem: 10.0,
+        };
+        let fits = Area {
+            logic: 99.0,
+            ff: 50.0,
+            mem: 10.0,
+        };
+        let too_much_mem = Area {
+            logic: 1.0,
+            ff: 1.0,
+            mem: 11.0,
+        };
+        assert!(b.fits(fits));
+        assert!(!b.fits(too_much_mem));
+        assert!(AreaBudget::full_device().fits(fits));
+    }
+
+    #[test]
+    fn area_objective_is_binding_resource_fraction() {
+        let a = Area {
+            logic: DEVICE_LOGIC / 2.0,
+            ff: DEVICE_FF / 4.0,
+            mem: DEVICE_MEM_BLOCKS / 8.0,
+        };
+        assert!((area_objective(a) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub mod design;
 pub mod gen;
 pub mod hgl;
 
-pub use area::{design_area, utilization, Area};
+pub use area::{area_objective, design_area, utilization, Area, AreaBudget};
 pub use config::HwConfig;
 pub use design::{Design, DesignStyle};
 pub use gen::{generate, HwError};

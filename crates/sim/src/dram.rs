@@ -3,7 +3,7 @@
 use pphw_hw::design::DramStream;
 
 /// Simulation parameters (defaults match the paper's Max4 Maia board).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Fabric clock in MHz.
     pub clock_mhz: f64,
@@ -42,6 +42,63 @@ impl SimConfig {
     /// Converts a cycle count to seconds.
     pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
         cycles / (self.clock_mhz * 1e6)
+    }
+
+    /// Sets the fabric clock.
+    #[must_use]
+    pub fn with_clock_mhz(mut self, mhz: f64) -> Self {
+        self.clock_mhz = mhz;
+        self
+    }
+
+    /// Sets the peak DRAM bandwidth.
+    #[must_use]
+    pub fn with_dram_gbps(mut self, gbps: f64) -> Self {
+        self.dram_gbps = gbps;
+        self
+    }
+
+    /// Sets the request-to-first-data latency.
+    #[must_use]
+    pub fn with_dram_latency(mut self, cycles: u64) -> Self {
+        self.dram_latency = cycles;
+        self
+    }
+
+    /// Sets the DRAM burst size.
+    #[must_use]
+    pub fn with_burst_bytes(mut self, bytes: u64) -> Self {
+        self.burst_bytes = bytes;
+        self
+    }
+
+    /// A stable, canonical identity string for this configuration — every
+    /// field, with floats rendered via their bit pattern so two configs
+    /// hash equal iff they simulate identically. Used as a cache-key
+    /// component by the design-space explorer.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "clk={:016x},bw={:016x},lat={},burst={},word={},gap={}",
+            self.clock_mhz.to_bits(),
+            self.dram_gbps.to_bits(),
+            self.dram_latency,
+            self.burst_bytes,
+            self.word_bytes,
+            self.sync_gap
+        )
+    }
+
+    /// Named substrate variants worth sweeping in design-space exploration
+    /// and differential timing checks: the paper's Max4 Maia board, a
+    /// faster-fabric build, and a bandwidth-starved board.
+    #[must_use]
+    pub fn named_variants() -> Vec<(&'static str, SimConfig)> {
+        vec![
+            ("max4", SimConfig::default()),
+            ("fast-clock", SimConfig::default().with_clock_mhz(200.0)),
+            ("low-bw", SimConfig::default().with_dram_gbps(38.4)),
+        ]
     }
 }
 
@@ -258,6 +315,28 @@ mod tests {
         let mut d = Dram::new(cfg);
         let t = d.request(0.0, &stream(96, 96, true, true));
         assert!((t - 384.0 / bpc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_configs() {
+        let a = SimConfig::default();
+        let b = SimConfig::default().with_clock_mhz(200.0);
+        let c = SimConfig::default().with_dram_gbps(38.4);
+        assert_eq!(a.canonical_key(), SimConfig::default().canonical_key());
+        assert_ne!(a.canonical_key(), b.canonical_key());
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        assert_ne!(b.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn named_variants_have_unique_keys() {
+        let vars = SimConfig::named_variants();
+        assert!(vars.len() >= 3);
+        for (i, (_, a)) in vars.iter().enumerate() {
+            for (_, b) in vars.iter().skip(i + 1) {
+                assert_ne!(a.canonical_key(), b.canonical_key());
+            }
+        }
     }
 
     #[test]

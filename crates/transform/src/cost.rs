@@ -102,6 +102,46 @@ impl CostReport {
     }
 }
 
+/// Concrete analytic traffic prediction for one configuration — the cost
+/// model of this module evaluated under a size environment. Used by the
+/// design-space explorer to prune candidates before the expensive
+/// compile+simulate path, and by the differential harness to cross-check
+/// the model against simulated traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficPrediction {
+    /// Predicted words read from main memory (a lower bound: the model
+    /// charges reads at materialization points and ignores burst padding).
+    pub dram_read_words: i64,
+    /// Predicted peak on-chip words across materializations.
+    pub on_chip_words: i64,
+}
+
+impl TrafficPrediction {
+    /// On-chip footprint in bytes for a given word size.
+    #[must_use]
+    pub fn on_chip_bytes(&self, word_bytes: u64) -> u64 {
+        self.on_chip_words.max(0) as u64 * word_bytes
+    }
+}
+
+/// Evaluates the analytic cost model for `prog` under `env`, producing the
+/// per-candidate prediction the design-space explorer prunes with.
+///
+/// # Errors
+///
+/// Returns a size-evaluation error if a dimension of the program is not
+/// bound in `env`.
+pub fn predict_traffic(
+    prog: &Program,
+    env: &SizeEnv,
+) -> Result<TrafficPrediction, pphw_ir::size::SizeError> {
+    let report = analyze_cost(prog);
+    Ok(TrafficPrediction {
+        dram_read_words: report.total_reads(env)?,
+        on_chip_words: report.total_on_chip(env)?,
+    })
+}
+
 struct Acc {
     reads: Size,
     storage: Size,

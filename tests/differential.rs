@@ -16,9 +16,17 @@
 use pphw_apps::all_benchmarks;
 use pphw_ir::expr::{BinOp, Expr};
 use pphw_ir::Program;
+use pphw_sim::SimConfig;
 use pphw_testkit::differential::{run_differential, DiffCase, DiffError, DiffOptions};
 use pphw_transform::rewrite::map_exprs;
 use pphw_transform::{tile_program, TileConfig, TileError};
+
+fn named_sim_variants() -> Vec<(String, SimConfig)> {
+    SimConfig::named_variants()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
 
 /// Seeded size/tile sweeps per benchmark: at least three configurations
 /// each, small enough that the interpreter-based oracle stays fast, large
@@ -132,6 +140,97 @@ fn gda_differential() {
 #[test]
 fn kmeans_differential() {
     run_sweep("kmeans");
+}
+
+/// Joint parallelism × DRAM-substrate sweep on the two streaming
+/// benchmarks: every (level, par, substrate) combination must simulate
+/// deterministically, stay inside the analytic traffic band, and respect
+/// the unconditional orderings (meta <= tiled cycles, tiled <= baseline
+/// DRAM words) — but no tiling *speedup* is expected, since streaming
+/// bodies have no reuse for tiles to capture.
+#[test]
+fn par_and_substrate_sweep_on_streaming_benchmarks() {
+    let opts = DiffOptions {
+        inner_pars: vec![8, 32],
+        sim_variants: named_sim_variants(),
+        ..DiffOptions::default()
+    };
+    for (name, case) in [
+        (
+            "outerprod",
+            DiffCase::new(&[("m", 32), ("n", 32)], &[("m", 8), ("n", 8)], 81),
+        ),
+        ("tpchq6", DiffCase::new(&[("n", 512)], &[("n", 64)], 82)),
+    ] {
+        let spec = all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("benchmark exists");
+        let report = run_differential(
+            name,
+            &(spec.program)(),
+            &spec.inputs,
+            Some(&spec.golden),
+            &[case],
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+        // 3 levels x 2 parallelism factors x 3 substrates.
+        assert_eq!(report.cases[0].levels.len(), 18, "{name}");
+    }
+}
+
+/// On reuse-heavy benchmarks at sizes where tile copies amortize, the
+/// full `meta <= tiled <= baseline` cycle chain must hold across the
+/// whole parallelism x substrate sweep (Figure 7's speedups).
+#[test]
+fn tiling_speedup_ordering_on_reuse_benchmarks() {
+    let opts = DiffOptions {
+        inner_pars: vec![8, 32],
+        sim_variants: named_sim_variants(),
+        expect_tiling_speedup: true,
+        ..DiffOptions::default()
+    };
+    for (name, case) in [
+        (
+            "sumrows",
+            DiffCase::new(&[("m", 128), ("n", 128)], &[("m", 16), ("n", 128)], 91),
+        ),
+        (
+            "gemm",
+            DiffCase::new(
+                &[("m", 64), ("n", 64), ("p", 64)],
+                &[("m", 16), ("n", 16), ("p", 16)],
+                92,
+            ),
+        ),
+        (
+            "gda",
+            DiffCase::new(&[("n", 256), ("d", 16)], &[("n", 64)], 93),
+        ),
+        (
+            "kmeans",
+            DiffCase::new(
+                &[("n", 256), ("k", 8), ("d", 8)],
+                &[("n", 32), ("k", 4)],
+                94,
+            ),
+        ),
+    ] {
+        let spec = all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("benchmark exists");
+        run_differential(
+            name,
+            &(spec.program)(),
+            &spec.inputs,
+            Some(&spec.golden),
+            &[case],
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("speedup ordering failed: {e}"));
+    }
 }
 
 /// A transform that tiles correctly, then corrupts one reduction: the

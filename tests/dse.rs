@@ -1,0 +1,186 @@
+//! Acceptance tests for the design-space-exploration subsystem on the
+//! real compile+simulate pipeline (the synthetic-evaluator unit tests
+//! live in `pphw-dse` itself).
+//!
+//! The two hard guarantees checked here:
+//!
+//! 1. **Determinism** — the best point, the Pareto frontier, the full
+//!    ranking, and every counter are bit-identical whether the search
+//!    runs on 1, 2, or 8 worker threads.
+//! 2. **The prefilter pays** — with a constraining budget, the analytic
+//!    prefilter measurably reduces the number of compile+simulate
+//!    evaluations versus exhaustive enumeration, without changing the
+//!    best point it finds.
+
+use pphw::dse::{explore_program, explore_with_cache};
+use pphw::CompileOptions;
+use pphw_apps::all_benchmarks;
+use pphw_dse::cache::EvalCache;
+use pphw_dse::{DseConfig, DseError, SearchSpace};
+use pphw_ir::Program;
+
+fn benchmark(name: &str) -> Program {
+    let spec = all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("benchmark exists");
+    (spec.program)()
+}
+
+const GEMM_SIZES: &[(&str, i64)] = &[("m", 32), ("n", 32), ("p", 32)];
+
+fn gemm_space() -> SearchSpace {
+    SearchSpace::new(GEMM_SIZES)
+        .tune_dim("m")
+        .unwrap()
+        .tune_dim("n")
+        .unwrap()
+        .tune_dim("p")
+        .unwrap()
+        .with_inner_pars(&[8, 16])
+}
+
+#[test]
+fn dse_is_deterministic_across_thread_counts_on_real_pipeline() {
+    let prog = benchmark("gemm");
+    let base = CompileOptions::new(GEMM_SIZES);
+    let space = gemm_space();
+    let mut reference = None;
+    for threads in [1usize, 2, 8] {
+        let cfg = DseConfig {
+            threads,
+            ..DseConfig::default()
+        };
+        let report = explore_program(&prog, &base, &space, &cfg).expect("search succeeds");
+        assert!(report.best.cycles > 0);
+        if let Some(r) = &reference {
+            let r: &pphw_dse::DseReport = r;
+            assert_eq!(r.best.label, report.best.label, "threads={threads}");
+            assert_eq!(r.best.cycles, report.best.cycles);
+            assert_eq!(
+                r.best.area_score.to_bits(),
+                report.best.area_score.to_bits(),
+                "bit-identical area objective"
+            );
+            let labels = |rep: &pphw_dse::DseReport| {
+                rep.evaluated
+                    .iter()
+                    .map(|p| (p.label.clone(), p.cycles))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                labels(r),
+                labels(&report),
+                "full ranking at {threads} threads"
+            );
+            let frontier = |rep: &pphw_dse::DseReport| {
+                rep.frontier
+                    .iter()
+                    .map(|p| (p.label.clone(), p.cycles, p.area_score.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(frontier(r), frontier(&report));
+            assert_eq!(r.stats, report.stats);
+        }
+        reference = Some(report);
+    }
+}
+
+#[test]
+fn prefilter_reduces_evaluations_without_changing_the_best() {
+    let prog = benchmark("gemm");
+    // A 2 KiB budget: big tiles need a multi-KiB interchanged accumulator
+    // plus tile copies, so the analytic prefilter rejects them before the
+    // compiler runs; small tiles fit.
+    let budget = 2 * 1024;
+    let base = CompileOptions::new(GEMM_SIZES);
+    let mut base_budget = base.clone();
+    base_budget.on_chip_budget_bytes = budget;
+    let space = gemm_space();
+
+    let pruned_cfg = DseConfig {
+        threads: 2,
+        on_chip_budget_bytes: budget,
+        ..DseConfig::default()
+    };
+    let pruned = explore_program(&prog, &base_budget, &space, &pruned_cfg).expect("search");
+    assert!(
+        pruned.stats.pruned_budget > 0,
+        "budget prune must fire: {:?}",
+        pruned.stats
+    );
+    assert!(
+        pruned.stats.evaluated < pruned.stats.exhaustive,
+        "prefilter must reduce evaluations: {:?}",
+        pruned.stats
+    );
+    // Every pruned point was only *analytically* rejected; the survivors
+    // still cover the space, so cache misses equal survivors.
+    assert_eq!(
+        pruned.stats.cache_misses as usize, pruned.stats.evaluated,
+        "fresh cache: every survivor compiled once"
+    );
+
+    // Exhaustive run (prefilter off) must agree on the best point: the
+    // prefilter only rejects candidates the authoritative post-compile
+    // budget check would reject anyway.
+    let exhaustive_cfg = DseConfig {
+        threads: 2,
+        on_chip_budget_bytes: budget,
+        prefilter: false,
+        ..DseConfig::default()
+    };
+    let exhaustive = explore_program(&prog, &base_budget, &space, &exhaustive_cfg).expect("search");
+    assert_eq!(exhaustive.stats.pruned_total(), 0);
+    assert_eq!(exhaustive.stats.evaluated, exhaustive.stats.exhaustive);
+    assert!(
+        exhaustive.stats.evaluated > pruned.stats.evaluated,
+        "prefilter saved {} of {} compiles",
+        exhaustive.stats.evaluated - pruned.stats.evaluated,
+        exhaustive.stats.evaluated
+    );
+    assert_eq!(exhaustive.best.label, pruned.best.label);
+    assert_eq!(exhaustive.best.cycles, pruned.best.cycles);
+}
+
+#[test]
+fn shared_cache_short_circuits_repeat_searches() {
+    let prog = benchmark("sumrows");
+    let sizes: &[(&str, i64)] = &[("m", 64), ("n", 64)];
+    let base = CompileOptions::new(sizes);
+    let space = SearchSpace::new(sizes)
+        .tune_dim("m")
+        .unwrap()
+        .with_inner_pars(&[8, 16]);
+    let cache = EvalCache::new();
+    let cfg = DseConfig::default();
+
+    let first = explore_with_cache(&prog, &base, &space, &cfg, &cache).expect("search");
+    assert_eq!(first.stats.cache_hits, 0);
+    assert_eq!(first.stats.cache_misses as usize, first.stats.evaluated);
+
+    let second = explore_with_cache(&prog, &base, &space, &cfg, &cache).expect("search");
+    assert_eq!(second.stats.cache_misses, 0, "everything memoized");
+    assert_eq!(second.stats.cache_hits as usize, second.stats.evaluated);
+    assert_eq!(second.best.label, first.best.label);
+    assert_eq!(second.best.cycles, first.best.cycles);
+}
+
+#[test]
+fn impossible_budget_is_no_feasible_config() {
+    let prog = benchmark("gemm");
+    let mut base = CompileOptions::new(GEMM_SIZES);
+    base.on_chip_budget_bytes = 16;
+    let cfg = DseConfig {
+        on_chip_budget_bytes: 16,
+        ..DseConfig::default()
+    };
+    let err = explore_program(&prog, &base, &gemm_space(), &cfg).unwrap_err();
+    assert_eq!(err, DseError::NoFeasibleConfig);
+}
+
+#[test]
+fn unknown_dimension_is_rejected_when_building_the_space() {
+    let err = SearchSpace::new(GEMM_SIZES).tune_dim("zzz").unwrap_err();
+    assert_eq!(err, DseError::UnknownDim("zzz".into()));
+}
