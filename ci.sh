@@ -13,6 +13,13 @@ cargo test -q --offline --workspace
 echo "== dse smoke (tiny space, 2 threads)"
 cargo run --release --offline -p pphw-bench --bin dse -- --quick --threads 2
 
+echo "== fault-injection sweep (self-checking: determinism, inertness, monotonicity)"
+cargo run --release --offline -p pphw-bench --bin faults
+
+echo "== robustness fuzz smoke (fresh seed, never-panic property)"
+PPHW_PROP_SEED=0xC1C1C1C1 PPHW_PROP_CASES=64 \
+  cargo test -q --offline --test robustness fuzzed_pipeline_returns_errors_never_panics
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -16,7 +16,7 @@ use pphw_transform::cost::analyze_cost;
 use pphw_transform::{tile_program, tile_program_no_interchange, TileConfig};
 
 fn cycles(compiled: &pphw::Compiled, sim: &SimConfig) -> u64 {
-    compiled.simulate(sim).cycles
+    compiled.simulate(sim).expect("simulates").cycles
 }
 
 fn ablation_metapipeline(group: &mut BenchGroup) {
@@ -62,7 +62,7 @@ fn ablation_tile_size(group: &mut BenchGroup) {
             .tiles(&[("m", b), ("n", b), ("p", b)])
             .opt(OptLevel::Metapipelined);
         let compiled = compile(&prog, &opts).expect("compiles");
-        let report = compiled.simulate(&sim);
+        let report = compiled.simulate(&sim).expect("simulates");
         println!(
             "  tile {b:>4}: {:>12} cyc  {:>12} DRAM words  {:>10} on-chip bytes",
             report.cycles,
@@ -116,7 +116,7 @@ fn ablation_elision(group: &mut BenchGroup) {
         };
         let design = pphw_hw::generate(&tiled, &env, &hw, pphw_hw::DesignStyle::Metapipelined)
             .expect("generates");
-        let report = pphw_sim::simulate(&design, &sim);
+        let report = pphw_sim::simulate(&design, &sim).expect("simulates");
         let area = pphw_hw::design_area(&design);
         println!(
             "  elide={elide:<5} {:>12} cyc  {:>8.0} mem blocks  {} buffers",
@@ -146,7 +146,7 @@ fn ablation_gda_parallelism(group: &mut BenchGroup) {
             .meta_inner_par(par)
             .opt(OptLevel::Metapipelined);
         let compiled = compile(&prog, &opts).expect("compiles");
-        let report = compiled.simulate(&sim);
+        let report = compiled.simulate(&sim).expect("simulates");
         let area = compiled.area();
         println!(
             "  par {par:>4}: {:>10} cyc  logic {:>9.0}",
@@ -160,7 +160,7 @@ fn ablation_gda_parallelism(group: &mut BenchGroup) {
         .opt(OptLevel::Metapipelined);
     let compiled = compile(&prog, &opts).expect("compiles");
     group.bench("gda_par_512", || {
-        std::hint::black_box(compiled.simulate(&sim).cycles)
+        std::hint::black_box(compiled.simulate(&sim).expect("simulates").cycles)
     });
 }
 

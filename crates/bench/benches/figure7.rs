@@ -28,7 +28,7 @@ fn main() {
             let opts = options_for(&spec).opt(level);
             let compiled = compile(&prog, &opts).expect("compiles");
             group.bench(&format!("{}/{level}", spec.name), || {
-                let report = compiled.simulate(&sim);
+                let report = compiled.simulate(&sim).expect("simulates");
                 std::hint::black_box(report.cycles)
             });
         }

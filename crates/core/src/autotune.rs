@@ -129,7 +129,7 @@ pub fn autotune(
     Ok(TuneResult {
         best,
         evaluated,
-        skipped: report.stats.pruned_total() + report.stats.infeasible,
+        skipped: report.stats.pruned_total() + report.stats.infeasible + report.stats.failed,
     })
 }
 

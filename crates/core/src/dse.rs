@@ -79,7 +79,14 @@ impl Evaluate for CompileEvaluator<'_> {
                 opts.on_chip_budget_bytes
             ));
         }
-        let report = compiled.simulate(&c.sim);
+        // A simulation failure (invalid substrate, cycle-budget overrun)
+        // is not an infeasible *design* — record it as a failed
+        // evaluation so the report says what was lost and the cache does
+        // not pin the failure.
+        let report = match compiled.simulate(&c.sim) {
+            Ok(report) => report,
+            Err(e) => return EvalOutcome::Failed(e.to_string()),
+        };
         EvalOutcome::Feasible(Measurement {
             cycles: report.cycles,
             dram_words: report.dram_words,

@@ -21,7 +21,7 @@
 //!     .tiles(&[("d", 512)])
 //!     .opt(OptLevel::Metapipelined);
 //! let compiled = compile(&prog, &opts).unwrap();
-//! let report = compiled.simulate_default();
+//! let report = compiled.simulate_default().unwrap();
 //! assert!(report.cycles > 0);
 //! ```
 
@@ -33,7 +33,7 @@ use pphw_hw::{design_area, generate, Area, HwConfig, HwError};
 use pphw_ir::interp::{EvalError, Interpreter, Value};
 use pphw_ir::program::Program;
 use pphw_ir::size::{Size, SizeEnv};
-use pphw_sim::{simulate, SimConfig, SimReport};
+use pphw_sim::{simulate, simulate_with_faults, FaultConfig, SimConfig, SimError, SimReport};
 use pphw_transform::cost::{analyze_cost, CostReport};
 use pphw_transform::{tile_program, tile_program_no_interchange, TileConfig, TileError};
 
@@ -170,35 +170,63 @@ impl CompileOptions {
     }
 }
 
-/// Errors from the compilation pipeline.
+/// Errors from any stage of the pipeline: tiling, hardware generation,
+/// simulation, or reference interpretation.
+///
+/// Every fallible entry point in this crate returns this type, so a
+/// driver (or the DSE engine) can run untrusted configurations end to
+/// end and get a structured error instead of a panic.
 #[derive(Debug)]
-pub enum CompileError {
+pub enum PphwError {
     /// Tiling failed.
     Tile(TileError),
     /// Hardware generation failed.
     Hw(HwError),
+    /// Simulation rejected the configuration or exceeded its budget.
+    Sim(SimError),
+    /// The reference interpreter rejected the program or its inputs.
+    Eval(EvalError),
 }
 
-impl std::fmt::Display for CompileError {
+/// Historical name for [`PphwError`], kept for the compile-stage entry
+/// points ([`compile`], [`evaluate`]). The variants are shared: a
+/// `CompileError` from [`compile`] can only be `Tile` or `Hw`.
+pub type CompileError = PphwError;
+
+impl std::fmt::Display for PphwError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CompileError::Tile(e) => write!(f, "tiling failed: {e}"),
-            CompileError::Hw(e) => write!(f, "hardware generation failed: {e}"),
+            PphwError::Tile(e) => write!(f, "tiling failed: {e}"),
+            PphwError::Hw(e) => write!(f, "hardware generation failed: {e}"),
+            PphwError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PphwError::Eval(e) => write!(f, "interpretation failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for PphwError {}
 
-impl From<TileError> for CompileError {
+impl From<TileError> for PphwError {
     fn from(e: TileError) -> Self {
-        CompileError::Tile(e)
+        PphwError::Tile(e)
     }
 }
 
-impl From<HwError> for CompileError {
+impl From<HwError> for PphwError {
     fn from(e: HwError) -> Self {
-        CompileError::Hw(e)
+        PphwError::Hw(e)
+    }
+}
+
+impl From<SimError> for PphwError {
+    fn from(e: SimError) -> Self {
+        PphwError::Sim(e)
+    }
+}
+
+impl From<EvalError> for PphwError {
+    fn from(e: EvalError) -> Self {
+        PphwError::Eval(e)
     }
 }
 
@@ -215,12 +243,37 @@ pub struct Compiled {
 
 impl Compiled {
     /// Simulates the design with the given DRAM/clock parameters.
-    pub fn simulate(&self, cfg: &SimConfig) -> SimReport {
-        simulate(&self.design, cfg)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PphwError::Sim`] if the configuration is invalid or the
+    /// run exceeds its cycle budget.
+    pub fn simulate(&self, cfg: &SimConfig) -> Result<SimReport, PphwError> {
+        Ok(simulate(&self.design, cfg)?)
+    }
+
+    /// Simulates with deterministic fault injection (DRAM latency jitter,
+    /// bandwidth degradation windows, transient burst failures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PphwError::Sim`] if either configuration is invalid or
+    /// the run exceeds its cycle budget.
+    pub fn simulate_with_faults(
+        &self,
+        cfg: &SimConfig,
+        faults: &FaultConfig,
+    ) -> Result<SimReport, PphwError> {
+        Ok(simulate_with_faults(&self.design, cfg, faults)?)
     }
 
     /// Simulates with default (Max4 Maia class) parameters.
-    pub fn simulate_default(&self) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PphwError::Sim`] if the run exceeds the default cycle
+    /// budget.
+    pub fn simulate_default(&self) -> Result<SimReport, PphwError> {
         self.simulate(&SimConfig::default())
     }
 
@@ -240,9 +293,9 @@ impl Compiled {
     ///
     /// # Errors
     ///
-    /// Returns an [`EvalError`] on malformed inputs.
-    pub fn execute(&self, inputs: Vec<Value>) -> Result<Vec<Value>, EvalError> {
-        Interpreter::with_env(&self.program, self.options.env()).run(inputs)
+    /// Returns [`PphwError::Eval`] on malformed inputs.
+    pub fn execute(&self, inputs: Vec<Value>) -> Result<Vec<Value>, PphwError> {
+        Ok(Interpreter::with_env(&self.program, self.options.env()).run(inputs)?)
     }
 
     /// Emits MaxJ-style HGL for the design.
@@ -308,16 +361,23 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
+    /// The row for a given level, if that level was evaluated.
+    pub fn try_row(&self, opt: OptLevel) -> Option<&EvalRow> {
+        self.rows.iter().find(|r| r.opt == opt)
+    }
+
     /// The row for a given level.
     ///
     /// # Panics
     ///
-    /// Panics if the level was not evaluated.
+    /// Panics if the level was not evaluated; [`evaluate`] always
+    /// produces all three levels, so this only fires on hand-built
+    /// `Evaluation`s. Use [`Evaluation::try_row`] when that matters.
     pub fn row(&self, opt: OptLevel) -> &EvalRow {
-        self.rows
-            .iter()
-            .find(|r| r.opt == opt)
-            .expect("level evaluated")
+        match self.try_row(opt) {
+            Some(r) => r,
+            None => panic!("level {opt} was not evaluated"),
+        }
     }
 
     /// Formats the evaluation as a text table.
@@ -347,7 +407,7 @@ impl Evaluation {
 ///
 /// # Errors
 ///
-/// Returns a [`CompileError`] if any level fails to compile.
+/// Returns a [`PphwError`] if any level fails to compile or simulate.
 pub fn evaluate(
     prog: &Program,
     opts: &CompileOptions,
@@ -358,7 +418,7 @@ pub fn evaluate(
     let mut base_area = None;
     for level in OptLevel::all() {
         let compiled = compile(prog, &opts.clone().opt(level))?;
-        let report = compiled.simulate(sim);
+        let report = compiled.simulate(sim)?;
         let area = compiled.area();
         let bc = *base_cycles.get_or_insert(report.cycles);
         let ba = *base_area.get_or_insert(area);

@@ -1,6 +1,8 @@
 //! Compiler-driver tests: options plumbing, error paths, and the
 //! level-to-design mapping.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw::{compile, evaluate, CompileError, CompileOptions, OptLevel};
 use pphw_hw::design::{CtrlKind, DesignStyle};
 use pphw_ir::builder::ProgramBuilder;
@@ -193,8 +195,8 @@ fn meta_inner_par_only_affects_metapipelined_level() {
     )
     .expect("t2");
     assert_eq!(
-        tiled16.simulate(&sim).cycles,
-        tiled_ref.simulate(&sim).cycles,
+        tiled16.simulate(&sim).expect("simulates").cycles,
+        tiled_ref.simulate(&sim).expect("simulates").cycles,
         "meta_inner_par must not change the tiled design"
     );
     let meta64 = compile(&prog, &base.clone().opt(OptLevel::Metapipelined)).expect("m");
@@ -207,7 +209,8 @@ fn meta_inner_par_only_affects_metapipelined_level() {
     )
     .expect("m2");
     assert!(
-        meta64.simulate(&sim).cycles < meta16.simulate(&sim).cycles,
+        meta64.simulate(&sim).expect("simulates").cycles
+            < meta16.simulate(&sim).expect("simulates").cycles,
         "wider metapipelined design should be faster"
     );
 }
@@ -264,10 +267,10 @@ fn autotune_finds_a_good_gemm_tile() {
     let small =
         compile(&prog, &base.clone().tiles(&[("m", 4), ("n", 4), ("p", 4)])).expect("compiles");
     assert!(
-        result.best.cycles <= small.simulate(&sim).cycles,
+        result.best.cycles <= small.simulate(&sim).expect("simulates").cycles,
         "autotuned {} vs 4x4x4 {}",
         result.best.cycles,
-        small.simulate(&sim).cycles
+        small.simulate(&sim).expect("simulates").cycles
     );
     // The chosen design respects the budget.
     assert!(result.best.on_chip_bytes <= base.on_chip_budget_bytes);

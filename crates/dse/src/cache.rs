@@ -61,10 +61,19 @@ impl EvalCache {
         EvalCache::default()
     }
 
+    /// Locks the table, recovering from poisoning: entries are only ever
+    /// inserted whole, so a panic elsewhere cannot leave a half-written
+    /// measurement behind.
+    fn table(&self) -> std::sync::MutexGuard<'_, HashMap<u64, EvalOutcome>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Looks up a configuration, counting a hit or miss.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<EvalOutcome> {
-        let out = self.map.lock().expect("cache lock").get(&key).cloned();
+        let out = self.table().get(&key).cloned();
         match out {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -74,13 +83,13 @@ impl EvalCache {
 
     /// Stores a measurement.
     pub fn insert(&self, key: u64, outcome: EvalOutcome) {
-        self.map.lock().expect("cache lock").insert(key, outcome);
+        self.table().insert(key, outcome);
     }
 
     /// Number of cached configurations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.table().len()
     }
 
     /// Whether the cache is empty.
@@ -104,6 +113,8 @@ impl EvalCache {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::Measurement;
     use pphw_hw::Area;

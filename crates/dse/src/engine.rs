@@ -7,7 +7,7 @@ use pphw_ir::program::Program;
 use crate::cache::{config_key, EvalCache};
 use crate::pareto::{compare_points, pareto_frontier};
 use crate::prune::{prefilter, PruneDecision};
-use crate::report::{DseReport, DseStats, EvaluatedPoint};
+use crate::report::{DseReport, DseStats, EvaluatedPoint, FailedPoint};
 use crate::space::{Candidate, SearchSpace};
 use crate::{DseError, EvalOutcome, Evaluate};
 
@@ -28,6 +28,10 @@ pub struct DseConfig {
     /// Cap on the number of candidates evaluated after pruning (in
     /// canonical enumeration order; `usize::MAX` = no cap).
     pub max_evals: usize,
+    /// Total attempts per candidate when the evaluator panics (`1` = no
+    /// retry). A candidate that fails every attempt is recorded as a
+    /// [`EvalOutcome::Failed`] in the report; the sweep always completes.
+    pub eval_attempts: usize,
 }
 
 impl Default for DseConfig {
@@ -38,6 +42,7 @@ impl Default for DseConfig {
             area_budget: AreaBudget::full_device(),
             prefilter: true,
             max_evals: usize::MAX,
+            eval_attempts: 2,
         }
     }
 }
@@ -121,23 +126,41 @@ pub fn explore(
 
     // Memoized evaluation on the work-stealing pool. The bool records
     // whether the measurement came from the cache; counted after the
-    // parallel section so the tallies are scheduling-independent.
+    // parallel section so the tallies are scheduling-independent. Each
+    // job runs under panic isolation with bounded retry, so one crashing
+    // candidate is a recorded failure, not a lost sweep. Failed outcomes
+    // (panics, simulation budget overruns) are never cached: a later
+    // sweep should retry them, not replay the failure.
     let salt = evaluator.cache_salt();
-    let outcomes: Vec<(EvalOutcome, bool)> =
-        crate::pool::run_indexed(cfg.resolved_threads(), &survivors, |_, c| {
+    let outcomes: Vec<Result<(EvalOutcome, bool), String>> = crate::pool::run_indexed_isolated(
+        cfg.resolved_threads(),
+        &survivors,
+        cfg.eval_attempts.max(1),
+        |_, c| {
             let key = config_key(&prog.name, space.sizes(), &salt, c);
             if let Some(hit) = cache.get(key) {
                 (hit, true)
             } else {
                 let out = evaluator.evaluate(c);
-                cache.insert(key, out.clone());
+                if !matches!(out, EvalOutcome::Failed(_)) {
+                    cache.insert(key, out.clone());
+                }
                 (out, false)
             }
-        });
+        },
+    );
 
     let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(survivors.len());
-    for (c, (outcome, from_cache)) in survivors.iter().zip(&outcomes) {
-        if *from_cache {
+    let mut failures: Vec<FailedPoint> = Vec::new();
+    for (c, result) in survivors.iter().zip(&outcomes) {
+        let (outcome, from_cache) = match result {
+            Ok((outcome, from_cache)) => (outcome.clone(), *from_cache),
+            Err(msg) => (
+                EvalOutcome::Failed(format!("evaluator panicked: {msg}")),
+                false,
+            ),
+        };
+        if from_cache {
             stats.cache_hits += 1;
         } else {
             stats.cache_misses += 1;
@@ -155,6 +178,13 @@ pub fn explore(
                 area_score: area_objective(m.area),
             }),
             EvalOutcome::Infeasible(_) => stats.infeasible += 1,
+            EvalOutcome::Failed(error) => {
+                stats.failed += 1;
+                failures.push(FailedPoint {
+                    label: c.label(),
+                    error,
+                });
+            }
         }
     }
 
@@ -166,12 +196,15 @@ pub fn explore(
         best,
         frontier,
         evaluated: points,
+        failures,
         stats,
     })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::Measurement;
     use pphw_hw::Area;
@@ -328,6 +361,94 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, DseError::NoFeasibleConfig);
+    }
+
+    /// An evaluator that panics on some candidates: the engine must
+    /// record those as failures and still rank the survivors — and the
+    /// result must stay identical across thread counts.
+    struct Explosive {
+        calls: AtomicU64,
+    }
+
+    impl Evaluate for Explosive {
+        fn evaluate(&self, c: &Candidate) -> EvalOutcome {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            assert!(c.inner_par != 16, "injected evaluator crash at par=16");
+            Synthetic::new().evaluate(c)
+        }
+
+        fn cache_salt(&self) -> String {
+            "explosive".into()
+        }
+    }
+
+    #[test]
+    fn panicking_candidates_are_recorded_failures_not_lost_sweeps() {
+        let mut reference: Option<DseReport> = None;
+        for threads in [1usize, 4] {
+            let eval = Explosive {
+                calls: AtomicU64::new(0),
+            };
+            let cfg = DseConfig {
+                threads,
+                eval_attempts: 2,
+                ..DseConfig::default()
+            };
+            let report = explore(&program(), &space(), &eval, &EvalCache::new(), &cfg).unwrap();
+            assert!(report.stats.failed > 0, "par=16 candidates must fail");
+            assert_eq!(report.failures.len(), report.stats.failed);
+            for f in &report.failures {
+                assert!(f.label.contains("par=16"), "unexpected failure {f:?}");
+                assert!(f.error.contains("injected evaluator crash"));
+            }
+            assert!(
+                report.evaluated.iter().all(|p| p.inner_par != 16),
+                "crashed candidates must not produce points"
+            );
+            assert!(!report.evaluated.is_empty(), "survivors still ranked");
+            assert_eq!(
+                report.stats.evaluated,
+                report.evaluated.len() + report.stats.failed
+            );
+            if let Some(r) = &reference {
+                assert_eq!(r.best.label, report.best.label, "threads={threads}");
+                assert_eq!(r.failures, report.failures);
+                assert_eq!(r.stats, report.stats);
+            }
+            reference = Some(report);
+        }
+    }
+
+    #[test]
+    fn failed_outcomes_are_retried_not_cached() {
+        // Fails on the first call for each candidate at par=16; a retry
+        // within the same sweep succeeds, so the report has no failures
+        // and the retry actually ran (calls > candidates).
+        struct FlakyOnce {
+            calls: AtomicU64,
+            first: std::sync::Mutex<std::collections::HashSet<String>>,
+        }
+        impl Evaluate for FlakyOnce {
+            fn evaluate(&self, c: &Candidate) -> EvalOutcome {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                if c.inner_par == 16 && self.first.lock().unwrap().insert(c.label()) {
+                    panic!("transient fault");
+                }
+                Synthetic::new().evaluate(c)
+            }
+        }
+        let eval = FlakyOnce {
+            calls: AtomicU64::new(0),
+            first: std::sync::Mutex::new(std::collections::HashSet::new()),
+        };
+        let cfg = DseConfig {
+            threads: 1,
+            eval_attempts: 2,
+            ..DseConfig::default()
+        };
+        let report = explore(&program(), &space(), &eval, &EvalCache::new(), &cfg).unwrap();
+        assert_eq!(report.stats.failed, 0, "{:?}", report.failures);
+        assert!(eval.calls.load(Ordering::SeqCst) as usize > report.stats.evaluated);
     }
 
     #[test]

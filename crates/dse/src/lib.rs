@@ -47,7 +47,7 @@ pub mod space;
 pub use cache::EvalCache;
 pub use engine::{explore, DseConfig};
 pub use pareto::pareto_frontier;
-pub use report::{DseReport, DseStats, EvaluatedPoint};
+pub use report::{DseReport, DseStats, EvaluatedPoint, FailedPoint};
 pub use space::{pow2_divisors, Candidate, SearchSpace};
 
 use pphw_hw::Area;
@@ -96,6 +96,12 @@ pub enum EvalOutcome {
     /// The candidate failed to compile or violated a constraint; the
     /// string says why (it shows up in verbose reports).
     Infeasible(String),
+    /// The evaluator itself failed on this candidate — it panicked (even
+    /// after the pool's bounded retries) or hit an internal error such as
+    /// a simulation budget overrun. Unlike [`EvalOutcome::Infeasible`],
+    /// this says nothing about the design point; the failure is recorded
+    /// in the report and never cached, so a later sweep retries it.
+    Failed(String),
 }
 
 /// The expensive measurement path, injected by the caller: typically

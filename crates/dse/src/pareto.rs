@@ -39,6 +39,8 @@ pub fn pareto_frontier(points: &[EvaluatedPoint]) -> Vec<EvaluatedPoint> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use pphw_hw::Area;
 

@@ -10,14 +10,56 @@
 //! Results are merged by job index after all workers join, so the output
 //! order — and anything derived from it — is independent of thread count
 //! and scheduling.
+//!
+//! Jobs run inside [`std::panic::catch_unwind`], so one panicking job
+//! cannot take down the pool, poison a queue, or abort the sweep:
+//! [`run_indexed`] re-raises the original payload after every other job
+//! has finished, while [`run_indexed_isolated`] converts the panic into a
+//! per-job `Err` (with bounded in-place retry) and keeps going.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
 
-/// Runs `f` over every item, on `threads` workers, returning results in
-/// item order. `threads <= 1` degenerates to a serial loop with no thread
-/// spawns.
-pub fn run_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+type Panic = Box<dyn Any + Send + 'static>;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// the queues and result slots stay usable even if a job unwinds at an
+/// unexpected point.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Extracts a human-readable message from a panic payload.
+#[must_use]
+pub fn panic_message(payload: &Panic) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job, retrying up to `attempts` times on panic; keeps the last
+/// payload when every attempt panics.
+fn attempt<R>(attempts: usize, mut job: impl FnMut() -> R) -> Result<R, Panic> {
+    let mut last: Option<Panic> = None;
+    for _ in 0..attempts.max(1) {
+        match catch_unwind(AssertUnwindSafe(&mut job)) {
+            Ok(r) => return Ok(r),
+            Err(p) => last = Some(p),
+        }
+    }
+    Err(match last {
+        Some(p) => p,
+        None => Box::new("job ran zero attempts"),
+    })
+}
+
+fn run_caught<T, R, F>(threads: usize, items: &[T], attempts: usize, f: &F) -> Vec<Result<R, Panic>>
 where
     T: Sync,
     R: Send,
@@ -25,7 +67,11 @@ where
 {
     let threads = threads.max(1).min(items.len().max(1));
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| attempt(attempts, || f(i, t)))
+            .collect();
     }
 
     // Deal indices round-robin so every worker starts with a share.
@@ -40,50 +86,108 @@ where
         .collect();
 
     let next_job = |worker: usize| -> Option<usize> {
-        if let Some(i) = queues[worker].lock().expect("queue lock").pop_front() {
+        if let Some(i) = lock_unpoisoned(&queues[worker]).pop_front() {
             return Some(i);
         }
         for (other, queue) in queues.iter().enumerate() {
             if other == worker {
                 continue;
             }
-            if let Some(i) = queue.lock().expect("queue lock").pop_back() {
+            if let Some(i) = lock_unpoisoned(queue).pop_back() {
                 return Some(i);
             }
         }
         None
     };
 
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<R, Panic>>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let next_job = &next_job;
-                let f = &f;
                 s.spawn(move || {
                     let mut done = Vec::new();
                     while let Some(i) = next_job(w) {
-                        done.push((i, f(i, &items[i])));
+                        done.push((i, attempt(attempts, || f(i, &items[i]))));
                     }
                     done
                 })
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                debug_assert!(slots[i].is_none(), "job {i} executed twice");
-                slots[i] = Some(r);
+            // The worker closure cannot panic (jobs are caught), so a join
+            // failure is a harness bug — re-raise it rather than swallow.
+            match h.join() {
+                Ok(done) => {
+                    for (i, r) in done {
+                        debug_assert!(slots[i].is_none(), "job {i} executed twice");
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(p) => resume_unwind(p),
             }
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every job executed exactly once"))
+        .map(|s| match s {
+            Some(r) => r,
+            // Unreachable by construction (every index is dealt to exactly
+            // one queue); surfaced as a job failure rather than a panic.
+            None => Err(Box::new("job was never executed") as Panic),
+        })
+        .collect()
+}
+
+/// Runs `f` over every item, on `threads` workers, returning results in
+/// item order. `threads <= 1` degenerates to a serial loop with no thread
+/// spawns.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic is re-raised on the calling
+/// thread *after* all other jobs have completed — the pool itself never
+/// deadlocks or poisons on a panicking job.
+pub fn run_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_caught(threads, items, 1, &f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        })
+        .collect()
+}
+
+/// Like [`run_indexed`], but a panicking job is retried in place up to
+/// `attempts` total attempts and, if it keeps panicking, recorded as an
+/// `Err` carrying the panic message — the sweep always completes and
+/// every other job's result is preserved.
+pub fn run_indexed_isolated<T, R, F>(
+    threads: usize,
+    items: &[T],
+    attempts: usize,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_caught(threads, items, attempts, &f)
+        .into_iter()
+        .map(|r| r.map_err(|p| panic_message(&p)))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -130,5 +234,64 @@ mod tests {
             }
         });
         assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn isolated_pool_records_panics_and_finishes_the_sweep() {
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 4] {
+            let out = run_indexed_isolated(threads, &items, 1, |_, v| {
+                assert!(*v % 7 != 3, "job {v} exploded");
+                *v * 10
+            });
+            assert_eq!(out.len(), items.len());
+            for (v, r) in items.iter().zip(&out) {
+                if *v % 7 == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert!(err.contains("exploded"), "got {err}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(*v * 10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_pool_retries_each_job_a_bounded_number_of_times() {
+        let attempts = AtomicUsize::new(0);
+        let out = run_indexed_isolated(1, &[0u32], 3, |_, _| {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("always fails");
+        }) as Vec<Result<(), String>>;
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        assert!(out[0].is_err());
+    }
+
+    #[test]
+    fn isolated_pool_retry_recovers_a_flaky_job() {
+        let attempts = AtomicUsize::new(0);
+        let out = run_indexed_isolated(1, &[0u32], 3, |_, _| {
+            if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            7u32
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &7);
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn non_isolated_pool_reraises_the_original_panic_after_the_sweep() {
+        let ran = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(2, &(0..16).collect::<Vec<usize>>(), |_, v| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                assert!(*v != 5, "boom at five");
+            });
+        }));
+        let payload = caught.unwrap_err();
+        assert!(panic_message(&payload).contains("boom at five"));
+        // Every other job still ran to completion before the re-raise.
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
     }
 }

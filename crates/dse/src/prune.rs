@@ -133,6 +133,8 @@ pub fn prefilter(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use pphw_ir::builder::ProgramBuilder;
     use pphw_ir::types::DType;

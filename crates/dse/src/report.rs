@@ -27,6 +27,18 @@ pub struct EvaluatedPoint {
     pub area_score: f64,
 }
 
+/// A candidate whose evaluation failed outright (evaluator panic caught
+/// by the pool, or an internal error such as a simulation budget
+/// overrun). These are listed in the report so a sweep that lost points
+/// says so instead of silently shrinking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedPoint {
+    /// Candidate identity, e.g. `m=32,n=16 par=64 sim=max4`.
+    pub label: String,
+    /// What went wrong.
+    pub error: String,
+}
+
 /// Where every enumerated point went.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DseStats {
@@ -44,6 +56,9 @@ pub struct DseStats {
     /// Evaluated points the evaluator rejected (compile error, post-compile
     /// budget violation, …).
     pub infeasible: usize,
+    /// Evaluated points whose evaluation failed outright (panic even after
+    /// retries, simulation budget overrun).
+    pub failed: usize,
     /// Measurements served from the memoization cache.
     pub cache_hits: u64,
     /// Measurements that actually ran the compile+simulate path.
@@ -69,6 +84,8 @@ pub struct DseReport {
     pub frontier: Vec<EvaluatedPoint>,
     /// Every feasible point, best first (canonical total order).
     pub evaluated: Vec<EvaluatedPoint>,
+    /// Candidates whose evaluation failed, in canonical candidate order.
+    pub failures: Vec<FailedPoint>,
     /// Where every enumerated point went.
     pub stats: DseStats,
 }
@@ -117,13 +134,26 @@ impl DseReport {
             .map(point_json)
             .collect::<Vec<_>>()
             .join(",");
+        let failures = self
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"label\":\"{}\",\"error\":\"{}\"}}",
+                    json_escape(&f.label),
+                    json_escape(&f.error)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let s = &self.stats;
         format!(
             "{{\"name\":\"{}\",\"best\":{},\"frontier\":[{frontier}],\
-             \"evaluated\":[{evaluated}],\"stats\":{{\"exhaustive\":{},\
+             \"evaluated\":[{evaluated}],\"failures\":[{failures}],\
+             \"stats\":{{\"exhaustive\":{},\
              \"pruned_tile\":{},\"pruned_budget\":{},\"pruned_area\":{},\
-             \"evaluated\":{},\"infeasible\":{},\"cache_hits\":{},\
-             \"cache_misses\":{}}}}}",
+             \"evaluated\":{},\"infeasible\":{},\"failed\":{},\
+             \"cache_hits\":{},\"cache_misses\":{}}}}}",
             json_escape(&self.name),
             point_json(&self.best),
             s.exhaustive,
@@ -132,6 +162,7 @@ impl DseReport {
             s.pruned_area,
             s.evaluated,
             s.infeasible,
+            s.failed,
             s.cache_hits,
             s.cache_misses
         )
@@ -180,7 +211,7 @@ impl DseReport {
         let mut out = format!(
             "dse `{}`: {} points enumerated, {} pruned analytically \
              (tile {}, budget {}, area {}), {} evaluated \
-             ({} compiled, {} from cache), {} infeasible\n",
+             ({} compiled, {} from cache), {} infeasible, {} failed\n",
             self.name,
             s.exhaustive,
             s.pruned_total(),
@@ -190,8 +221,12 @@ impl DseReport {
             s.evaluated,
             s.cache_misses,
             s.cache_hits,
-            s.infeasible
+            s.infeasible,
+            s.failed
         );
+        for f in &self.failures {
+            out.push_str(&format!("  FAILED {}: {}\n", f.label, f.error));
+        }
         out.push_str(&format!(
             "  {:<34} {:>12} {:>12} {:>10}\n",
             "pareto frontier (cycles vs area)", "cycles", "DRAM words", "area"
@@ -212,6 +247,8 @@ impl DseReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn pt(label: &str, cycles: u64) -> EvaluatedPoint {
@@ -238,11 +275,16 @@ mod tests {
             best: pt("a", 10),
             frontier: vec![pt("a", 10)],
             evaluated: vec![pt("a", 10), pt("b", 20)],
+            failures: vec![FailedPoint {
+                label: "c".into(),
+                error: "evaluator panicked: boom".into(),
+            }],
             stats: DseStats {
                 exhaustive: 5,
                 pruned_budget: 2,
-                evaluated: 2,
-                cache_misses: 2,
+                evaluated: 3,
+                failed: 1,
+                cache_misses: 3,
                 ..DseStats::default()
             },
         }
@@ -259,6 +301,8 @@ mod tests {
             "\"exhaustive\":5",
             "\"pruned_budget\":2",
             "\"cycles\":10",
+            "\"failures\":[{\"label\":\"c\"",
+            "\"failed\":1",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
@@ -280,5 +324,12 @@ mod tests {
         assert!(s.contains("5 points enumerated"));
         assert!(s.contains("2 pruned analytically"));
         assert!(s.contains("best: a"));
+    }
+
+    #[test]
+    fn summary_lists_failed_candidates() {
+        let s = report().summary();
+        assert!(s.contains("1 failed"));
+        assert!(s.contains("FAILED c: evaluator panicked: boom"));
     }
 }

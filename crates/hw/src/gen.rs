@@ -56,6 +56,13 @@ impl std::fmt::Display for HwError {
 
 impl std::error::Error for HwError {}
 
+/// The last element of a pattern's domain/parameter list, or a typed
+/// error for adversarial IR with an empty list.
+fn last_or_unsupported<'x, T>(xs: &'x [T], what: &'static str) -> Result<&'x T, HwError> {
+    xs.last()
+        .ok_or_else(|| HwError::Unsupported(format!("pattern has empty {what}")))
+}
+
 /// Generates a hardware design from a program with concrete sizes.
 ///
 /// # Errors
@@ -382,7 +389,7 @@ impl<'a> Gen<'a> {
             Pattern::Map(m) => {
                 let saved_vector = self.vector_dim.take();
                 if self.baseline {
-                    let vsym = *m.body.params.last().expect("map params");
+                    let vsym = *last_or_unsupported(&m.body.params, "map params")?;
                     // Vectorize map instances only when it coalesces
                     // memory: some DRAM read's last dimension is indexed
                     // directly by the innermost map index (a gather that
@@ -390,7 +397,7 @@ impl<'a> Gen<'a> {
                     // of y). Otherwise the baseline simply pipelines
                     // instances.
                     if self.subtree_has_gather(&m.body.body, vsym) {
-                        let innermost = self.eval(m.domain.last().expect("map domain"))?;
+                        let innermost = self.eval(last_or_unsupported(&m.domain, "map domain")?)?;
                         let factor = (self.cfg.inner_par as u64).min(innermost).max(1);
                         self.vector_dim = Some((vsym, factor));
                         self.vector_dim_applied = true;
@@ -427,7 +434,7 @@ impl<'a> Gen<'a> {
                 // one element per iteration (row-major).
                 self.ensure_value_buffer(stmt.syms[0], top)?;
                 if self.dram.contains(&stmt.syms[0]) {
-                    let run = self.eval(m.domain.last().expect("map domain"))?;
+                    let run = self.eval(last_or_unsupported(&m.domain, "map domain")?)?;
                     stages.push(Node::Unit(Unit {
                         name: format!("store_{name}"),
                         kind: UnitKind::TileStore { buf: BufId(0) },
@@ -496,7 +503,8 @@ impl<'a> Gen<'a> {
                 .map(|(i, _)| i)
                 .collect();
             if compute_stages.len() == 1 {
-                let innermost = self.eval(p.domain().last().expect("domain"))?;
+                let domain = p.domain();
+                let innermost = self.eval(last_or_unsupported(&domain, "domain")?)?;
                 let factor = (self.cfg.inner_par as u64).min(innermost).max(1);
                 iters = iters.div_ceil(factor);
                 // Per-iteration stores now cover `factor` elements.
@@ -812,12 +820,12 @@ impl<'a> Gen<'a> {
     fn innermost_of(&self, p: &Pattern) -> Result<Option<(Sym, u64)>, HwError> {
         let (sym, size) = match p {
             Pattern::Map(m) => (
-                *m.body.params.last().expect("params"),
-                m.domain.last().expect("domain").clone(),
+                *last_or_unsupported(&m.body.params, "map params")?,
+                last_or_unsupported(&m.domain, "map domain")?.clone(),
             ),
             Pattern::MultiFold(mf) => (
-                *mf.idx.last().expect("idx"),
-                mf.domain.last().expect("domain").clone(),
+                *last_or_unsupported(&mf.idx, "fold indices")?,
+                last_or_unsupported(&mf.domain, "fold domain")?.clone(),
             ),
             Pattern::FlatMap(fm) => (fm.body.params[0], fm.domain.clone()),
             Pattern::GroupByFold(g) => (g.idx, g.domain.clone()),

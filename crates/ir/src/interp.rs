@@ -285,6 +285,47 @@ impl From<SizeError> for EvalError {
 
 type Env = BTreeMap<Sym, Value>;
 
+/// Upper bound on elements the interpreter will materialize for a single
+/// tensor — adversarial size expressions become a typed error instead of
+/// an allocation failure.
+const MAX_INTERP_ELEMS: usize = 1 << 26;
+
+fn expect_bool(v: ScalarVal) -> Result<bool, EvalError> {
+    match v {
+        ScalarVal::B(b) => Ok(b),
+        other => Err(EvalError::Type(format!("expected bool, got {other:?}"))),
+    }
+}
+
+fn expect_i64(v: ScalarVal) -> Result<i64, EvalError> {
+    match v {
+        ScalarVal::I(i) => Ok(i),
+        other => Err(EvalError::Type(format!("expected integer, got {other:?}"))),
+    }
+}
+
+/// A non-negative index from an evaluated expression.
+fn expect_index(v: ScalarVal) -> Result<usize, EvalError> {
+    let i = expect_i64(v)?;
+    usize::try_from(i).map_err(|_| EvalError::Type(format!("negative index {i}")))
+}
+
+/// Overflow- and budget-checked element count of a shape.
+fn checked_volume(dims: &[usize]) -> Result<usize, EvalError> {
+    let mut total: usize = 1;
+    for d in dims {
+        total = total
+            .checked_mul(*d)
+            .ok_or_else(|| EvalError::Type(format!("tensor volume overflows: {dims:?}")))?;
+    }
+    if total > MAX_INTERP_ELEMS {
+        return Err(EvalError::Type(format!(
+            "tensor volume {total} exceeds interpreter limit {MAX_INTERP_ELEMS}"
+        )));
+    }
+    Ok(total)
+}
+
 /// Interprets a PPL [`Program`] with concrete dimension sizes.
 pub struct Interpreter<'a> {
     prog: &'a Program,
@@ -329,7 +370,14 @@ impl<'a> Interpreter<'a> {
     }
 
     fn size(&self, s: &Size) -> Result<usize, EvalError> {
-        Ok(s.eval(&self.sizes)? as usize)
+        let v = s.eval(&self.sizes)?;
+        let v = usize::try_from(v).map_err(|_| EvalError::Type(format!("negative size {v}")))?;
+        if v > MAX_INTERP_ELEMS {
+            return Err(EvalError::Type(format!(
+                "size {v} exceeds interpreter limit {MAX_INTERP_ELEMS}"
+            )));
+        }
+        Ok(v)
     }
 
     fn eval_block(&self, block: &Block, env: &mut Env) -> Result<(), EvalError> {
@@ -343,7 +391,7 @@ impl<'a> Interpreter<'a> {
                     let mut out = Vec::new();
                     for it in items {
                         let keep = match &it.guard {
-                            Some(g) => self.eval_expr(g, env)?.as_bool(),
+                            Some(g) => expect_bool(self.eval_expr(g, env)?)?,
                             None => true,
                         };
                         if keep {
@@ -381,18 +429,25 @@ impl<'a> Interpreter<'a> {
                 )))
             }
         };
+        if dims.len() != t.shape.len() {
+            return Err(EvalError::Type(format!(
+                "slice arity {} vs tensor rank {}",
+                dims.len(),
+                t.shape.len()
+            )));
+        }
         // Per-dimension (start, extent, keep).
         let mut specs = Vec::with_capacity(dims.len());
         for (d, extent) in dims.iter().zip(&t.shape) {
             match d {
                 SliceDim::Point(e) => {
-                    let i = self.eval_expr(e, env)?.as_i64();
-                    specs.push((i as usize, 1usize, false));
+                    let i = expect_index(self.eval_expr(e, env)?)?;
+                    specs.push((i, 1usize, false));
                 }
                 SliceDim::Window { start, len } => {
-                    let s = self.eval_expr(start, env)?.as_i64();
+                    let s = expect_index(self.eval_expr(start, env)?)?;
                     let l = self.size(len)?;
-                    specs.push((s as usize, l, true));
+                    specs.push((s, l, true));
                 }
                 SliceDim::Full => specs.push((0, *extent, true)),
             }
@@ -411,7 +466,7 @@ impl<'a> Interpreter<'a> {
             .filter(|(_, _, keep)| *keep)
             .map(|(_, len, _)| *len)
             .collect();
-        let mut data = Vec::with_capacity(out_shape.iter().product());
+        let mut data = Vec::with_capacity(checked_volume(&out_shape)?);
         let mut idx = vec![0usize; specs.len()];
         loop {
             let src: Vec<usize> = idx
@@ -425,7 +480,12 @@ impl<'a> Interpreter<'a> {
             loop {
                 if k == 0 {
                     return Ok(if out_shape.is_empty() {
-                        Value::Scalar(data.pop().expect("one element"))
+                        match data.pop() {
+                            Some(s) => Value::Scalar(s),
+                            None => {
+                                return Err(EvalError::Type("empty point slice".into()));
+                            }
+                        }
                     } else {
                         Value::Tensor(TensorVal::new(out_shape, data))
                     });
@@ -448,7 +508,7 @@ impl<'a> Interpreter<'a> {
                     .iter()
                     .map(|s| self.size(s))
                     .collect::<Result<_, _>>()?;
-                let total: usize = dims.iter().product();
+                let total = checked_volume(&dims)?;
                 let mut data = Vec::with_capacity(total);
                 for flat in 0..total {
                     let idx = unflatten(flat, &dims);
@@ -481,7 +541,7 @@ impl<'a> Interpreter<'a> {
                     .iter()
                     .map(|a| self.init_acc(a))
                     .collect::<Result<_, _>>()?;
-                let total: usize = dims.iter().product();
+                let total = checked_volume(&dims)?;
                 for flat in 0..total {
                     let idx = unflatten(flat, &dims);
                     for (p, i) in mf.idx.iter().zip(&idx) {
@@ -578,7 +638,7 @@ impl<'a> Interpreter<'a> {
             .iter()
             .map(|s| self.size(s))
             .collect::<Result<_, _>>()?;
-        let n = dims.iter().product();
+        let n = checked_volume(&dims)?;
         Ok(Value::Tensor(TensorVal::new(dims, vec![splat; n])))
     }
 
@@ -605,7 +665,7 @@ impl<'a> Interpreter<'a> {
                 let loc: Vec<usize> = u
                     .loc
                     .iter()
-                    .map(|e| Ok(self.eval_expr(e, env)?.as_i64() as usize))
+                    .map(|e| expect_index(self.eval_expr(e, env)?))
                     .collect::<Result<_, EvalError>>()?;
                 let region: Vec<usize> = if u.shape.is_empty() {
                     vec![1; t.shape.len()]
@@ -615,10 +675,11 @@ impl<'a> Interpreter<'a> {
                         .map(|s| self.size(s))
                         .collect::<Result<_, _>>()?
                 };
-                if loc.len() != t.shape.len() {
+                if loc.len() != t.shape.len() || region.len() != t.shape.len() {
                     return Err(EvalError::Type(format!(
-                        "update location arity {} vs accumulator rank {}",
+                        "update location arity {} / region rank {} vs accumulator rank {}",
                         loc.len(),
+                        region.len(),
                         t.shape.len()
                     )));
                 }
@@ -739,19 +800,19 @@ impl<'a> Interpreter<'a> {
             },
             Expr::Un(op, a) => {
                 let a = self.eval_expr(a, env)?;
-                Ok(eval_unop(*op, a))
+                eval_unop(*op, a)
             }
             Expr::Bin(op, a, b) => {
                 let a = self.eval_expr(a, env)?;
                 let b = self.eval_expr(b, env)?;
-                Ok(eval_binop(*op, a, b))
+                eval_binop(*op, a, b)
             }
             Expr::Select {
                 cond,
                 if_true,
                 if_false,
             } => {
-                if self.eval_expr(cond, env)?.as_bool() {
+                if expect_bool(self.eval_expr(cond, env)?)? {
                     self.eval_expr(if_true, env)
                 } else {
                     self.eval_expr(if_false, env)
@@ -772,7 +833,7 @@ impl<'a> Interpreter<'a> {
             Expr::Read { tensor, index } => {
                 let idx: Vec<i64> = index
                     .iter()
-                    .map(|e| Ok(self.eval_expr(e, env)?.as_i64()))
+                    .map(|e| expect_i64(self.eval_expr(e, env)?))
                     .collect::<Result<_, EvalError>>()?;
                 match env.get(tensor).ok_or(EvalError::Unbound(*tensor))? {
                     Value::Tensor(t) => {
@@ -820,28 +881,35 @@ fn unflatten(mut flat: usize, dims: &[usize]) -> Vec<usize> {
     idx
 }
 
-fn eval_unop(op: UnOp, a: ScalarVal) -> ScalarVal {
+/// Evaluates a unary operator. Invalid op/type combinations (reachable
+/// from adversarial IR) are typed errors; integer arithmetic wraps rather
+/// than aborting on overflow.
+fn eval_unop(op: UnOp, a: ScalarVal) -> Result<ScalarVal, EvalError> {
     use ScalarVal::*;
-    match (op, a) {
+    Ok(match (op, a) {
         (UnOp::Neg, F(v)) => F(-v),
-        (UnOp::Neg, I(v)) => I(-v),
+        (UnOp::Neg, I(v)) => I(v.wrapping_neg()),
         (UnOp::Not, B(v)) => B(!v),
         (UnOp::Sqrt, F(v)) => F(v.sqrt()),
         (UnOp::Ln, F(v)) => F(v.ln()),
         (UnOp::Exp, F(v)) => F(v.exp()),
         (UnOp::Abs, F(v)) => F(v.abs()),
-        (UnOp::Abs, I(v)) => I(v.abs()),
+        (UnOp::Abs, I(v)) => I(v.wrapping_abs()),
         (UnOp::Square, F(v)) => F(v * v),
-        (UnOp::Square, I(v)) => I(v * v),
+        (UnOp::Square, I(v)) => I(v.wrapping_mul(v)),
         (UnOp::ToF32, I(v)) => F(v as f32),
         (UnOp::ToF32, F(v)) => F(v),
         (UnOp::ToI32, F(v)) => I(v as i64),
         (UnOp::ToI32, I(v)) => I(v),
-        (op, a) => panic!("invalid unary op {op:?} on {a:?}"),
-    }
+        (op, a) => {
+            return Err(EvalError::Type(format!("invalid unary op {op:?} on {a:?}")));
+        }
+    })
 }
 
-fn eval_binop(op: BinOp, a: ScalarVal, b: ScalarVal) -> ScalarVal {
+/// Evaluates a binary operator. Invalid combinations and integer division
+/// by zero are typed errors; integer arithmetic wraps on overflow.
+fn eval_binop(op: BinOp, a: ScalarVal, b: ScalarVal) -> Result<ScalarVal, EvalError> {
     use ScalarVal::*;
     // Promote mixed int/float arithmetic to float.
     let (a, b) = match (&a, &b) {
@@ -849,16 +917,21 @@ fn eval_binop(op: BinOp, a: ScalarVal, b: ScalarVal) -> ScalarVal {
         (I(x), F(_)) => (F(*x as f32), b.clone()),
         _ => (a, b),
     };
-    match (op, a, b) {
+    if matches!(op, BinOp::Div | BinOp::Rem) {
+        if let (I(_), I(0)) = (&a, &b) {
+            return Err(EvalError::Type("integer division by zero".into()));
+        }
+    }
+    Ok(match (op, a, b) {
         (BinOp::Add, F(x), F(y)) => F(x + y),
-        (BinOp::Add, I(x), I(y)) => I(x + y),
+        (BinOp::Add, I(x), I(y)) => I(x.wrapping_add(y)),
         (BinOp::Sub, F(x), F(y)) => F(x - y),
-        (BinOp::Sub, I(x), I(y)) => I(x - y),
+        (BinOp::Sub, I(x), I(y)) => I(x.wrapping_sub(y)),
         (BinOp::Mul, F(x), F(y)) => F(x * y),
-        (BinOp::Mul, I(x), I(y)) => I(x * y),
+        (BinOp::Mul, I(x), I(y)) => I(x.wrapping_mul(y)),
         (BinOp::Div, F(x), F(y)) => F(x / y),
-        (BinOp::Div, I(x), I(y)) => I(x / y),
-        (BinOp::Rem, I(x), I(y)) => I(x % y),
+        (BinOp::Div, I(x), I(y)) => I(x.wrapping_div(y)),
+        (BinOp::Rem, I(x), I(y)) => I(x.wrapping_rem(y)),
         (BinOp::Min, F(x), F(y)) => F(x.min(y)),
         (BinOp::Min, I(x), I(y)) => I(x.min(y)),
         (BinOp::Max, F(x), F(y)) => F(x.max(y)),
@@ -872,8 +945,12 @@ fn eval_binop(op: BinOp, a: ScalarVal, b: ScalarVal) -> ScalarVal {
         (BinOp::Eq, B(x), B(y)) => B(x == y),
         (BinOp::And, B(x), B(y)) => B(x && y),
         (BinOp::Or, B(x), B(y)) => B(x || y),
-        (op, a, b) => panic!("invalid binary op {op:?} on {a:?}, {b:?}"),
-    }
+        (op, a, b) => {
+            return Err(EvalError::Type(format!(
+                "invalid binary op {op:?} on {a:?}, {b:?}"
+            )));
+        }
+    })
 }
 
 #[cfg(test)]
@@ -1001,6 +1078,61 @@ mod tests {
         let b = Value::tensor_f32(&[1], vec![1.0 + 1e-7]);
         assert!(a.approx_eq(&b, 1e-5));
         assert!(!a.approx_eq(&Value::scalar_f32(2.0), 1e-5));
+    }
+
+    #[test]
+    fn integer_division_by_zero_is_an_error() {
+        let mut b = ProgramBuilder::new("divzero");
+        let d = b.size("d");
+        let x = b.input("x", DType::I32, vec![d.clone()]);
+        let out = b.map(vec![d], |c, idx| {
+            c.div(c.read(x, vec![c.var(idx[0])]), c.int(0))
+        });
+        let prog = b.finish(vec![out]);
+        let r = Interpreter::new(&prog, &[("d", 2)]).run(vec![Value::tensor_i32(&[2], vec![1, 2])]);
+        assert!(matches!(r, Err(EvalError::Type(_))), "{r:?}");
+    }
+
+    #[test]
+    fn integer_overflow_wraps_instead_of_aborting() {
+        let mut b = ProgramBuilder::new("wrap");
+        let d = b.size("d");
+        let x = b.input("x", DType::I32, vec![d.clone()]);
+        let out = b.map(vec![d], |c, idx| {
+            let v = c.read(x, vec![c.var(idx[0])]);
+            c.mul(v.clone(), v)
+        });
+        let prog = b.finish(vec![out]);
+        let r = Interpreter::new(&prog, &[("d", 1)])
+            .run(vec![Value::tensor_i32(&[1], vec![i64::MAX])])
+            .unwrap();
+        assert_eq!(
+            r[0],
+            Value::tensor_i32(&[1], vec![i64::MAX.wrapping_mul(i64::MAX)])
+        );
+    }
+
+    #[test]
+    fn negative_size_is_an_error() {
+        let mut b = ProgramBuilder::new("negsize");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.map(vec![d], |c, idx| c.read(x, vec![c.var(idx[0])]));
+        let prog = b.finish(vec![out]);
+        let r = Interpreter::new(&prog, &[("d", -4)]).run(vec![Value::tensor_f32(&[0], vec![])]);
+        assert!(r.is_err(), "{r:?}");
+    }
+
+    #[test]
+    fn absurd_size_is_an_error_not_an_allocation() {
+        let mut b = ProgramBuilder::new("huge");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.map(vec![d], |c, idx| c.read(x, vec![c.var(idx[0])]));
+        let prog = b.finish(vec![out]);
+        let r = Interpreter::new(&prog, &[("d", i64::MAX / 2)])
+            .run(vec![Value::tensor_f32(&[0], vec![])]);
+        assert!(matches!(r, Err(EvalError::Type(_))), "{r:?}");
     }
 
     #[test]

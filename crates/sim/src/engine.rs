@@ -6,22 +6,124 @@ use std::collections::BTreeMap;
 use pphw_hw::design::{Ctrl, CtrlKind, Design, Node, Unit};
 
 use crate::dram::{Dram, SimConfig};
+use crate::error::SimError;
+use crate::fault::FaultConfig;
 use crate::report::{SimReport, StageStat};
 
 /// Simulates a design, returning timing and traffic statistics.
-pub fn simulate(design: &Design, cfg: &SimConfig) -> SimReport {
-    let mut dram = Dram::new(cfg.clone());
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for an out-of-domain configuration,
+/// [`SimError::BudgetExceeded`] when the run outlives the watchdog cycle
+/// budget (or the internal event cap), [`SimError::NonFinite`] if a timing
+/// quantity degenerates.
+pub fn simulate(design: &Design, cfg: &SimConfig) -> Result<SimReport, SimError> {
+    simulate_with_faults(design, cfg, &FaultConfig::none())
+}
+
+/// Simulates a design under deterministic DRAM fault injection.
+///
+/// Same seed ⇒ identical report; an inert `faults` (see
+/// [`FaultConfig::is_inert`]) reproduces [`simulate`] bit-for-bit; fault
+/// penalties are additive, so a faulted run never finishes earlier than
+/// the fault-free run of the same design.
+///
+/// # Errors
+///
+/// As [`simulate`], plus [`SimError::InvalidFaultConfig`] for an
+/// out-of-domain fault configuration.
+pub fn simulate_with_faults(
+    design: &Design,
+    cfg: &SimConfig,
+    faults: &FaultConfig,
+) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    faults.validate()?;
+    let mut dram = Dram::with_faults(cfg.clone(), faults);
     let mut stats: BTreeMap<String, StageStat> = BTreeMap::new();
-    let Timing { end, .. } = sim_node(&design.root, 0.0, &mut dram, &mut stats);
-    let cycles = end.ceil() as u64;
-    SimReport {
+    let mut wd = Watchdog::new(cfg.cycle_budget);
+    let Timing { end, .. } = sim_node(&design.root, 0.0, &mut dram, &mut stats, &mut wd)?;
+    let cycles = checked_cycles(end, cfg.cycle_budget)?;
+    Ok(SimReport {
         design: design.name.clone(),
         style: design.style,
         cycles,
         seconds: cfg.cycles_to_seconds(end),
-        dram_bytes: dram.bytes_moved as u64,
+        dram_bytes: checked_u64(dram.bytes_moved, "DRAM byte count")?,
         dram_words: dram.words_requested,
+        faults: dram.fault_stats(),
         stages: stats.into_values().collect(),
+    })
+}
+
+/// Converts the final simulated time to a cycle count, rejecting
+/// non-finite or over-budget values instead of wrapping in the cast.
+fn checked_cycles(end: f64, budget: u64) -> Result<u64, SimError> {
+    if !end.is_finite() || end < 0.0 {
+        return Err(SimError::NonFinite {
+            what: "cycle count",
+        });
+    }
+    let c = end.ceil();
+    if c > budget as f64 {
+        return Err(SimError::BudgetExceeded {
+            what: "cycle budget",
+            budget,
+        });
+    }
+    Ok(c as u64)
+}
+
+/// Guards an accumulated `f64` quantity before casting to `u64`.
+fn checked_u64(v: f64, what: &'static str) -> Result<u64, SimError> {
+    if !v.is_finite() || v < 0.0 || v >= u64::MAX as f64 {
+        return Err(SimError::NonFinite { what });
+    }
+    Ok(v as u64)
+}
+
+/// Runaway protection: a configurable bound on simulated time plus a fixed
+/// cap on engine events, so designs that loop without advancing the clock
+/// (e.g. adversarial controllers with empty stage lists and huge trip
+/// counts) still terminate with a structured error.
+struct Watchdog {
+    budget: f64,
+    budget_cycles: u64,
+    events: u64,
+}
+
+/// Engine-event cap. Legitimate benchmark runs are well under a million
+/// events; this bounds adversarial configurations without slowing them.
+const MAX_EVENTS: u64 = 20_000_000;
+
+impl Watchdog {
+    fn new(cycle_budget: u64) -> Watchdog {
+        Watchdog {
+            budget: cycle_budget as f64,
+            budget_cycles: cycle_budget,
+            events: 0,
+        }
+    }
+
+    fn tick(&mut self, now: f64) -> Result<(), SimError> {
+        self.events += 1;
+        if self.events > MAX_EVENTS {
+            return Err(SimError::BudgetExceeded {
+                what: "event watchdog",
+                budget: MAX_EVENTS,
+            });
+        }
+        if now.is_nan() {
+            return Err(SimError::NonFinite { what: "timestamp" });
+        }
+        if now > self.budget {
+            return Err(SimError::BudgetExceeded {
+                what: "cycle budget",
+                budget: self.budget_cycles,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -40,10 +142,11 @@ fn sim_node(
     start: f64,
     dram: &mut Dram,
     stats: &mut BTreeMap<String, StageStat>,
-) -> Timing {
+    wd: &mut Watchdog,
+) -> Result<Timing, SimError> {
     match node {
-        Node::Unit(u) => sim_unit(u, start, dram, stats),
-        Node::Ctrl(c) => sim_ctrl(c, start, dram, stats),
+        Node::Unit(u) => sim_unit(u, start, dram, stats, wd),
+        Node::Ctrl(c) => sim_ctrl(c, start, dram, stats, wd),
     }
 }
 
@@ -62,7 +165,8 @@ fn sim_unit(
     start: f64,
     dram: &mut Dram,
     stats: &mut BTreeMap<String, StageStat>,
-) -> Timing {
+    wd: &mut Watchdog,
+) -> Result<Timing, SimError> {
     let lanes = u.kind.lanes().max(1) as u64;
     let is_mem = matches!(
         u.kind,
@@ -126,7 +230,8 @@ fn sim_unit(
     stat.invocations += 1;
     stat.busy_cycles += timing.end - start;
     stat.dram_words += u.streams.iter().map(|s| s.words).sum::<u64>();
-    timing
+    wd.tick(timing.end)?;
+    Ok(timing)
 }
 
 fn sim_ctrl(
@@ -134,7 +239,8 @@ fn sim_ctrl(
     start: f64,
     dram: &mut Dram,
     stats: &mut BTreeMap<String, StageStat>,
-) -> Timing {
+    wd: &mut Watchdog,
+) -> Result<Timing, SimError> {
     match c.kind {
         CtrlKind::Sequential => {
             // A single pipelined unit iterated many times streams its
@@ -146,11 +252,11 @@ fn sim_ctrl(
                 let mut gate = start;
                 let mut end = start;
                 for _ in 0..c.iters.max(1) {
-                    let t = sim_node(&c.stages[0], gate, dram, stats);
+                    let t = sim_node(&c.stages[0], gate, dram, stats, wd)?;
                     gate = t.gate;
                     end = t.end;
                 }
-                return Timing { end, gate: end };
+                return Ok(Timing { end, gate: end });
             }
             // Posted tile stores hand their data to the store unit and let
             // the next stage proceed; only the final drain extends the
@@ -158,6 +264,7 @@ fn sim_ctrl(
             let mut t = start;
             let mut drain = start;
             for _ in 0..c.iters.max(1) {
+                wd.tick(t)?;
                 for s in &c.stages {
                     let is_store = matches!(
                         s,
@@ -166,7 +273,7 @@ fn sim_ctrl(
                             pphw_hw::design::UnitKind::TileStore { .. }
                         )
                     );
-                    let r = sim_node(s, t, dram, stats);
+                    let r = sim_node(s, t, dram, stats, wd)?;
                     if is_store {
                         drain = drain.max(r.end);
                         t += 4.0; // hand-off to the store FIFO
@@ -176,18 +283,19 @@ fn sim_ctrl(
                 }
             }
             let end = t.max(drain);
-            Timing { end, gate: end }
+            Ok(Timing { end, gate: end })
         }
         CtrlKind::Parallel => {
             let mut end = start;
             for _ in 0..c.iters.max(1) {
+                wd.tick(end)?;
                 let mut iter_end = end;
                 for s in &c.stages {
-                    iter_end = iter_end.max(sim_node(s, end, dram, stats).end);
+                    iter_end = iter_end.max(sim_node(s, end, dram, stats, wd)?.end);
                 }
                 end = iter_end;
             }
-            Timing { end, gate: end }
+            Ok(Timing { end, gate: end })
         }
         CtrlKind::Metapipeline => {
             // Wavefront with II-pipelining: stage s of iteration t starts
@@ -200,9 +308,10 @@ fn sim_ctrl(
             let trace = std::env::var("PPHW_TRACE").is_ok();
             for it in 0..c.iters.max(1) {
                 let mut prev_stage_end = start;
+                wd.tick(prev_stage_end)?;
                 for (s, stage) in c.stages.iter().enumerate() {
                     let st = prev_stage_end.max(last_gate[s]);
-                    let t = sim_node(stage, st, dram, stats);
+                    let t = sim_node(stage, st, dram, stats, wd)?;
                     if trace && it < 4 {
                         eprintln!(
                             "meta {} it{} stage{} start {:.0} gate {:.0} end {:.0}",
@@ -215,15 +324,22 @@ fn sim_ctrl(
                 }
             }
             let end = last_end.into_iter().fold(start, f64::max);
-            Timing { end, gate: end }
+            Ok(Timing { end, gate: end })
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use pphw_hw::design::{BufId, Buffer, BufferKind, DesignStyle, DramStream, UnitKind};
+
+    /// Shadows the fallible entry point: every design in these timing
+    /// tests is valid and in budget.
+    fn simulate(d: &Design, cfg: &SimConfig) -> SimReport {
+        super::simulate(d, cfg).expect("test design simulates")
+    }
 
     fn load_unit(words: u64) -> Unit {
         Unit {
@@ -525,5 +641,116 @@ mod tests {
         );
         let expected = r.cycles as f64 / (cfg.clock_mhz * 1e6);
         assert!((r.seconds - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_simulation() {
+        let d = design(
+            CtrlKind::Sequential,
+            1,
+            vec![Node::Unit(compute_unit(16, 1))],
+        );
+        let err = super::simulate(&d, &SimConfig::default().with_clock_mhz(0.0)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+        let err = super::simulate_with_faults(
+            &d,
+            &SimConfig::default(),
+            &FaultConfig::none().with_burst_fail_rate(2.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFaultConfig { .. }));
+    }
+
+    /// A configuration whose runtime blows past the watchdog budget fails
+    /// with a structured error instead of grinding on (or, for genuinely
+    /// astronomical trip counts, wrapping the cycle cast).
+    #[test]
+    fn over_budget_run_is_a_structured_error() {
+        let d = design(
+            CtrlKind::Sequential,
+            1_000_000,
+            vec![Node::Unit(compute_unit(1000, 1))],
+        );
+        let cfg = SimConfig::default().with_cycle_budget(10_000);
+        match super::simulate(&d, &cfg) {
+            Err(SimError::BudgetExceeded { budget: 10_000, .. }) => {}
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    /// A controller that never advances the clock (empty stage list, huge
+    /// trip count) would previously hang; the event watchdog converts it
+    /// into an error.
+    #[test]
+    fn runaway_controller_hits_event_watchdog() {
+        let d = design(CtrlKind::Parallel, u64::MAX, vec![]);
+        match super::simulate(&d, &SimConfig::default()) {
+            Err(SimError::BudgetExceeded {
+                what: "event watchdog",
+                ..
+            }) => {}
+            other => panic!("expected event-watchdog trip, got {other:?}"),
+        }
+    }
+
+    /// The tentpole's bit-identity guarantee: an inert fault config takes
+    /// the exact fault-free code path.
+    #[test]
+    fn zero_fault_config_reproduces_simulate_bit_identically() {
+        let cfg = SimConfig::default();
+        let stages = vec![
+            Node::Unit(load_unit(96_000)),
+            Node::Unit(compute_unit(96_000, 128)),
+            Node::Unit(sync_compute_unit(512)),
+        ];
+        let d = design(CtrlKind::Metapipeline, 16, stages);
+        let clean = super::simulate(&d, &cfg).unwrap();
+        let inert =
+            super::simulate_with_faults(&d, &cfg, &FaultConfig::none().with_seed(0xDEAD)).unwrap();
+        assert_eq!(clean.cycles, inert.cycles);
+        assert_eq!(clean.seconds.to_bits(), inert.seconds.to_bits());
+        assert_eq!(clean.dram_bytes, inert.dram_bytes);
+        assert_eq!(clean.dram_words, inert.dram_words);
+        assert_eq!(inert.faults, crate::fault::FaultStats::default());
+        for (a, b) in clean.stages.iter().zip(&inert.stages) {
+            assert_eq!(a.busy_cycles.to_bits(), b.busy_cycles.to_bits());
+        }
+    }
+
+    /// Same seed ⇒ identical faulted report; fault-free cycles never
+    /// exceed faulted cycles (penalties are additive).
+    #[test]
+    fn faulted_runs_deterministic_and_never_faster_than_clean() {
+        let cfg = SimConfig::default();
+        let stages = || {
+            vec![
+                Node::Unit(load_unit(96_000)),
+                Node::Unit(compute_unit(96_000, 128)),
+            ]
+        };
+        let d = design(CtrlKind::Metapipeline, 32, stages());
+        let clean = super::simulate(&d, &cfg).unwrap();
+        for seed in [1u64, 42, 0xFEED] {
+            let faults = FaultConfig::none()
+                .with_seed(seed)
+                .with_latency_jitter(24)
+                .with_degradation(2048, 256, 1.5)
+                .with_burst_fail_rate(0.05);
+            let a = super::simulate_with_faults(&d, &cfg, &faults).unwrap();
+            let b = super::simulate_with_faults(&d, &cfg, &faults).unwrap();
+            assert_eq!(a.cycles, b.cycles, "seed {seed} must reproduce");
+            assert_eq!(a.dram_bytes, b.dram_bytes);
+            assert_eq!(a.faults, b.faults);
+            assert!(
+                clean.cycles <= a.cycles,
+                "seed {seed}: faulted run {} beat clean {}",
+                a.cycles,
+                clean.cycles
+            );
+            assert!(
+                a.faults.retries > 0 || a.faults.jitter_cycles > 0,
+                "seed {seed}: fault model injected nothing"
+            );
+        }
     }
 }

@@ -1,0 +1,72 @@
+//! Typed simulation errors.
+//!
+//! The simulator is the innermost stage of the user-facing pipeline, so it
+//! must never panic or hang on adversarial inputs: malformed configurations
+//! are rejected up front by [`crate::SimConfig::validate`] and
+//! [`crate::FaultConfig::validate`], and runaway designs are cut off by the
+//! watchdog cycle budget instead of spinning forever or overflowing the
+//! `f64`-to-`u64` cycle conversion.
+
+use std::fmt;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A [`crate::SimConfig`] field is out of its valid domain.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// The value it held, rendered for diagnostics.
+        value: String,
+        /// Why it is invalid.
+        reason: &'static str,
+    },
+    /// A [`crate::FaultConfig`] field is out of its valid domain.
+    InvalidFaultConfig {
+        /// The offending field.
+        field: &'static str,
+        /// The value it held, rendered for diagnostics.
+        value: String,
+        /// Why it is invalid.
+        reason: &'static str,
+    },
+    /// The simulated time (or event count) exceeded the watchdog budget —
+    /// the structured replacement for a hang or a wrapped cycle count.
+    BudgetExceeded {
+        /// Which watchdog tripped (`"cycle budget"` or `"event watchdog"`).
+        what: &'static str,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A timing quantity became non-finite (NaN or infinity), typically
+    /// from a pathological bandwidth/clock combination.
+    NonFinite {
+        /// Which quantity went non-finite.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig {
+                field,
+                value,
+                reason,
+            } => write!(f, "invalid SimConfig: {field} = {value} ({reason})"),
+            SimError::InvalidFaultConfig {
+                field,
+                value,
+                reason,
+            } => write!(f, "invalid FaultConfig: {field} = {value} ({reason})"),
+            SimError::BudgetExceeded { what, budget } => {
+                write!(f, "simulation exceeded its {what} of {budget}")
+            }
+            SimError::NonFinite { what } => {
+                write!(f, "simulation produced a non-finite {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

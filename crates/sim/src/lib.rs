@@ -20,11 +20,25 @@
 //! Absolute cycle counts are indicative; the reproduction relies on
 //! relative performance between baseline, tiled, and metapipelined
 //! designs, which these mechanisms capture directly.
+//!
+//! ## Robustness
+//!
+//! The simulator is panic-free and hang-free on adversarial input:
+//! configurations are validated up front ([`SimConfig::validate`]), a
+//! watchdog cycle budget turns runaway designs into
+//! [`SimError::BudgetExceeded`], and deterministic DRAM fault injection
+//! ([`FaultConfig`], [`simulate_with_faults`]) models latency jitter,
+//! bandwidth-degradation windows, and transient burst failures with a
+//! bounded retry-with-backoff path — reproducible bit-for-bit from a seed.
 
 pub mod dram;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod report;
 
 pub use dram::{Dram, SimConfig};
-pub use engine::simulate;
+pub use engine::{simulate, simulate_with_faults};
+pub use error::SimError;
+pub use fault::{FaultConfig, FaultStats};
 pub use report::{SimReport, StageStat};

@@ -2,6 +2,8 @@
 
 use pphw_hw::design::DesignStyle;
 
+use crate::fault::FaultStats;
+
 /// Per-unit statistics.
 #[derive(Debug, Clone)]
 pub struct StageStat {
@@ -30,6 +32,8 @@ pub struct SimReport {
     pub dram_bytes: u64,
     /// Useful words requested from DRAM.
     pub dram_words: u64,
+    /// Fault-injection counters (all zeros for a fault-free run).
+    pub faults: FaultStats,
     /// Per-unit statistics, sorted by name.
     pub stages: Vec<StageStat>,
 }
@@ -62,6 +66,12 @@ impl SimReport {
             self.dram_words,
             self.dram_bytes
         );
+        if self.faults != FaultStats::default() {
+            out.push_str(&format!(
+                "  faults: {} retries, {} degraded requests, {} jitter cycles\n",
+                self.faults.retries, self.faults.degraded_requests, self.faults.jitter_cycles
+            ));
+        }
         for s in &self.stages {
             out.push_str(&format!(
                 "  {:<28} x{:<8} busy {:>12.0} cyc  {:>12} words\n",
@@ -84,6 +94,7 @@ mod tests {
             seconds: cycles as f64 / 150e6,
             dram_bytes: 1000,
             dram_words: 250,
+            faults: FaultStats::default(),
             stages: vec![],
         }
     }

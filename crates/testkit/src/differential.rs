@@ -225,6 +225,15 @@ pub enum DiffError {
         /// Compiler error.
         err: String,
     },
+    /// The cycle simulator rejected a compiled design or its substrate.
+    Sim {
+        /// Case label.
+        case: String,
+        /// Which simulation variant failed.
+        stage: String,
+        /// Simulator error.
+        err: String,
+    },
     /// Two artifacts computed different results (or simulation was
     /// non-deterministic / trivial).
     Mismatch {
@@ -246,6 +255,9 @@ impl fmt::Display for DiffError {
             DiffError::Tile { case, err } => write!(f, "[{case}] tiling failed: {err}"),
             DiffError::Compile { case, level, err } => {
                 write!(f, "[{case}] compile at {level} failed: {err}")
+            }
+            DiffError::Sim { case, stage, err } => {
+                write!(f, "[{case}] simulation failed at {stage}: {err}")
             }
             DiffError::Mismatch {
                 case,
@@ -469,8 +481,15 @@ pub fn run_case(
             }
             for (sim_label, sim) in &opts.sim_variants {
                 let stage = || format!("simulation@{level} par={par} sim={sim_label}");
-                let r1 = compiled.simulate(sim);
-                let r2 = compiled.simulate(sim);
+                let run = |what| {
+                    compiled.simulate(sim).map_err(|e| DiffError::Sim {
+                        case: case.label.clone(),
+                        stage: format!("{} ({what})", stage()),
+                        err: e.to_string(),
+                    })
+                };
+                let r1 = run("first run")?;
+                let r2 = run("repeat run")?;
                 if r1.cycles == 0 {
                     return Err(mismatch(case, stage(), "design simulated to zero cycles"));
                 }

@@ -58,6 +58,12 @@ impl TileConfig {
         let Some(&dim) = self.sizes.get(v) else {
             return Err(TileError::UnknownSize(v.clone()));
         };
+        if b <= 0 {
+            return Err(TileError::InvalidTile {
+                dim: v.clone(),
+                tile: b,
+            });
+        }
         if b >= dim {
             return Ok(None); // tile covers the whole dimension: nothing to do
         }
@@ -77,11 +83,15 @@ impl TileConfig {
 pub enum TileError {
     /// A configured tile size does not evenly divide the dimension.
     Indivisible { dim: String, value: i64, tile: i64 },
+    /// A configured tile size is zero or negative.
+    InvalidTile { dim: String, tile: i64 },
     /// A tiled dimension has no concrete size.
     UnknownSize(String),
     /// A write-once `MultiFold` could not be tiled because an accumulator
     /// dimension is not tracked one-to-one by a tiled domain index.
     UntrackedWriteOnce { pattern: String },
+    /// The program uses a structure the tiling passes do not support.
+    Unsupported(String),
 }
 
 impl fmt::Display for TileError {
@@ -90,11 +100,15 @@ impl fmt::Display for TileError {
             TileError::Indivisible { dim, value, tile } => {
                 write!(f, "tile size {tile} does not divide dimension {dim} = {value}")
             }
+            TileError::InvalidTile { dim, tile } => {
+                write!(f, "tile size {tile} for dimension {dim} must be positive")
+            }
             TileError::UnknownSize(v) => write!(f, "no concrete size for dimension `{v}`"),
             TileError::UntrackedWriteOnce { pattern } => write!(
                 f,
                 "cannot tile write-once {pattern}: accumulator dimension not tracked by a tiled index"
             ),
+            TileError::Unsupported(m) => write!(f, "unsupported program structure: {m}"),
         }
     }
 }

@@ -175,7 +175,7 @@ fn sm_map(m: &MapPat, syms: &mut SymTable, cfg: &TileConfig) -> Result<Option<Pa
     if plans.iter().all(|p| p.tile.is_none()) {
         return Ok(None);
     }
-    let elem = map_elem_type(m, syms);
+    let elem = map_elem_type(m, syms)?;
 
     let mut inner_body = m.body.body.clone();
     subst_vars(&mut inner_body, &subst_map(&plans, &m.body.params));
@@ -221,10 +221,12 @@ fn sm_map(m: &MapPat, syms: &mut SymTable, cfg: &TileConfig) -> Result<Option<Pa
     })))
 }
 
-fn map_elem_type(m: &MapPat, syms: &SymTable) -> ScalarType {
+fn map_elem_type(m: &MapPat, syms: &SymTable) -> Result<ScalarType, TileError> {
     match syms.ty(m.body.body.result_sym()) {
-        Type::Scalar(s) => s.clone(),
-        other => panic!("map body result must be scalar, got {other}"),
+        Type::Scalar(s) => Ok(s.clone()),
+        other => Err(TileError::Unsupported(format!(
+            "map body result must be scalar, got {other}"
+        ))),
     }
 }
 
@@ -534,7 +536,11 @@ fn sm_flatmap(
     let elem = match syms.ty(fm.body.body.result_sym()) {
         Type::DynVec { elem } => elem.clone(),
         Type::Tensor { elem, .. } => elem.clone(),
-        other => panic!("flatMap body result has type {other}"),
+        other => {
+            return Err(TileError::Unsupported(format!(
+                "flatMap body result has type {other}"
+            )))
+        }
     };
     let inner = Pattern::FlatMap(FlatMapPat {
         domain: Size::Const(b),

@@ -28,8 +28,7 @@ pub fn tile_program(prog: &Program, cfg: &TileConfig) -> Result<Program, TileErr
     let p = hoist_program(&p);
     let p = cse_program(&p);
     let p = dce_program(&p);
-    debug_assert!(p.validate().is_ok(), "tiled program failed validation");
-    Ok(p)
+    validated(p)
 }
 
 /// Runs only strip mining plus copies and cleanups (no interchange) —
@@ -44,6 +43,17 @@ pub fn tile_program_no_interchange(prog: &Program, cfg: &TileConfig) -> Result<P
     let p = hoist_program(&p);
     let p = cse_program(&p);
     let p = dce_program(&p);
-    debug_assert!(p.validate().is_ok(), "tiled program failed validation");
-    Ok(p)
+    validated(p)
+}
+
+/// Post-condition check: a structurally invalid tiled program (possible
+/// for inputs outside what the passes support) is an error, not a panic in
+/// whatever consumes it next.
+fn validated(p: Program) -> Result<Program, TileError> {
+    match p.validate() {
+        Ok(()) => Ok(p),
+        Err(e) => Err(TileError::Unsupported(format!(
+            "tiled program failed validation: {e}"
+        ))),
+    }
 }

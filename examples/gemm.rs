@@ -26,7 +26,7 @@ fn main() {
             .tiles(&[("m", b), ("n", b), ("p", b)])
             .opt(OptLevel::Metapipelined);
         let compiled = compile(&prog, &opts).expect("compiles");
-        let report = compiled.simulate(&sim);
+        let report = compiled.simulate(&sim).expect("simulates");
         if first == 0 {
             first = report.cycles;
         }

@@ -47,7 +47,7 @@ fn main() {
         let compiled = compile(&prog, &opts).expect("compiles");
 
         // 3. Simulate the generated design.
-        let report = compiled.simulate(&sim);
+        let report = compiled.simulate(&sim).expect("simulates");
         if level == OptLevel::Baseline {
             baseline_cycles = report.cycles;
         }

@@ -65,7 +65,7 @@ fn sim_reports_are_consistent() {
         let (prog, opts) = small_opts(spec.name);
         for level in OptLevel::all() {
             let compiled = compile(&prog, &opts.clone().opt(level)).expect("compiles");
-            let report = compiled.simulate(&cfg);
+            let report = compiled.simulate(&cfg).expect("simulates");
             assert!(report.cycles > 0, "{}: zero cycles", spec.name);
             assert!(
                 report.dram_bytes >= report.dram_words * 4,
