@@ -13,6 +13,22 @@ cargo test -q --offline --workspace
 echo "== dse smoke (tiny space, 2 threads)"
 cargo run --release --offline -p pphw-bench --bin dse -- --quick --threads 2
 
+echo "== perf smoke (two-level cache: second run must be warm and compile-free)"
+rm -f target/perf-eval-cache.pphwc BENCH_dse.json
+cargo run --release --offline -p pphw-bench --bin perf -- --quick
+cargo run --release --offline -p pphw-bench --bin perf -- --quick
+python3 - <<'EOF'
+import json
+with open("BENCH_dse.json") as f:
+    report = json.load(f)
+assert report["reports_bit_identical"], "cached sweep reports diverged"
+warm = {run["name"]: run for run in report["runs"]}["persistent_t1"]
+assert warm["eval_hits"] > 0, f"warm run had no cache hits: {warm}"
+assert warm["eval_misses"] == 0, f"warm run missed the cache: {warm}"
+assert warm["design_builds"] == 0, f"warm run recompiled designs: {warm}"
+print(f"perf smoke OK: warm run hit {warm['eval_hits']}/{warm['eval_hits']}, 0 recompiles")
+EOF
+
 echo "== fault-injection sweep (self-checking: determinism, inertness, monotonicity)"
 cargo run --release --offline -p pphw-bench --bin faults
 

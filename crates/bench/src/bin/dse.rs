@@ -20,15 +20,20 @@
 //! - `--area-frac F`  fraction of the device the design may use (default 1.0)
 //! - `--json PATH` / `--csv PATH`  export reports (`-` = stdout; with
 //!   multiple benchmarks the name is inserted before the extension)
+//! - `--cache PATH`   persistent evaluation cache: load it (cold if the
+//!   file is missing or damaged) before the sweep, save it after, and
+//!   report hit rates. Reports are bit-identical with or without it.
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
-use pphw::dse::explore_program;
-use pphw::CompileOptions;
+use pphw::dse::explore_with_caches;
 use pphw_apps::all_benchmarks;
-use pphw_dse::{DseConfig, DseReport, SearchSpace};
+use pphw_bench::sweep::{sweep_base_options, sweep_sim_variants, sweep_space};
+use pphw_dse::cache::{DesignCache, EvalCache};
+use pphw_dse::{DseConfig, DseReport};
 use pphw_hw::AreaBudget;
-use pphw_sim::SimConfig;
 
 struct Args {
     bench: Option<String>,
@@ -38,6 +43,7 @@ struct Args {
     area_frac: f64,
     json: Option<String>,
     csv: Option<String>,
+    cache: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +55,7 @@ fn parse_args() -> Args {
         area_frac: 1.0,
         json: None,
         csv: None,
+        cache: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,35 +68,11 @@ fn parse_args() -> Args {
             "--area-frac" => args.area_frac = val("--area-frac").parse().expect("--area-frac F"),
             "--json" => args.json = Some(val("--json")),
             "--csv" => args.csv = Some(val("--csv")),
+            "--cache" => args.cache = Some(val("--cache")),
             other => panic!("unknown flag {other} (see the module docs)"),
         }
     }
     args
-}
-
-/// Power-of-two dividing tile candidates around the benchmark's default
-/// tile size: `[default/4, default*2]` clamped to the dimension, largest
-/// first. Keeps the per-benchmark space small while still bracketing the
-/// paper's hand-picked tile from both sides.
-fn tile_candidates_around(n: i64, default_tile: i64, quick: bool) -> Vec<i64> {
-    let lo = (default_tile / 4).max(4);
-    let hi = (default_tile * 2).min(n);
-    let mut out = Vec::new();
-    let mut b = 4i64;
-    while b <= n {
-        if n % b == 0 && b >= lo && b <= hi {
-            out.push(b);
-        }
-        b *= 2;
-    }
-    out.reverse();
-    if quick {
-        // Keep the two smallest candidates: they are the ones guaranteed
-        // to fit the budget, so the smoke run always finds a feasible point.
-        let keep = out.len().saturating_sub(2);
-        out.drain(..keep);
-    }
-    out
 }
 
 fn export(path: &str, name: &str, multi: bool, contents: &str) {
@@ -118,40 +101,22 @@ fn main() {
     assert!(!specs.is_empty(), "no benchmark named {:?}", args.bench);
     let multi = specs.len() > 1;
 
-    let sim_variants: Vec<(String, SimConfig)> = if args.quick {
-        vec![("max4".to_string(), SimConfig::default())]
-    } else {
-        SimConfig::named_variants()
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect()
+    let sim_variants = sweep_sim_variants(args.quick);
+
+    // One evaluation cache and one compile-artifact cache span the whole
+    // run; keys include the benchmark name, so sharing across benchmarks
+    // is safe and lets `--bench` runs reuse an all-benchmark cache file.
+    let eval_cache = match &args.cache {
+        Some(p) => EvalCache::load_or_cold(Path::new(p)),
+        None => EvalCache::new(),
     };
+    let preloaded = eval_cache.len();
+    let designs = Arc::new(DesignCache::new());
 
     let mut table: Vec<(String, DseReport, f64)> = Vec::new();
     for spec in &specs {
-        let sizes = (spec.sizes)();
-        let mut base = CompileOptions::new(&sizes).inner_par(spec.inner_par);
-        base.on_chip_budget_bytes = args.budget;
-
-        let mut space = SearchSpace::new(&sizes);
-        for (dim, t) in (spec.tiles)() {
-            let n = sizes
-                .iter()
-                .find(|(k, _)| *k == dim)
-                .map(|(_, v)| *v)
-                .expect("tile dim has a size");
-            space = space.with_tile_candidates(dim, &tile_candidates_around(n, t, args.quick));
-        }
-        let pars: Vec<u32> = if args.quick {
-            vec![spec.inner_par]
-        } else {
-            vec![32, 64]
-        };
-        let variants: Vec<(&str, SimConfig)> = sim_variants
-            .iter()
-            .map(|(k, v)| (k.as_str(), v.clone()))
-            .collect();
-        space = space.with_inner_pars(&pars).with_sim_variants(&variants);
+        let base = sweep_base_options(spec, args.budget);
+        let space = sweep_space(spec, args.quick, &sim_variants);
 
         let cfg = DseConfig {
             threads: args.threads,
@@ -160,8 +125,15 @@ fn main() {
             ..DseConfig::default()
         };
         let t0 = Instant::now();
-        let report = explore_program(&(spec.program)(), &base, &space, &cfg)
-            .unwrap_or_else(|e| panic!("{}: search failed: {e}", spec.name));
+        let report = explore_with_caches(
+            &(spec.program)(),
+            &base,
+            &space,
+            &cfg,
+            &eval_cache,
+            Arc::clone(&designs),
+        )
+        .unwrap_or_else(|e| panic!("{}: search failed: {e}", spec.name));
         let secs = t0.elapsed().as_secs_f64();
 
         print!("{}", report.summary());
@@ -191,5 +163,22 @@ fn main() {
             r.stats.exhaustive,
             secs
         );
+    }
+
+    println!(
+        "cache: {} eval hits / {} misses, {} designs compiled / {} reused",
+        eval_cache.hits(),
+        eval_cache.misses(),
+        designs.builds(),
+        designs.hits()
+    );
+    if let Some(p) = &args.cache {
+        match eval_cache.save(Path::new(p)) {
+            Ok(()) => println!(
+                "cache: saved {} entries to {p} ({preloaded} preloaded)",
+                eval_cache.len()
+            ),
+            Err(e) => eprintln!("cache: could not save {p}: {e}"),
+        }
     }
 }

@@ -1,0 +1,267 @@
+//! Times a fixed design-space-exploration sweep under the two-level
+//! evaluation cache, and checks that every cached variant reproduces the
+//! uncached reports bit-for-bit.
+//!
+//! Four timed configurations of the same sweep:
+//!
+//! 1. `cold_t1`       — fresh caches, one worker thread
+//! 2. `warm_mem_t1`   — same in-memory caches again (every eval hits)
+//! 3. `cold_tN`       — fresh caches, N worker threads
+//! 4. `persistent_t1` — evaluation cache loaded from `--cache` (cold on
+//!    the first invocation, warm on the next), then saved back
+//!
+//! Results go to `--out` as JSON (default `BENCH_dse.json`), including
+//! hit/build counters CI asserts on: a second `--quick` invocation must
+//! show a warm persistent cache (no eval misses) that skips every
+//! recompile (no design builds).
+//!
+//! Usage:
+//! `cargo run --release -p pphw-bench --bin perf [--quick] [--threads N]
+//!  [--cache PATH] [--out PATH]`
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pphw::dse::explore_with_caches;
+use pphw_apps::all_benchmarks;
+use pphw_bench::sweep::{sweep_base_options, sweep_sim_variants, sweep_space};
+use pphw_dse::cache::{DesignCache, EvalCache};
+use pphw_dse::DseConfig;
+use pphw_hw::AreaBudget;
+
+/// The driver's default on-chip budget (256 KiB): tight enough that the
+/// prefilter has bite, so the timed sweep exercises the pruning path too.
+const BUDGET: u64 = 256 * 1024;
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    cache: String,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        cache: "target/perf-eval-cache.pphwc".to_string(),
+        out: "BENCH_dse.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => args.threads = val("--threads").parse().expect("--threads N"),
+            "--cache" => args.cache = val("--cache"),
+            "--out" => args.out = val("--out"),
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    args
+}
+
+/// Counters and wall-clock for one timed sweep configuration.
+struct Run {
+    name: &'static str,
+    threads: usize,
+    secs: f64,
+    eval_hits: u64,
+    eval_misses: u64,
+    design_builds: u64,
+    design_reuses: u64,
+    preloaded: usize,
+}
+
+impl Run {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \
+             \"eval_hits\": {}, \"eval_misses\": {}, \"design_builds\": {}, \
+             \"design_reuses\": {}, \"preloaded\": {}}}",
+            self.name,
+            self.threads,
+            self.secs,
+            self.eval_hits,
+            self.eval_misses,
+            self.design_builds,
+            self.design_reuses,
+            self.preloaded
+        )
+    }
+}
+
+/// Report JSON with the cache-state counters masked: hit/miss tallies
+/// legitimately differ between cold and warm runs, every other byte of
+/// the report must not.
+fn mask_cache_counters(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(i) = rest.find("\"cache_hits\":") {
+        out.push_str(&rest[..i]);
+        out.push_str("\"cache_hits\":0,\"cache_misses\":0");
+        match rest[i..].find('}') {
+            Some(j) => rest = &rest[i + j..],
+            None => {
+                rest = "";
+                break;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Runs the full six-benchmark sweep once against the given caches and
+/// returns (wall seconds, concatenated cache-masked report JSON).
+fn run_sweep(
+    quick: bool,
+    threads: usize,
+    eval_cache: &EvalCache,
+    designs: &Arc<DesignCache<pphw::dse::DesignArtifact>>,
+) -> (f64, String) {
+    let sim_variants = sweep_sim_variants(quick);
+    let mut reports = String::new();
+    let t0 = Instant::now();
+    for spec in &all_benchmarks() {
+        let base = sweep_base_options(spec, BUDGET);
+        let space = sweep_space(spec, quick, &sim_variants);
+        let cfg = DseConfig {
+            threads,
+            on_chip_budget_bytes: BUDGET,
+            area_budget: AreaBudget::device_fraction(1.0),
+            ..DseConfig::default()
+        };
+        let report = explore_with_caches(
+            &(spec.program)(),
+            &base,
+            &space,
+            &cfg,
+            eval_cache,
+            Arc::clone(designs),
+        )
+        .unwrap_or_else(|e| panic!("{}: search failed: {e}", spec.name));
+        reports.push_str(&mask_cache_counters(&report.to_json()));
+        reports.push('\n');
+    }
+    (t0.elapsed().as_secs_f64(), reports)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut runs: Vec<Run> = Vec::new();
+
+    // 1 + 2: cold then in-memory warm, single-threaded, shared caches.
+    let eval_mem = EvalCache::new();
+    let designs_mem: Arc<DesignCache<pphw::dse::DesignArtifact>> = Arc::new(DesignCache::new());
+    let (cold_secs, cold_reports) = run_sweep(args.quick, 1, &eval_mem, &designs_mem);
+    runs.push(Run {
+        name: "cold_t1",
+        threads: 1,
+        secs: cold_secs,
+        eval_hits: eval_mem.hits(),
+        eval_misses: eval_mem.misses(),
+        design_builds: designs_mem.builds(),
+        design_reuses: designs_mem.hits(),
+        preloaded: 0,
+    });
+    let (h0, m0, b0, r0) = (
+        eval_mem.hits(),
+        eval_mem.misses(),
+        designs_mem.builds(),
+        designs_mem.hits(),
+    );
+    let (warm_secs, warm_reports) = run_sweep(args.quick, 1, &eval_mem, &designs_mem);
+    runs.push(Run {
+        name: "warm_mem_t1",
+        threads: 1,
+        secs: warm_secs,
+        eval_hits: eval_mem.hits() - h0,
+        eval_misses: eval_mem.misses() - m0,
+        design_builds: designs_mem.builds() - b0,
+        design_reuses: designs_mem.hits() - r0,
+        preloaded: eval_mem.len(),
+    });
+
+    // 3: cold, N threads, fresh caches.
+    let eval_mt = EvalCache::new();
+    let designs_mt = Arc::new(DesignCache::new());
+    let (mt_secs, mt_reports) = run_sweep(args.quick, args.threads, &eval_mt, &designs_mt);
+    runs.push(Run {
+        name: "cold_tN",
+        threads: args.threads,
+        secs: mt_secs,
+        eval_hits: eval_mt.hits(),
+        eval_misses: eval_mt.misses(),
+        design_builds: designs_mt.builds(),
+        design_reuses: designs_mt.hits(),
+        preloaded: 0,
+    });
+
+    // 4: persistent cache — cold on the first invocation, warm after.
+    let cache_path = Path::new(&args.cache);
+    let eval_disk = EvalCache::load_or_cold(cache_path);
+    let preloaded = eval_disk.len();
+    let designs_disk = Arc::new(DesignCache::new());
+    let (disk_secs, disk_reports) = run_sweep(args.quick, 1, &eval_disk, &designs_disk);
+    runs.push(Run {
+        name: "persistent_t1",
+        threads: 1,
+        secs: disk_secs,
+        eval_hits: eval_disk.hits(),
+        eval_misses: eval_disk.misses(),
+        design_builds: designs_disk.builds(),
+        design_reuses: designs_disk.hits(),
+        preloaded,
+    });
+    if let Some(dir) = cache_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir:?}: {e}"));
+        }
+    }
+    eval_disk
+        .save(cache_path)
+        .unwrap_or_else(|e| panic!("saving {}: {e}", args.cache));
+
+    // Every variant must reproduce the cold reports bit-for-bit.
+    let identical =
+        cold_reports == warm_reports && cold_reports == mt_reports && cold_reports == disk_reports;
+    assert!(
+        identical,
+        "cached/threaded sweep reports diverged from cold run"
+    );
+
+    let warm_speedup = cold_secs / warm_secs.max(1e-9);
+    let persistent_speedup = cold_secs / disk_secs.max(1e-9);
+    let run_lines: Vec<String> = runs.iter().map(Run::to_json).collect();
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"threads\": {},\n  \"cache_file\": \"{}\",\n  \
+         \"runs\": [\n{}\n  ],\n  \"warm_mem_speedup\": {:.2},\n  \
+         \"persistent_speedup\": {:.2},\n  \"reports_bit_identical\": {}\n}}\n",
+        args.quick,
+        args.threads,
+        args.cache,
+        run_lines.join(",\n"),
+        warm_speedup,
+        persistent_speedup,
+        identical
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "run", "threads", "secs", "ev-hit", "ev-miss", "compiles", "reuses"
+    );
+    for r in &runs {
+        println!(
+            "{:<14} {:>8} {:>10.3} {:>10} {:>10} {:>10} {:>10}",
+            r.name, r.threads, r.secs, r.eval_hits, r.eval_misses, r.design_builds, r.design_reuses
+        );
+    }
+    println!(
+        "warm in-memory speedup: {warm_speedup:.1}x; persistent-cache run: \
+         {persistent_speedup:.1}x vs cold ({preloaded} entries preloaded)"
+    );
+    println!("wrote {}", args.out);
+}

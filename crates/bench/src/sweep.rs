@@ -1,0 +1,87 @@
+//! Shared search-space construction for the `dse` and `perf` binaries,
+//! so the sweep they time is the sweep the driver exposes.
+
+use pphw::CompileOptions;
+use pphw_apps::BenchSpec;
+use pphw_dse::SearchSpace;
+use pphw_sim::SimConfig;
+
+/// Power-of-two dividing tile candidates around the benchmark's default
+/// tile size: `[default/4, default*2]` clamped to the dimension, largest
+/// first. Keeps the per-benchmark space small while still bracketing the
+/// paper's hand-picked tile from both sides. In quick mode only the two
+/// smallest candidates survive: they are the ones guaranteed to fit the
+/// budget, so a smoke run always finds a feasible point.
+pub fn tile_candidates_around(n: i64, default_tile: i64, quick: bool) -> Vec<i64> {
+    let lo = (default_tile / 4).max(4);
+    let hi = (default_tile * 2).min(n);
+    let mut out = Vec::new();
+    let mut b = 4i64;
+    while b <= n {
+        if n % b == 0 && b >= lo && b <= hi {
+            out.push(b);
+        }
+        b *= 2;
+    }
+    out.reverse();
+    if quick {
+        let keep = out.len().saturating_sub(2);
+        out.drain(..keep);
+    }
+    out
+}
+
+/// Substrate variants swept: the default substrate only in quick mode,
+/// every named variant otherwise.
+pub fn sweep_sim_variants(quick: bool) -> Vec<(String, SimConfig)> {
+    if quick {
+        vec![("max4".to_string(), SimConfig::default())]
+    } else {
+        SimConfig::named_variants()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+}
+
+/// The joint tile × parallelism × substrate space the `dse` driver sweeps
+/// for one benchmark.
+///
+/// # Panics
+///
+/// Panics if a tuned tile dimension has no declared size — benchmark
+/// specs are expected to be internally consistent.
+pub fn sweep_space(
+    spec: &BenchSpec,
+    quick: bool,
+    sim_variants: &[(String, SimConfig)],
+) -> SearchSpace {
+    let sizes = (spec.sizes)();
+    let mut space = SearchSpace::new(&sizes);
+    for (dim, t) in (spec.tiles)() {
+        let n = sizes
+            .iter()
+            .find(|(k, _)| *k == dim)
+            .map(|(_, v)| *v)
+            .expect("tile dim has a size");
+        space = space.with_tile_candidates(dim, &tile_candidates_around(n, t, quick));
+    }
+    let pars: Vec<u32> = if quick {
+        vec![spec.inner_par]
+    } else {
+        vec![32, 64]
+    };
+    let variants: Vec<(&str, SimConfig)> = sim_variants
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    space.with_inner_pars(&pars).with_sim_variants(&variants)
+}
+
+/// Base compile options for a swept benchmark under an explicit on-chip
+/// budget.
+pub fn sweep_base_options(spec: &BenchSpec, budget: u64) -> CompileOptions {
+    let mut base = CompileOptions::new(&(spec.sizes)()).inner_par(spec.inner_par);
+    base.on_chip_budget_bytes = budget;
+    base
+}

@@ -21,13 +21,38 @@
 //! println!("{}", report.summary());
 //! ```
 
-use pphw_dse::cache::EvalCache;
+use std::sync::Arc;
+
+use pphw_dse::cache::{design_key, DesignCache, EvalCache};
 use pphw_dse::report::DseReport;
 use pphw_dse::space::{Candidate, SearchSpace};
 use pphw_dse::{DseConfig, DseError, EvalOutcome, Evaluate, Measurement};
 use pphw_ir::program::Program;
 
-use crate::{compile, CompileOptions};
+use crate::{compile, CompileOptions, Compiled};
+
+/// The substrate-independent result of compiling one candidate: either a
+/// generated design that fits the on-chip budget, or the reason it cannot
+/// exist. Shared by every simulation variant of the same tile/parallelism
+/// point through a [`DesignCache`], so a sweep with N substrate configs
+/// compiles each distinct design once, not N times.
+///
+/// The budget verdict is cacheable because the budget is part of the
+/// evaluator's salt (and therefore of the design key); an artifact is
+/// never consulted under a different budget.
+#[derive(Debug)]
+pub enum DesignArtifact {
+    /// Compilation succeeded and the design fits the on-chip budget.
+    Ready {
+        /// The compiled program + design (boxed: the variant is ~400
+        /// bytes and shares an enum with a thin error string).
+        compiled: Box<Compiled>,
+        /// `compiled.design.on_chip_bytes()`, precomputed.
+        on_chip_bytes: u64,
+    },
+    /// Compilation failed or the design exceeds the on-chip budget.
+    Infeasible(String),
+}
 
 /// Evaluates a candidate by compiling the program with the candidate's
 /// tile sizes and parallelism factor and simulating the generated design
@@ -42,16 +67,37 @@ use crate::{compile, CompileOptions};
 pub struct CompileEvaluator<'a> {
     prog: &'a Program,
     base: CompileOptions,
+    designs: Arc<DesignCache<DesignArtifact>>,
 }
 
 impl<'a> CompileEvaluator<'a> {
-    /// Creates an evaluator for the program under the given base options.
+    /// Creates an evaluator for the program under the given base options,
+    /// with a private (per-evaluator) design cache.
     #[must_use]
     pub fn new(prog: &'a Program, base: &CompileOptions) -> CompileEvaluator<'a> {
+        CompileEvaluator::with_design_cache(prog, base, Arc::new(DesignCache::new()))
+    }
+
+    /// Like [`CompileEvaluator::new`] but shares a caller-owned design
+    /// cache, so consecutive sweeps (or a driver inspecting hit counters)
+    /// see compile reuse across evaluator instances.
+    #[must_use]
+    pub fn with_design_cache(
+        prog: &'a Program,
+        base: &CompileOptions,
+        designs: Arc<DesignCache<DesignArtifact>>,
+    ) -> CompileEvaluator<'a> {
         CompileEvaluator {
             prog,
             base: base.clone(),
+            designs,
         }
+    }
+
+    /// The compile-artifact cache this evaluator consults.
+    #[must_use]
+    pub fn design_cache(&self) -> &DesignCache<DesignArtifact> {
+        &self.designs
     }
 
     fn options_for(&self, c: &Candidate) -> CompileOptions {
@@ -60,25 +106,41 @@ impl<'a> CompileEvaluator<'a> {
         opts.meta_inner_par = None;
         opts
     }
-}
 
-impl Evaluate for CompileEvaluator<'_> {
-    fn evaluate(&self, c: &Candidate) -> EvalOutcome {
+    /// Compiles the candidate's design and applies the authoritative
+    /// post-compile on-chip budget check (the analytic prefilter bounds
+    /// this from below but cannot see double buffering or banking).
+    fn build_artifact(&self, c: &Candidate) -> DesignArtifact {
         let opts = self.options_for(c);
         let compiled = match compile(self.prog, &opts) {
             Ok(compiled) => compiled,
-            Err(e) => return EvalOutcome::Infeasible(e.to_string()),
+            Err(e) => return DesignArtifact::Infeasible(e.to_string()),
         };
-        // Authoritative budget check on the generated design (the analytic
-        // prefilter bounds this from below but cannot see double buffering
-        // or banking).
         let on_chip_bytes = compiled.design.on_chip_bytes();
         if on_chip_bytes > opts.on_chip_budget_bytes {
-            return EvalOutcome::Infeasible(format!(
+            return DesignArtifact::Infeasible(format!(
                 "design needs {on_chip_bytes} on-chip bytes, budget is {}",
                 opts.on_chip_budget_bytes
             ));
         }
+        DesignArtifact::Ready {
+            compiled: Box::new(compiled),
+            on_chip_bytes,
+        }
+    }
+}
+
+impl Evaluate for CompileEvaluator<'_> {
+    fn evaluate(&self, c: &Candidate) -> EvalOutcome {
+        let key = design_key(&self.prog.name, &self.base.sizes, &self.cache_salt(), c);
+        let artifact = self.designs.get_or_compute(key, || self.build_artifact(c));
+        let (compiled, on_chip_bytes) = match &*artifact {
+            DesignArtifact::Ready {
+                compiled,
+                on_chip_bytes,
+            } => (compiled, *on_chip_bytes),
+            DesignArtifact::Infeasible(e) => return EvalOutcome::Infeasible(e.clone()),
+        };
         // A simulation failure (invalid substrate, cycle-budget overrun)
         // is not an infeasible *design* — record it as a failed
         // evaluation so the report says what was lost and the cache does
@@ -135,6 +197,27 @@ pub fn explore_with_cache(
     cfg: &DseConfig,
     cache: &EvalCache,
 ) -> Result<DseReport, DseError> {
-    let evaluator = CompileEvaluator::new(prog, base);
+    explore_with_caches(prog, base, space, cfg, cache, Arc::new(DesignCache::new()))
+}
+
+/// Like [`explore_with_cache`] but additionally shares a caller-owned
+/// compile-artifact cache, so each distinct design (tile config ×
+/// parallelism) compiles exactly once per sweep no matter how many
+/// substrate variants sample it, and drivers can report
+/// [`DesignCache::builds`] / [`DesignCache::hits`] afterwards.
+///
+/// # Errors
+///
+/// Returns [`DseError`] if the space is empty or no candidate survives
+/// both the prefilter and compilation.
+pub fn explore_with_caches(
+    prog: &Program,
+    base: &CompileOptions,
+    space: &SearchSpace,
+    cfg: &DseConfig,
+    cache: &EvalCache,
+    designs: Arc<DesignCache<DesignArtifact>>,
+) -> Result<DseReport, DseError> {
+    let evaluator = CompileEvaluator::with_design_cache(prog, base, designs);
     pphw_dse::engine::explore(prog, space, &evaluator, cache, cfg)
 }

@@ -1,4 +1,4 @@
-//! Memoized evaluation cache.
+//! The two-level evaluation cache.
 //!
 //! Every candidate is identified by a canonical 64-bit hash of its full
 //! configuration — program name, concrete sizes, tile sizes, parallelism
@@ -6,13 +6,29 @@
 //! level, budgets, …). Repeated searches, resumed searches, and
 //! overlapping sweeps that share a cache therefore never recompile the
 //! same design: the second encounter is a lookup.
+//!
+//! Two cache levels stack on that key scheme:
+//!
+//! * [`DesignCache`] — in-memory, per-sweep, keyed by [`design_key`] (the
+//!   configuration hash *minus* the simulation substrate). Candidates
+//!   differing only in their `SimConfig` share one compiled design, built
+//!   exactly once even under concurrent evaluation.
+//! * [`EvalCache`] — the full-key measurement memo, optionally persisted
+//!   to disk ([`EvalCache::save`] / [`EvalCache::load`]) in a versioned,
+//!   checksummed binary format. A truncated, corrupt, or
+//!   version-mismatched file degrades to a cold cache — a typed
+//!   [`CacheFileError`] or a silent miss, never a panic — and
+//!   [`EvalOutcome::Failed`] entries are never persisted.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pphw_hw::Area;
 
 use crate::space::Candidate;
-use crate::EvalOutcome;
+use crate::{EvalOutcome, Measurement};
 
 /// FNV-1a 64-bit over a byte string — stable across runs, platforms, and
 /// thread counts (unlike `std`'s randomized hasher).
@@ -43,6 +59,106 @@ pub fn config_key(program: &str, sizes: &[(String, i64)], salt: &str, c: &Candid
         c.sim.canonical_key()
     );
     fnv1a64(canon.as_bytes())
+}
+
+/// The design identity of a candidate: the canonical configuration hash
+/// *without* the simulation substrate. Two candidates with equal design
+/// keys compile to the same hardware — only their simulated substrate
+/// differs — so they can share one compile artifact.
+#[must_use]
+pub fn design_key(program: &str, sizes: &[(String, i64)], salt: &str, c: &Candidate) -> u64 {
+    let mut sorted_sizes: Vec<_> = sizes.iter().collect();
+    sorted_sizes.sort();
+    let mut sorted_tiles: Vec<_> = c.tiles.iter().collect();
+    sorted_tiles.sort();
+    let canon = format!(
+        "prog={program}|sizes={sorted_sizes:?}|tiles={sorted_tiles:?}|par={}|salt={salt}",
+        c.inner_par
+    );
+    fnv1a64(canon.as_bytes())
+}
+
+/// A thread-safe share-one-computation table: the first caller of
+/// [`DesignCache::get_or_compute`] for a key runs the builder exactly
+/// once; concurrent callers for the same key block on the entry's
+/// [`OnceLock`] and receive the same [`Arc`]. Used to share compile
+/// artifacts across candidates that differ only in simulation substrate,
+/// deterministically at any thread count (the builder is pure, and
+/// exactly one invocation ever runs per key).
+#[derive(Debug)]
+pub struct DesignCache<T> {
+    slots: Mutex<HashMap<u64, Arc<OnceLock<Arc<T>>>>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl<T> Default for DesignCache<T> {
+    fn default() -> Self {
+        DesignCache::new()
+    }
+}
+
+impl<T> DesignCache<T> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> DesignCache<T> {
+        DesignCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the artifact for `key`, running `build` only if this is the
+    /// key's first sighting. Concurrent callers block until the one
+    /// builder finishes and then share its result.
+    pub fn get_or_compute(&self, key: u64, build: impl FnOnce() -> T) -> Arc<T> {
+        let slot = {
+            let mut slots = self
+                .slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut built = false;
+        let value = Arc::clone(slot.get_or_init(|| {
+            built = true;
+            Arc::new(build())
+        }));
+        if built {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Number of distinct keys seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of lookups served from an existing artifact.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of builder invocations (one per distinct key).
+    #[must_use]
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
 }
 
 /// A thread-safe memoization table from configuration hash to evaluation
@@ -108,6 +224,264 @@ impl EvalCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Serializes every persistable entry to `path`, atomically (written
+    /// to a sibling temp file, then renamed). [`EvalOutcome::Failed`]
+    /// entries are skipped: a later sweep should retry a failure, not
+    /// replay it. The format is the versioned, checksummed layout
+    /// documented on [`CacheFileError`].
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFileError::Io`] if the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), CacheFileError> {
+        let table = self.table();
+        let mut entries: Vec<(u64, Vec<u8>)> = table
+            .iter()
+            .filter(|(_, out)| !matches!(out, EvalOutcome::Failed(_)))
+            .map(|(&key, out)| (key, encode_outcome(out)))
+            .collect();
+        drop(table);
+        entries.sort_by_key(|(key, _)| *key);
+        let mut bytes = Vec::with_capacity(16 + entries.len() * 64);
+        bytes.extend_from_slice(&CACHE_MAGIC);
+        bytes.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, payload) in &entries {
+            bytes.extend_from_slice(&key.to_le_bytes());
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(payload);
+            bytes.extend_from_slice(&entry_checksum(*key, payload).to_le_bytes());
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(CacheFileError::Io)?;
+        std::fs::rename(&tmp, path).map_err(CacheFileError::Io)
+    }
+
+    /// Deserializes a cache previously written by [`EvalCache::save`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`CacheFileError`] on any irregularity — missing file, bad
+    /// magic, unsupported version, truncation, or a per-entry checksum or
+    /// encoding mismatch. The whole file is rejected (cold cache): a
+    /// partially trusted cache is worse than no cache.
+    pub fn load(path: &Path) -> Result<EvalCache, CacheFileError> {
+        let bytes = std::fs::read(path).map_err(CacheFileError::Io)?;
+        let mut r = Reader::new(&bytes);
+        if r.take(8)? != CACHE_MAGIC {
+            return Err(CacheFileError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != CACHE_VERSION {
+            return Err(CacheFileError::UnsupportedVersion(version));
+        }
+        let count = r.u64()?;
+        let cache = EvalCache::new();
+        {
+            let mut table = cache.table();
+            for entry in 0..count {
+                let key = r.u64()?;
+                let len = r.u32()? as usize;
+                let payload = r.take(len)?;
+                let checksum = r.u64()?;
+                if checksum != entry_checksum(key, payload) {
+                    return Err(CacheFileError::Corrupt { entry });
+                }
+                let outcome = decode_outcome(payload).ok_or(CacheFileError::Corrupt { entry })?;
+                table.insert(key, outcome);
+            }
+            if !r.at_end() {
+                return Err(CacheFileError::TrailingBytes);
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Loads `path` if it holds a valid cache, otherwise returns an empty
+    /// (cold) cache. Never panics and never errors: a missing, truncated,
+    /// corrupt, or incompatible file is simply not a cache.
+    #[must_use]
+    pub fn load_or_cold(path: &Path) -> EvalCache {
+        EvalCache::load(path).unwrap_or_default()
+    }
+}
+
+/// File magic for the persistent evaluation cache.
+pub const CACHE_MAGIC: [u8; 8] = *b"PPHWEVC\0";
+
+/// Current format version. Bump on any layout or encoding change; readers
+/// reject every other version (cold cache).
+pub const CACHE_VERSION: u32 = 1;
+
+/// Why a persistent cache file was rejected.
+///
+/// The on-disk layout, all integers little-endian and floats stored by
+/// bit pattern:
+///
+/// ```text
+/// magic    [u8; 8]  = b"PPHWEVC\0"
+/// version  u32      = 1
+/// count    u64
+/// entry*count:
+///   key       u64      canonical configuration hash
+///   len       u32      payload length in bytes
+///   payload   [u8;len] tag 0 (Feasible): cycles u64, dram_words u64,
+///                        on_chip_bytes u64, area logic/ff/mem f64-bits
+///                      tag 1 (Infeasible): reason length u32 + UTF-8
+///   checksum  u64      fnv1a64(key-bytes ++ payload)
+/// ```
+#[derive(Debug)]
+pub enum CacheFileError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with [`CACHE_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`CACHE_VERSION`].
+    UnsupportedVersion(u32),
+    /// The file ended before the declared content did.
+    Truncated,
+    /// Bytes remain after the declared entries.
+    TrailingBytes,
+    /// An entry failed its checksum or could not be decoded.
+    Corrupt {
+        /// Zero-based index of the offending entry.
+        entry: u64,
+    },
+}
+
+impl std::fmt::Display for CacheFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheFileError::Io(e) => write!(f, "cache file I/O: {e}"),
+            CacheFileError::BadMagic => write!(f, "not a pphw evaluation cache (bad magic)"),
+            CacheFileError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported cache version {v} (expected {CACHE_VERSION})"
+                )
+            }
+            CacheFileError::Truncated => write!(f, "cache file truncated"),
+            CacheFileError::TrailingBytes => write!(f, "cache file has trailing bytes"),
+            CacheFileError::Corrupt { entry } => {
+                write!(
+                    f,
+                    "cache entry {entry} corrupt (checksum or encoding mismatch)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn entry_checksum(key: u64, payload: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&key.to_le_bytes());
+    buf.extend_from_slice(payload);
+    fnv1a64(&buf)
+}
+
+fn encode_outcome(out: &EvalOutcome) -> Vec<u8> {
+    match out {
+        EvalOutcome::Feasible(m) => {
+            let mut b = Vec::with_capacity(1 + 6 * 8);
+            b.push(0u8);
+            b.extend_from_slice(&m.cycles.to_le_bytes());
+            b.extend_from_slice(&m.dram_words.to_le_bytes());
+            b.extend_from_slice(&m.on_chip_bytes.to_le_bytes());
+            b.extend_from_slice(&m.area.logic.to_bits().to_le_bytes());
+            b.extend_from_slice(&m.area.ff.to_bits().to_le_bytes());
+            b.extend_from_slice(&m.area.mem.to_bits().to_le_bytes());
+            b
+        }
+        EvalOutcome::Infeasible(reason) => {
+            let mut b = Vec::with_capacity(1 + 4 + reason.len());
+            b.push(1u8);
+            b.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+            b.extend_from_slice(reason.as_bytes());
+            b
+        }
+        // Never reached: `save` filters Failed out. Encoded defensively as
+        // an empty Infeasible so a future caller cannot corrupt the file.
+        EvalOutcome::Failed(_) => vec![1, 0, 0, 0, 0],
+    }
+}
+
+fn decode_outcome(payload: &[u8]) -> Option<EvalOutcome> {
+    let mut r = Reader::new(payload);
+    let out = match r.take(1).ok()?[0] {
+        0 => {
+            let cycles = r.u64().ok()?;
+            let dram_words = r.u64().ok()?;
+            let on_chip_bytes = r.u64().ok()?;
+            let logic = f64::from_bits(r.u64().ok()?);
+            let ff = f64::from_bits(r.u64().ok()?);
+            let mem = f64::from_bits(r.u64().ok()?);
+            EvalOutcome::Feasible(Measurement {
+                cycles,
+                dram_words,
+                on_chip_bytes,
+                area: Area { logic, ff, mem },
+            })
+        }
+        1 => {
+            let len = r.u32().ok()? as usize;
+            let reason = String::from_utf8(r.take(len).ok()?.to_vec()).ok()?;
+            EvalOutcome::Infeasible(reason)
+        }
+        _ => return None,
+    };
+    if !r.at_end() {
+        return None;
+    }
+    Some(out)
+}
+
+/// A bounds-checked little-endian byte reader: every read that would run
+/// past the end is [`CacheFileError::Truncated`], never a panic.
+struct Reader<'b> {
+    bytes: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    fn new(bytes: &'b [u8]) -> Reader<'b> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], CacheFileError> {
+        let end = self.pos.checked_add(n).ok_or(CacheFileError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(CacheFileError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, CacheFileError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CacheFileError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
     }
 }
 
@@ -178,5 +552,202 @@ mod tests {
         assert_eq!(cache.get(key), Some(outcome(100)));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn design_key_ignores_sim_config_but_config_key_does_not() {
+        let s = sizes(&[("m", 64)]);
+        let c1 = cand(&[("m", 8)], 16);
+        let mut c2 = cand(&[("m", 8)], 16);
+        c2.sim = SimConfig::default().with_clock_mhz(200.0);
+        assert_eq!(design_key("p", &s, "", &c1), design_key("p", &s, "", &c2));
+        assert_ne!(config_key("p", &s, "", &c1), config_key("p", &s, "", &c2));
+        // Tile, par, program, salt, and sizes still all matter.
+        let base = design_key("p", &s, "", &c1);
+        assert_ne!(base, design_key("q", &s, "", &c1));
+        assert_ne!(base, design_key("p", &s, "salted", &c1));
+        assert_ne!(base, design_key("p", &s, "", &cand(&[("m", 4)], 16)));
+        assert_ne!(base, design_key("p", &s, "", &cand(&[("m", 8)], 32)));
+        assert_ne!(base, design_key("p", &sizes(&[("m", 128)]), "", &c1));
+    }
+
+    #[test]
+    fn design_cache_builds_each_key_exactly_once() {
+        let cache: DesignCache<u64> = DesignCache::new();
+        let a = cache.get_or_compute(1, || 10);
+        let b = cache.get_or_compute(1, || 99);
+        let c = cache.get_or_compute(2, || 20);
+        assert_eq!((*a, *b, *c), (10, 10, 20));
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn design_cache_is_exactly_once_under_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+
+        let cache: Arc<DesignCache<usize>> = Arc::new(DesignCache::new());
+        let built = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let cache = Arc::clone(&cache);
+                let built = Arc::clone(&built);
+                std::thread::spawn(move || {
+                    let v = cache.get_or_compute(7, || {
+                        built.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        1234
+                    });
+                    assert_eq!(*v, 1234);
+                    i
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    fn sample_cache() -> EvalCache {
+        let cache = EvalCache::new();
+        cache.insert(
+            1,
+            EvalOutcome::Feasible(Measurement {
+                cycles: 123_456,
+                dram_words: 789,
+                on_chip_bytes: 4096,
+                area: Area {
+                    logic: 1.5,
+                    ff: 0.25,
+                    mem: 42.0,
+                },
+            }),
+        );
+        cache.insert(2, EvalOutcome::Infeasible("budget exceeded".into()));
+        cache.insert(3, EvalOutcome::Failed("transient".into()));
+        cache
+    }
+
+    #[test]
+    fn persistent_cache_round_trips_and_drops_failed() {
+        let dir = std::env::temp_dir().join("pphw-cache-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evals.pphwc");
+        sample_cache().save(&path).unwrap();
+        let loaded = EvalCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.get(1),
+            Some(EvalOutcome::Feasible(Measurement {
+                cycles: 123_456,
+                dram_words: 789,
+                on_chip_bytes: 4096,
+                area: Area {
+                    logic: 1.5,
+                    ff: 0.25,
+                    mem: 42.0,
+                },
+            }))
+        );
+        assert_eq!(
+            loaded.get(2),
+            Some(EvalOutcome::Infeasible("budget exceeded".into()))
+        );
+        assert!(loaded.get(3).is_none(), "Failed outcomes must not persist");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_files_degrade_cold_without_panic() {
+        let dir = std::env::temp_dir().join("pphw-cache-corruption");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.pphwc");
+        sample_cache().save(&good).unwrap();
+        let bytes = std::fs::read(&good).unwrap();
+
+        // Missing file.
+        let missing = dir.join("no-such-file.pphwc");
+        assert!(matches!(
+            EvalCache::load(&missing),
+            Err(CacheFileError::Io(_))
+        ));
+        assert!(EvalCache::load_or_cold(&missing).is_empty());
+
+        // Empty file.
+        let empty = dir.join("empty.pphwc");
+        std::fs::write(&empty, []).unwrap();
+        assert!(matches!(
+            EvalCache::load(&empty),
+            Err(CacheFileError::Truncated)
+        ));
+        assert!(EvalCache::load_or_cold(&empty).is_empty());
+
+        // Bad magic.
+        let bad_magic = dir.join("bad-magic.pphwc");
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        std::fs::write(&bad_magic, &b).unwrap();
+        assert!(matches!(
+            EvalCache::load(&bad_magic),
+            Err(CacheFileError::BadMagic)
+        ));
+        assert!(EvalCache::load_or_cold(&bad_magic).is_empty());
+
+        // Version mismatch.
+        let bad_version = dir.join("bad-version.pphwc");
+        let mut b = bytes.clone();
+        b[8..12].copy_from_slice(&(CACHE_VERSION + 1).to_le_bytes());
+        std::fs::write(&bad_version, &b).unwrap();
+        assert!(matches!(
+            EvalCache::load(&bad_version),
+            Err(CacheFileError::UnsupportedVersion(v)) if v == CACHE_VERSION + 1
+        ));
+        assert!(EvalCache::load_or_cold(&bad_version).is_empty());
+
+        // Truncation at every prefix length shorter than the file.
+        let truncated = dir.join("truncated.pphwc");
+        for cut in [1, 8, 12, 20, 28, bytes.len() - 1] {
+            std::fs::write(&truncated, &bytes[..cut]).unwrap();
+            let err = EvalCache::load(&truncated).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CacheFileError::Truncated
+                        | CacheFileError::BadMagic
+                        | CacheFileError::Corrupt { .. }
+                ),
+                "cut={cut} gave unexpected error {err}"
+            );
+            assert!(EvalCache::load_or_cold(&truncated).is_empty());
+        }
+
+        // Bit flip in an entry payload trips that entry's checksum.
+        let flipped = dir.join("flipped.pphwc");
+        let mut b = bytes.clone();
+        let payload_byte = 20 + 8 + 4 + 2; // into the first entry's payload
+        b[payload_byte] ^= 0x01;
+        std::fs::write(&flipped, &b).unwrap();
+        assert!(matches!(
+            EvalCache::load(&flipped),
+            Err(CacheFileError::Corrupt { entry: 0 })
+        ));
+        assert!(EvalCache::load_or_cold(&flipped).is_empty());
+
+        // Trailing garbage after the declared entries.
+        let trailing = dir.join("trailing.pphwc");
+        let mut b = bytes.clone();
+        b.push(0xAB);
+        std::fs::write(&trailing, &b).unwrap();
+        assert!(matches!(
+            EvalCache::load(&trailing),
+            Err(CacheFileError::TrailingBytes)
+        ));
+        assert!(EvalCache::load_or_cold(&trailing).is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

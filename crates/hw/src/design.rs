@@ -8,6 +8,7 @@
 //! evaluates symbolic sizes when it builds the design), which keeps the
 //! simulator and area model simple.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of an on-chip memory in [`Design::buffers`].
@@ -239,6 +240,71 @@ impl Node {
                 s.visit_ctrls(f);
             }
         }
+    }
+}
+
+/// A dense arena of stage (unit) names: each distinct name gets a `u32`
+/// id, assigned in first-seen order. The simulator interns a design's
+/// stage names once per run and then accumulates per-stage statistics in
+/// a flat `Vec` indexed by id, instead of allocating `String` keys into a
+/// `BTreeMap` on every event. Units sharing a name share an id, matching
+/// the map-based accumulation they replace.
+#[derive(Debug, Clone, Default)]
+pub struct StageInterner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StageInterner {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> StageInterner {
+        StageInterner::default()
+    }
+
+    /// Interns every unit name in `design`, in tree order.
+    #[must_use]
+    pub fn for_design(design: &Design) -> StageInterner {
+        let mut arena = StageInterner::new();
+        design.root.visit_units(&mut |u| {
+            arena.intern(&u.name);
+        });
+        arena
+    }
+
+    /// Returns the id for `name`, allocating the next dense id on first
+    /// sight.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name behind `id`, if allocated.
+    #[must_use]
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct names interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the arena is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned names in id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
     }
 }
 
@@ -554,5 +620,27 @@ mod tests {
         let mut n = 0;
         d.root.visit_units(&mut |_| n += 1);
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn interner_assigns_dense_ids_in_tree_order() {
+        let d = tiny_design();
+        let arena = StageInterner::for_design(&d);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.name(0), Some("load_x"));
+        assert_eq!(arena.name(1), Some("reduce"));
+        assert_eq!(arena.name(2), None);
+    }
+
+    #[test]
+    fn interner_merges_duplicate_names() {
+        let mut arena = StageInterner::new();
+        let a = arena.intern("stage");
+        let b = arena.intern("other");
+        let c = arena.intern("stage");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.names().collect::<Vec<_>>(), vec!["stage", "other"]);
     }
 }

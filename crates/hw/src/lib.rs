@@ -15,5 +15,5 @@ pub mod hgl;
 
 pub use area::{area_objective, design_area, utilization, Area, AreaBudget};
 pub use config::HwConfig;
-pub use design::{Design, DesignStyle};
+pub use design::{Design, DesignStyle, StageInterner};
 pub use gen::{generate, HwError};

@@ -361,12 +361,23 @@ impl<'a> Interpreter<'a> {
         }
         let mut env: Env = self.prog.inputs.iter().copied().zip(inputs).collect();
         self.eval_block(&self.prog.body, &mut env)?;
-        self.prog
-            .body
-            .result
-            .iter()
-            .map(|s| env.get(s).cloned().ok_or(EvalError::Unbound(*s)))
-            .collect()
+        // Move results out of the environment rather than cloning them; a
+        // sym listed twice clones from its first extracted occurrence.
+        let result = &self.prog.body.result;
+        let mut out: Vec<Value> = Vec::with_capacity(result.len());
+        for (k, s) in result.iter().enumerate() {
+            match env.remove(s) {
+                Some(v) => out.push(v),
+                None => match result[..k].iter().position(|r| r == s) {
+                    Some(j) => {
+                        let v = out[j].clone();
+                        out.push(v);
+                    }
+                    None => return Err(EvalError::Unbound(*s)),
+                },
+            }
+        }
+        Ok(out)
     }
 
     fn size(&self, s: &Size) -> Result<usize, EvalError> {
@@ -420,9 +431,11 @@ impl<'a> Interpreter<'a> {
         Ok(())
     }
 
-    fn extract(&self, tensor: Sym, dims: &[SliceDim], env: &mut Env) -> Result<Value, EvalError> {
+    fn extract(&self, tensor: Sym, dims: &[SliceDim], env: &Env) -> Result<Value, EvalError> {
+        // Borrow the source tensor in place: the spec expressions below
+        // only read the environment, so no defensive clone is needed.
         let t = match env.get(&tensor).ok_or(EvalError::Unbound(tensor))? {
-            Value::Tensor(t) => t.clone(),
+            Value::Tensor(t) => t,
             other => {
                 return Err(EvalError::Type(format!(
                     "slice of non-tensor value {other:?}"
@@ -468,12 +481,10 @@ impl<'a> Interpreter<'a> {
             .collect();
         let mut data = Vec::with_capacity(checked_volume(&out_shape)?);
         let mut idx = vec![0usize; specs.len()];
+        // Reused absolute-index buffer, kept in lock-step with `idx` as the
+        // odometer advances — no per-element allocation.
+        let mut src: Vec<usize> = specs.iter().map(|(start, _, _)| *start).collect();
         loop {
-            let src: Vec<usize> = idx
-                .iter()
-                .zip(&specs)
-                .map(|(i, (start, _, _))| start + i)
-                .collect();
             data.push(t.data[t.offset(&src)].clone());
             // Advance odometer over the spec extents.
             let mut k = specs.len();
@@ -492,10 +503,12 @@ impl<'a> Interpreter<'a> {
                 }
                 k -= 1;
                 idx[k] += 1;
+                src[k] += 1;
                 if idx[k] < specs[k].1 {
                     break;
                 }
                 idx[k] = 0;
+                src[k] = specs[k].0;
             }
         }
     }
@@ -516,11 +529,9 @@ impl<'a> Interpreter<'a> {
                         env.insert(*p, Value::Scalar(ScalarVal::I(*i as i64)));
                     }
                     self.eval_block(&m.body.body, env)?;
-                    let r = env
-                        .get(&m.body.body.result_sym())
-                        .ok_or(EvalError::Unbound(m.body.body.result_sym()))?;
-                    match r {
-                        Value::Scalar(s) => data.push(s.clone()),
+                    let sym = m.body.body.result_sym();
+                    match env.remove(&sym).ok_or(EvalError::Unbound(sym))? {
+                        Value::Scalar(s) => data.push(s),
                         other => {
                             return Err(EvalError::Type(format!(
                                 "map body produced non-scalar {other:?}"
@@ -560,12 +571,10 @@ impl<'a> Interpreter<'a> {
                 for i in 0..d {
                     env.insert(fm.body.params[0], Value::Scalar(ScalarVal::I(i as i64)));
                     self.eval_block(&fm.body.body, env)?;
-                    let r = env
-                        .get(&fm.body.body.result_sym())
-                        .ok_or(EvalError::Unbound(fm.body.body.result_sym()))?;
-                    match r {
-                        Value::DynVec(v) => out.extend(v.iter().cloned()),
-                        Value::Tensor(t) => out.extend(t.data.iter().cloned()),
+                    let sym = fm.body.body.result_sym();
+                    match env.remove(&sym).ok_or(EvalError::Unbound(sym))? {
+                        Value::DynVec(v) => out.extend(v),
+                        Value::Tensor(t) => out.extend(t.data),
                         other => {
                             return Err(EvalError::Type(format!("flatMap body produced {other:?}")))
                         }
@@ -650,11 +659,9 @@ impl<'a> Interpreter<'a> {
                 // Scalar accumulator: update replaces the whole value.
                 env.insert(u.acc_param, Value::Scalar(s.clone()));
                 self.eval_block(&u.body, env)?;
-                let r = env
-                    .get(&u.body.result_sym())
-                    .ok_or(EvalError::Unbound(u.body.result_sym()))?;
-                match r {
-                    Value::Scalar(v) => *s = v.clone(),
+                let sym = u.body.result_sym();
+                match env.remove(&sym).ok_or(EvalError::Unbound(sym))? {
+                    Value::Scalar(v) => *s = v,
                     other => {
                         return Err(EvalError::Type(format!("scalar update produced {other:?}")))
                     }
@@ -702,23 +709,30 @@ impl<'a> Interpreter<'a> {
                     s.to_vec()
                 };
                 let count: usize = region.iter().product();
+                // Reused relative/absolute index buffers for both the
+                // region read and the write-back below.
+                let mut rel = vec![0usize; region.len()];
+                let mut abs = vec![0usize; region.len()];
                 let mut cur = Vec::with_capacity(count);
                 for flat in 0..count {
-                    let rel = unflatten(flat, &region);
-                    let abs: Vec<usize> = rel.iter().zip(&loc).map(|(a, b)| a + b).collect();
+                    unflatten_into(flat, &region, &mut rel);
+                    for (a, (r, l)) in abs.iter_mut().zip(rel.iter().zip(&loc)) {
+                        *a = r + l;
+                    }
                     cur.push(t.data[t.offset(&abs)].clone());
                 }
                 let param_val = if squeezed.is_empty() {
-                    Value::Scalar(cur[0].clone())
+                    match cur.pop() {
+                        Some(s) => Value::Scalar(s),
+                        None => return Err(EvalError::Type("empty update region".into())),
+                    }
                 } else {
                     Value::Tensor(TensorVal::new(squeezed.clone(), cur))
                 };
                 env.insert(u.acc_param, param_val);
                 self.eval_block(&u.body, env)?;
-                let r = env
-                    .get(&u.body.result_sym())
-                    .ok_or(EvalError::Unbound(u.body.result_sym()))?
-                    .clone();
+                let sym = u.body.result_sym();
+                let r = env.remove(&sym).ok_or(EvalError::Unbound(sym))?;
                 let new_data: Vec<ScalarVal> = match r {
                     Value::Scalar(v) => vec![v],
                     Value::Tensor(nt) => {
@@ -733,8 +747,10 @@ impl<'a> Interpreter<'a> {
                     other => return Err(EvalError::Type(format!("update produced {other:?}"))),
                 };
                 for (flat, v) in new_data.into_iter().enumerate() {
-                    let rel = unflatten(flat, &region);
-                    let abs: Vec<usize> = rel.iter().zip(&loc).map(|(a, b)| a + b).collect();
+                    unflatten_into(flat, &region, &mut rel);
+                    for (a, (r, l)) in abs.iter_mut().zip(rel.iter().zip(&loc)) {
+                        *a = r + l;
+                    }
                     let off = t.offset(&abs);
                     t.data[off] = v;
                 }
@@ -872,13 +888,19 @@ impl<'a> Interpreter<'a> {
     }
 }
 
-fn unflatten(mut flat: usize, dims: &[usize]) -> Vec<usize> {
+fn unflatten(flat: usize, dims: &[usize]) -> Vec<usize> {
     let mut idx = vec![0usize; dims.len()];
+    unflatten_into(flat, dims, &mut idx);
+    idx
+}
+
+/// [`unflatten`] into a caller-owned buffer, avoiding the allocation in
+/// per-element loops.
+fn unflatten_into(mut flat: usize, dims: &[usize], idx: &mut [usize]) {
     for k in (0..dims.len()).rev() {
         idx[k] = flat % dims[k];
         flat /= dims[k];
     }
-    idx
 }
 
 /// Evaluates a unary operator. Invalid op/type combinations (reachable

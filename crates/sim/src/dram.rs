@@ -179,9 +179,10 @@ impl SimConfig {
 /// overlapped metapipeline stages out of timestamp order (a small store
 /// simulated "later" must not push an earlier tile load backwards).
 #[derive(Debug)]
-pub struct Dram {
-    cfg: SimConfig,
-    /// Sorted, disjoint busy intervals (recent window only).
+pub struct Dram<'a> {
+    cfg: &'a SimConfig,
+    /// Sorted, disjoint busy intervals (recent window only), kept
+    /// canonical: no neighboring pair within merging distance.
     busy: Vec<(f64, f64)>,
     /// Requests earlier than this start no earlier than here (intervals
     /// before the window have been pruned).
@@ -205,9 +206,11 @@ struct FaultState {
     stats: FaultStats,
 }
 
-impl Dram {
-    /// Creates a fault-free channel.
-    pub fn new(cfg: SimConfig) -> Self {
+impl<'a> Dram<'a> {
+    /// Creates a fault-free channel borrowing the caller's configuration
+    /// for its whole lifetime (one simulation run), instead of cloning it
+    /// per call.
+    pub fn new(cfg: &'a SimConfig) -> Self {
         Dram {
             cfg,
             busy: Vec::new(),
@@ -220,7 +223,7 @@ impl Dram {
 
     /// Creates a channel with fault injection. An inert fault config is
     /// dropped entirely so the run is bit-identical to [`Dram::new`].
-    pub fn with_faults(cfg: SimConfig, faults: &FaultConfig) -> Self {
+    pub fn with_faults(cfg: &'a SimConfig, faults: &FaultConfig) -> Self {
         let mut d = Dram::new(cfg);
         if !faults.is_inert() {
             d.faults = Some(FaultState {
@@ -234,7 +237,7 @@ impl Dram {
 
     /// Access to the configuration.
     pub fn config(&self) -> &SimConfig {
-        &self.cfg
+        self.cfg
     }
 
     /// The fault counters accumulated so far (all zeros when fault
@@ -284,11 +287,20 @@ impl Dram {
 
     /// Reserves `duration` cycles of channel time starting no earlier than
     /// `at`; returns the reservation start.
+    ///
+    /// The busy list is kept *canonical* — sorted, disjoint, with no
+    /// neighboring pair within merging distance — so a reservation only
+    /// ever merges with its immediate predecessor and/or a chain of
+    /// successors. That makes the update local (a splice around the
+    /// insertion point) instead of a full-list rebuild per request, with
+    /// bit-identical results.
     fn reserve(&mut self, at: f64, duration: f64) -> f64 {
-        // Find the first gap that fits.
+        // Find the first gap that fits. Intervals ending at or before `t`
+        // cannot matter, and ends are sorted, so binary-search past them.
         let mut t = at.max(self.floor);
+        let first = self.busy.partition_point(|&(_, e)| e <= t);
         let mut insert_pos = self.busy.len();
-        for (i, &(s, e)) in self.busy.iter().enumerate() {
+        for (i, &(s, e)) in self.busy.iter().enumerate().skip(first) {
             if e <= t {
                 continue;
             }
@@ -302,24 +314,36 @@ impl Dram {
         if insert_pos == self.busy.len() {
             insert_pos = self.busy.partition_point(|&(s, _)| s < t);
         }
-        self.busy.insert(insert_pos, (t, t + duration));
-        // Merge neighbors to keep the list compact.
-        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(self.busy.len());
-        for &(s, e) in self.busy.iter() {
-            match merged.last_mut() {
-                Some(last) if s <= last.1 + 1e-9 => last.1 = last.1.max(e),
-                _ => merged.push((s, e)),
+        // Splice in the reservation, merging neighbors locally.
+        let mut new_s = t;
+        let mut new_e = t + duration;
+        let mut lo = insert_pos;
+        if insert_pos > 0 && new_s <= self.busy[insert_pos - 1].1 + 1e-9 {
+            lo = insert_pos - 1;
+            new_s = self.busy[lo].0;
+            new_e = new_e.max(self.busy[lo].1);
+        }
+        let mut hi = insert_pos;
+        while hi < self.busy.len() && self.busy[hi].0 <= new_e + 1e-9 {
+            new_e = new_e.max(self.busy[hi].1);
+            hi += 1;
+        }
+        if lo == hi {
+            self.busy.insert(lo, (new_s, new_e));
+        } else {
+            self.busy[lo] = (new_s, new_e);
+            if hi > lo + 1 {
+                self.busy.drain(lo + 1..hi);
             }
         }
         // Bound the window: the simulator's out-of-order issue distance is
         // one metapipeline iteration, so distant history can be pruned.
         const MAX_INTERVALS: usize = 512;
-        if merged.len() > MAX_INTERVALS {
-            let cut = merged.len() - MAX_INTERVALS;
-            self.floor = self.floor.max(merged[cut - 1].1);
-            merged.drain(..cut);
+        if self.busy.len() > MAX_INTERVALS {
+            let cut = self.busy.len() - MAX_INTERVALS;
+            self.floor = self.floor.max(self.busy[cut - 1].1);
+            self.busy.drain(..cut);
         }
-        self.busy = merged;
         t
     }
 
@@ -409,7 +433,7 @@ mod tests {
     fn prefetched_stream_pays_latency_once() {
         let cfg = SimConfig::default();
         let bpc = cfg.bytes_per_cycle();
-        let mut d = Dram::new(cfg.clone());
+        let mut d = Dram::new(&cfg);
         let t = d.request(0.0, &stream(9600, 9600, true, false)); // 100 bursts
         let expected = cfg.dram_latency as f64 + (100.0 * 384.0) / bpc;
         assert!((t - expected).abs() < 1e-6, "{t} vs {expected}");
@@ -418,19 +442,19 @@ mod tests {
     #[test]
     fn sync_stream_pays_gap_per_run() {
         let cfg = SimConfig::default();
-        let mut d = Dram::new(cfg.clone());
+        let mut d = Dram::new(&cfg);
         // 100 runs of 96 words: 99 turnaround gaps.
         let t_sync = d.request(0.0, &stream(9600, 96, false, false));
-        let mut d2 = Dram::new(cfg.clone());
+        let mut d2 = Dram::new(&cfg);
         let t_pre = d2.request(0.0, &stream(9600, 96, true, false));
         assert!(
             t_sync > t_pre + (99 * cfg.sync_gap - 1) as f64,
             "sync {t_sync} vs prefetch {t_pre}"
         );
         // A single contiguous run pays no gaps.
-        let mut d3 = Dram::new(cfg.clone());
+        let mut d3 = Dram::new(&cfg);
         let t_one = d3.request(0.0, &stream(9600, 9600, false, false));
-        let mut d4 = Dram::new(cfg);
+        let mut d4 = Dram::new(&cfg);
         let t_one_pre = d4.request(0.0, &stream(9600, 9600, true, false));
         assert!((t_one - t_one_pre).abs() < 1e-6);
     }
@@ -438,11 +462,11 @@ mod tests {
     #[test]
     fn short_runs_waste_bandwidth() {
         let cfg = SimConfig::default();
-        let mut d = Dram::new(cfg.clone());
+        let mut d = Dram::new(&cfg);
         // 96 words in runs of 1: each word costs a full burst.
         d.request(0.0, &stream(96, 1, true, false));
         assert!((d.bytes_moved - 96.0 * 384.0).abs() < 1e-6);
-        let mut d2 = Dram::new(cfg);
+        let mut d2 = Dram::new(&cfg);
         // 96 words contiguous: one burst.
         d2.request(0.0, &stream(96, 96, true, false));
         assert!((d2.bytes_moved - 384.0).abs() < 1e-6);
@@ -451,7 +475,7 @@ mod tests {
     #[test]
     fn channel_serializes_requests() {
         let cfg = SimConfig::default();
-        let mut d = Dram::new(cfg);
+        let mut d = Dram::new(&cfg);
         let t1 = d.request(0.0, &stream(96_000, 96_000, true, false));
         let t2 = d.request(0.0, &stream(96_000, 96_000, true, false));
         assert!(t2 > t1, "second request must queue behind the first");
@@ -461,7 +485,7 @@ mod tests {
     fn writes_skip_latency() {
         let cfg = SimConfig::default();
         let bpc = cfg.bytes_per_cycle();
-        let mut d = Dram::new(cfg);
+        let mut d = Dram::new(&cfg);
         let t = d.request(0.0, &stream(96, 96, true, true));
         assert!((t - 384.0 / bpc).abs() < 1e-6);
     }
@@ -491,7 +515,7 @@ mod tests {
     #[test]
     fn empty_stream_is_free() {
         let cfg = SimConfig::default();
-        let mut d = Dram::new(cfg);
+        let mut d = Dram::new(&cfg);
         assert_eq!(d.request(5.0, &stream(0, 1, true, false)), 5.0);
     }
 
@@ -527,8 +551,8 @@ mod tests {
     #[test]
     fn inert_faults_take_the_fault_free_path() {
         let cfg = SimConfig::default();
-        let mut plain = Dram::new(cfg.clone());
-        let mut inert = Dram::with_faults(cfg, &FaultConfig::none().with_seed(1234));
+        let mut plain = Dram::new(&cfg);
+        let mut inert = Dram::with_faults(&cfg, &FaultConfig::none().with_seed(1234));
         for at in [0.0, 100.0, 5000.0] {
             let a = plain.request(at, &stream(9600, 96, true, false));
             let b = inert.request(at, &stream(9600, 96, true, false));
@@ -545,8 +569,8 @@ mod tests {
             .with_seed(7)
             .with_burst_fail_rate(0.8)
             .with_retry(4, 16);
-        let mut plain = Dram::new(cfg.clone());
-        let mut faulty = Dram::with_faults(cfg, &faults);
+        let mut plain = Dram::new(&cfg);
+        let mut faulty = Dram::with_faults(&cfg, &faults);
         let mut any_retry = false;
         for i in 0..32 {
             let at = i as f64 * 10.0;
@@ -565,9 +589,9 @@ mod tests {
         let cfg = SimConfig::default();
         // Window covers the full period: every request degraded.
         let always = FaultConfig::none().with_degradation(1000, 1000, 2.0);
-        let mut d = Dram::with_faults(cfg.clone(), &always);
+        let mut d = Dram::with_faults(&cfg, &always);
         let t = d.request(0.0, &stream(9600, 9600, true, false));
-        let mut clean = Dram::new(cfg);
+        let mut clean = Dram::new(&cfg);
         let t0 = clean.request(0.0, &stream(9600, 9600, true, false));
         let transfer = t0 - SimConfig::default().dram_latency as f64;
         assert!((t - (t0 + transfer)).abs() < 1e-6, "{t} vs 2x transfer");
@@ -582,7 +606,7 @@ mod tests {
             .with_latency_jitter(32)
             .with_burst_fail_rate(0.3);
         let run = || {
-            let mut d = Dram::with_faults(cfg.clone(), &faults);
+            let mut d = Dram::with_faults(&cfg, &faults);
             let ends: Vec<u64> = (0..64)
                 .map(|i| {
                     d.request(i as f64 * 7.0, &stream(960, 96, true, false))

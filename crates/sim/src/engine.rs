@@ -1,9 +1,17 @@
 //! The simulation engine: controller scheduling over the shared DRAM
 //! channel.
+//!
+//! Before the event loop runs, the design tree is *lowered* once: stage
+//! names are interned into dense ids ([`StageInterner`]), per-unit `f64`
+//! timing constants (pipeline depth, compute cycles, the DRAM request
+//! latency) are precomputed, and metapipeline controllers get reusable
+//! scratch vectors. The loop itself then touches no `String`s, performs
+//! no map lookups, and allocates nothing — statistics accumulate into a
+//! flat `Vec<StageStat>` indexed by stage id and are sorted by name only
+//! when the report is built, reproducing the retired
+//! `BTreeMap<String, StageStat>` accumulation bit for bit.
 
-use std::collections::BTreeMap;
-
-use pphw_hw::design::{Ctrl, CtrlKind, Design, Node, Unit};
+use pphw_hw::design::{CtrlKind, Design, DramStream, Node, StageInterner, Unit, UnitKind};
 
 use crate::dram::{Dram, SimConfig};
 use crate::error::SimError;
@@ -40,20 +48,38 @@ pub fn simulate_with_faults(
 ) -> Result<SimReport, SimError> {
     cfg.validate()?;
     faults.validate()?;
-    let mut dram = Dram::with_faults(cfg.clone(), faults);
-    let mut stats: BTreeMap<String, StageStat> = BTreeMap::new();
-    let mut wd = Watchdog::new(cfg.cycle_budget);
-    let Timing { end, .. } = sim_node(&design.root, 0.0, &mut dram, &mut stats, &mut wd)?;
+    let mut interner = StageInterner::new();
+    let mut root = lower_node(&design.root, &mut interner);
+    let stats = interner
+        .names()
+        .map(|name| StageStat {
+            name: name.to_string(),
+            invocations: 0,
+            busy_cycles: 0.0,
+            dram_words: 0,
+        })
+        .collect();
+    let mut cx = SimCx {
+        dram: Dram::with_faults(cfg, faults),
+        stats,
+        wd: Watchdog::new(cfg.cycle_budget),
+        trace: std::env::var("PPHW_TRACE").is_ok(),
+        latency: cfg.dram_latency as f64,
+    };
+    let Timing { end, .. } = sim_node(&mut root, 0.0, &mut cx)?;
     let cycles = checked_cycles(end, cfg.cycle_budget)?;
+    let mut stages = cx.stats;
+    stages.retain(|s| s.invocations > 0);
+    stages.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(SimReport {
         design: design.name.clone(),
         style: design.style,
         cycles,
         seconds: cfg.cycles_to_seconds(end),
-        dram_bytes: checked_u64(dram.bytes_moved, "DRAM byte count")?,
-        dram_words: dram.words_requested,
-        faults: dram.fault_stats(),
-        stages: stats.into_values().collect(),
+        dram_bytes: checked_u64(cx.dram.bytes_moved, "DRAM byte count")?,
+        dram_words: cx.dram.words_requested,
+        faults: cx.dram.fault_stats(),
+        stages,
     })
 }
 
@@ -137,16 +163,110 @@ struct Timing {
     gate: f64,
 }
 
-fn sim_node(
-    node: &Node,
-    start: f64,
-    dram: &mut Dram,
-    stats: &mut BTreeMap<String, StageStat>,
-    wd: &mut Watchdog,
-) -> Result<Timing, SimError> {
+/// Per-run simulation state threaded through the recursion: the DRAM
+/// channel (borrowing the run's `SimConfig`), the id-indexed statistics,
+/// the watchdog, and constants hoisted out of the event loop.
+struct SimCx<'a> {
+    dram: Dram<'a>,
+    stats: Vec<StageStat>,
+    wd: Watchdog,
+    /// `PPHW_TRACE` presence, read once per run instead of per controller
+    /// invocation.
+    trace: bool,
+    /// `cfg.dram_latency as f64`, hoisted.
+    latency: f64,
+}
+
+/// A leaf unit with its per-invocation constants precomputed: everything
+/// `sim_unit` needs that does not change between invocations.
+struct LUnit<'d> {
+    /// Dense stage id (index into [`SimCx::stats`]).
+    id: u32,
+    /// DRAM streams issued per invocation.
+    streams: &'d [DramStream],
+    /// `depth as f64`.
+    depth: f64,
+    /// Compute cycles per invocation: `ceil(elems / lanes)` (0 for
+    /// tile-memory units).
+    compute: f64,
+    /// Whether any read stream is synchronous (the HLS-baseline shape).
+    has_sync_reads: bool,
+    /// Bandwidth derate when several synchronous streams interleave.
+    efficiency: f64,
+    /// Total words across all streams (per-invocation traffic counter).
+    stream_words: u64,
+    /// Tile-store leaf (posted hand-off in sequential controllers).
+    is_store: bool,
+}
+
+/// A lowered controller. Metapipelines carry their wavefront scratch
+/// vectors here so repeated invocations (a metapipeline nested under an
+/// iterating parent) reuse the same backing storage.
+struct LCtrl<'d> {
+    kind: CtrlKind,
+    name: &'d str,
+    iters: u64,
+    stages: Vec<LNode<'d>>,
+    gate_scratch: Vec<f64>,
+    end_scratch: Vec<f64>,
+}
+
+/// A lowered design-tree node.
+enum LNode<'d> {
+    Unit(LUnit<'d>),
+    Ctrl(LCtrl<'d>),
+}
+
+fn lower_unit<'d>(u: &'d Unit, interner: &mut StageInterner) -> LUnit<'d> {
+    let lanes = u.kind.lanes().max(1) as u64;
+    let is_mem = matches!(
+        u.kind,
+        UnitKind::TileLoad { .. } | UnitKind::TileStore { .. }
+    );
+    let compute = if is_mem {
+        0.0
+    } else {
+        (u.elems.div_ceil(lanes)) as f64
+    };
+    let sync_reads = u.streams.iter().filter(|s| !s.write).count();
+    LUnit {
+        id: interner.intern(&u.name),
+        streams: &u.streams,
+        depth: u.depth as f64,
+        compute,
+        has_sync_reads: u.streams.iter().any(|s| !s.write && !s.prefetch),
+        efficiency: if sync_reads > 1 { 0.5 } else { 1.0 },
+        stream_words: u.streams.iter().map(|s| s.words).sum(),
+        is_store: matches!(u.kind, UnitKind::TileStore { .. }),
+    }
+}
+
+fn lower_node<'d>(node: &'d Node, interner: &mut StageInterner) -> LNode<'d> {
     match node {
-        Node::Unit(u) => sim_unit(u, start, dram, stats, wd),
-        Node::Ctrl(c) => sim_ctrl(c, start, dram, stats, wd),
+        Node::Unit(u) => LNode::Unit(lower_unit(u, interner)),
+        Node::Ctrl(c) => {
+            let stages: Vec<LNode<'d>> = c.stages.iter().map(|s| lower_node(s, interner)).collect();
+            let n = if c.kind == CtrlKind::Metapipeline {
+                stages.len()
+            } else {
+                0
+            };
+            LNode::Ctrl(LCtrl {
+                kind: c.kind,
+                name: &c.name,
+                iters: c.iters,
+                stages,
+                gate_scratch: vec![0.0; n],
+                end_scratch: vec![0.0; n],
+            })
+        }
+    }
+}
+
+fn sim_node(node: &mut LNode, start: f64, cx: &mut SimCx) -> Result<Timing, SimError> {
+    match node {
+        LNode::Unit(u) => sim_unit(u, start, cx),
+        LNode::Ctrl(c) => sim_ctrl(c, start, cx),
     }
 }
 
@@ -160,51 +280,31 @@ fn sim_node(
 ///   baseline): memory and compute are *serialized* — the design fetches
 ///   its operand set, then computes, with no prefetch overlap. This is the
 ///   behavior tiling + metapipelining removes (§4, §6.2).
-fn sim_unit(
-    u: &Unit,
-    start: f64,
-    dram: &mut Dram,
-    stats: &mut BTreeMap<String, StageStat>,
-    wd: &mut Watchdog,
-) -> Result<Timing, SimError> {
-    let lanes = u.kind.lanes().max(1) as u64;
-    let is_mem = matches!(
-        u.kind,
-        pphw_hw::design::UnitKind::TileLoad { .. } | pphw_hw::design::UnitKind::TileStore { .. }
-    );
-    let compute = if is_mem {
-        0.0
-    } else {
-        (u.elems.div_ceil(lanes)) as f64
-    };
-    let has_sync_reads = u.streams.iter().any(|s| !s.write && !s.prefetch);
-
-    let timing = if has_sync_reads {
+fn sim_unit(u: &LUnit, start: f64, cx: &mut SimCx) -> Result<Timing, SimError> {
+    let timing = if u.has_sync_reads {
         // Baseline-style leaf: one request round-trip per invocation, then
         // the operand streams transfer back-to-back. Within the instance
         // the pipeline consumes data as it arrives (the "pipelined
         // parallelism within patterns" every design shares), so compute
         // overlaps the streams; but nothing overlaps across instances.
-        let issue = start + dram.config().dram_latency as f64;
-        let sync_reads = u.streams.iter().filter(|s| !s.write).count();
-        let efficiency = if sync_reads > 1 { 0.5 } else { 1.0 };
+        let issue = start + cx.latency;
         let mut mem_end = issue;
         for s in u.streams.iter().filter(|s| !s.write) {
-            mem_end = dram.request_sync_body(mem_end, s, efficiency);
+            mem_end = cx.dram.request_sync_body(mem_end, s, u.efficiency);
         }
-        let mut end = mem_end.max(issue + u.depth as f64 + compute);
+        let mut end = mem_end.max(issue + u.depth + u.compute);
         for s in u.streams.iter().filter(|s| s.write) {
-            let done = dram.request(issue, s);
+            let done = cx.dram.request(issue, s);
             end = end.max(done);
         }
         Timing { end, gate: end }
     } else {
         // Pipelined unit: reads gate data-readiness; occupancy is the
         // larger of compute and channel transfer.
-        let mut end = start + u.depth as f64 + compute;
-        let mut gate = start + compute.max(1.0);
-        for s in &u.streams {
-            let done = dram.request(start, s);
+        let mut end = start + u.depth + u.compute;
+        let mut gate = start + u.compute.max(1.0);
+        for s in u.streams {
+            let done = cx.dram.request(start, s);
             if s.write {
                 end = end.max(done);
                 gate = gate.max(done - start + start);
@@ -212,7 +312,7 @@ fn sim_unit(
                 end = end.max(done);
                 // The unit is occupied for the transfer (latency overlaps
                 // with the next iteration's request).
-                gate = gate.max(done - dram.config().dram_latency as f64);
+                gate = gate.max(done - cx.latency);
             }
         }
         Timing {
@@ -221,26 +321,15 @@ fn sim_unit(
         }
     };
 
-    let stat = stats.entry(u.name.clone()).or_insert_with(|| StageStat {
-        name: u.name.clone(),
-        invocations: 0,
-        busy_cycles: 0.0,
-        dram_words: 0,
-    });
+    let stat = &mut cx.stats[u.id as usize];
     stat.invocations += 1;
     stat.busy_cycles += timing.end - start;
-    stat.dram_words += u.streams.iter().map(|s| s.words).sum::<u64>();
-    wd.tick(timing.end)?;
+    stat.dram_words += u.stream_words;
+    cx.wd.tick(timing.end)?;
     Ok(timing)
 }
 
-fn sim_ctrl(
-    c: &Ctrl,
-    start: f64,
-    dram: &mut Dram,
-    stats: &mut BTreeMap<String, StageStat>,
-    wd: &mut Watchdog,
-) -> Result<Timing, SimError> {
+fn sim_ctrl(c: &mut LCtrl, start: f64, cx: &mut SimCx) -> Result<Timing, SimError> {
     match c.kind {
         CtrlKind::Sequential => {
             // A single pipelined unit iterated many times streams its
@@ -248,11 +337,11 @@ fn sim_ctrl(
             // present in every design, including the baseline; this is the
             // paper's "pipelined parallelism within patterns"). Multiple
             // stages run strictly back-to-back.
-            if c.stages.len() == 1 && matches!(c.stages[0], Node::Unit(_)) {
+            if c.stages.len() == 1 && matches!(c.stages[0], LNode::Unit(_)) {
                 let mut gate = start;
                 let mut end = start;
                 for _ in 0..c.iters.max(1) {
-                    let t = sim_node(&c.stages[0], gate, dram, stats, wd)?;
+                    let t = sim_node(&mut c.stages[0], gate, cx)?;
                     gate = t.gate;
                     end = t.end;
                 }
@@ -264,16 +353,10 @@ fn sim_ctrl(
             let mut t = start;
             let mut drain = start;
             for _ in 0..c.iters.max(1) {
-                wd.tick(t)?;
-                for s in &c.stages {
-                    let is_store = matches!(
-                        s,
-                        Node::Unit(u) if matches!(
-                            u.kind,
-                            pphw_hw::design::UnitKind::TileStore { .. }
-                        )
-                    );
-                    let r = sim_node(s, t, dram, stats, wd)?;
+                cx.wd.tick(t)?;
+                for s in &mut c.stages {
+                    let is_store = matches!(s, LNode::Unit(u) if u.is_store);
+                    let r = sim_node(s, t, cx)?;
                     if is_store {
                         drain = drain.max(r.end);
                         t += 4.0; // hand-off to the store FIFO
@@ -288,10 +371,10 @@ fn sim_ctrl(
         CtrlKind::Parallel => {
             let mut end = start;
             for _ in 0..c.iters.max(1) {
-                wd.tick(end)?;
+                cx.wd.tick(end)?;
                 let mut iter_end = end;
-                for s in &c.stages {
-                    iter_end = iter_end.max(sim_node(s, end, dram, stats, wd)?.end);
+                for s in &mut c.stages {
+                    iter_end = iter_end.max(sim_node(s, end, cx)?.end);
                 }
                 end = iter_end;
             }
@@ -302,28 +385,26 @@ fn sim_ctrl(
             // when its input data is ready (stage s-1 of iteration t done)
             // and the unit has accepted iteration t-1 through its pipeline
             // (the `gate`, enforced by the double-buffer swap).
-            let n = c.stages.len();
-            let mut last_gate = vec![start; n];
-            let mut last_end = vec![start; n];
-            let trace = std::env::var("PPHW_TRACE").is_ok();
+            c.gate_scratch.fill(start);
+            c.end_scratch.fill(start);
             for it in 0..c.iters.max(1) {
                 let mut prev_stage_end = start;
-                wd.tick(prev_stage_end)?;
-                for (s, stage) in c.stages.iter().enumerate() {
-                    let st = prev_stage_end.max(last_gate[s]);
-                    let t = sim_node(stage, st, dram, stats, wd)?;
-                    if trace && it < 4 {
+                cx.wd.tick(prev_stage_end)?;
+                for (s, stage) in c.stages.iter_mut().enumerate() {
+                    let st = prev_stage_end.max(c.gate_scratch[s]);
+                    let t = sim_node(stage, st, cx)?;
+                    if cx.trace && it < 4 {
                         eprintln!(
                             "meta {} it{} stage{} start {:.0} gate {:.0} end {:.0}",
                             c.name, it, s, st, t.gate, t.end
                         );
                     }
-                    last_gate[s] = t.gate;
-                    last_end[s] = t.end;
+                    c.gate_scratch[s] = t.gate;
+                    c.end_scratch[s] = t.end;
                     prev_stage_end = t.end;
                 }
             }
-            let end = last_end.into_iter().fold(start, f64::max);
+            let end = c.end_scratch.iter().copied().fold(start, f64::max);
             Ok(Timing { end, gate: end })
         }
     }
@@ -333,7 +414,7 @@ fn sim_ctrl(
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
-    use pphw_hw::design::{BufId, Buffer, BufferKind, DesignStyle, DramStream, UnitKind};
+    use pphw_hw::design::{BufId, Buffer, BufferKind, Ctrl, DesignStyle};
 
     /// Shadows the fallible entry point: every design in these timing
     /// tests is valid and in budget.

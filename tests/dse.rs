@@ -12,12 +12,15 @@
 //!    evaluations versus exhaustive enumeration, without changing the
 //!    best point it finds.
 
-use pphw::dse::{explore_program, explore_with_cache};
+use std::sync::Arc;
+
+use pphw::dse::{explore_program, explore_with_cache, explore_with_caches};
 use pphw::CompileOptions;
 use pphw_apps::all_benchmarks;
-use pphw_dse::cache::EvalCache;
+use pphw_dse::cache::{DesignCache, EvalCache};
 use pphw_dse::{DseConfig, DseError, SearchSpace};
 use pphw_ir::Program;
+use pphw_sim::SimConfig;
 
 fn benchmark(name: &str) -> Program {
     let spec = all_benchmarks()
@@ -164,6 +167,79 @@ fn shared_cache_short_circuits_repeat_searches() {
     assert_eq!(second.stats.cache_hits as usize, second.stats.evaluated);
     assert_eq!(second.best.label, first.best.label);
     assert_eq!(second.best.cycles, first.best.cycles);
+}
+
+#[test]
+fn design_cache_compiles_each_design_once_across_substrate_variants() {
+    let prog = benchmark("sumrows");
+    let sizes: &[(&str, i64)] = &[("m", 64), ("n", 64)];
+    let base = CompileOptions::new(sizes);
+    // Two substrate variants sample every (tile, par) point: the design
+    // cache must halve the compile count without touching the report.
+    let space = SearchSpace::new(sizes)
+        .tune_dim("m")
+        .unwrap()
+        .with_inner_pars(&[8, 16])
+        .with_sim_variants(&[
+            ("max4", SimConfig::default()),
+            ("low-bw", SimConfig::default().with_dram_gbps(38.4)),
+        ]);
+    let cfg = DseConfig::default();
+
+    let plain = explore_program(&prog, &base, &space, &cfg).expect("search");
+    let designs = Arc::new(DesignCache::new());
+    let shared = explore_with_caches(
+        &prog,
+        &base,
+        &space,
+        &cfg,
+        &EvalCache::new(),
+        Arc::clone(&designs),
+    )
+    .expect("search");
+
+    assert_eq!(shared.to_json(), plain.to_json(), "reports must not change");
+    assert_eq!(
+        designs.builds() + designs.hits(),
+        shared.stats.evaluated as u64
+    );
+    assert_eq!(
+        designs.builds() * 2,
+        shared.stats.evaluated as u64,
+        "each design compiled once, reused by the second substrate"
+    );
+}
+
+#[test]
+fn persistent_cache_round_trips_through_a_real_search() {
+    let prog = benchmark("sumrows");
+    let sizes: &[(&str, i64)] = &[("m", 64), ("n", 64)];
+    let base = CompileOptions::new(sizes);
+    let space = SearchSpace::new(sizes)
+        .tune_dim("m")
+        .unwrap()
+        .with_inner_pars(&[8, 16]);
+    let cfg = DseConfig::default();
+
+    let dir = std::env::temp_dir().join("pphw-dse-persist");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("evals.pphwc");
+
+    let cache = EvalCache::new();
+    let first = explore_with_cache(&prog, &base, &space, &cfg, &cache).expect("search");
+    cache.save(&path).expect("save");
+
+    // A fresh process would reload the file: everything must replay from
+    // disk with zero evaluator work and an identical report.
+    let reloaded = EvalCache::load(&path).expect("load");
+    let second = explore_with_cache(&prog, &base, &space, &cfg, &reloaded).expect("search");
+    assert_eq!(second.stats.cache_misses, 0, "warm from disk");
+    assert_eq!(second.stats.cache_hits as usize, second.stats.evaluated);
+    assert_eq!(second.best.label, first.best.label);
+    assert_eq!(second.best.cycles, first.best.cycles);
+    assert_eq!(second.frontier.len(), first.frontier.len());
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,340 @@
+//! Golden-equivalence suite for the DSE fast-lane optimisation.
+//!
+//! The allocation-free simulator core, the shared-compile `DesignCache`,
+//! and the persistent `EvalCache` are all required to preserve reports
+//! *bit for bit*. This suite pins that guarantee: every fingerprint below
+//! was captured from the pre-optimisation implementation (commit
+//! `bee8d96`, `BTreeMap`-keyed stage stats, per-call `SimConfig` clones,
+//! no compile sharing), and the optimised pipeline must reproduce each of
+//! them exactly — fault-free and seeded-fault simulation at all three
+//! optimisation levels, and full `explore` sweeps, on all six benchmarks.
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `PPHW_GOLDEN_PRINT=1 cargo test --test golden_equivalence -- --nocapture`
+//! and paste the printed tables over the constants.
+
+use pphw::dse::explore_with_cache;
+use pphw::{compile, CompileOptions, OptLevel};
+use pphw_apps::all_benchmarks;
+use pphw_dse::{DseConfig, DseReport, EvalCache, SearchSpace};
+use pphw_sim::{FaultConfig, SimConfig, SimReport};
+
+/// Fault-free simulation fingerprints, one per (benchmark, opt level).
+const GOLDEN_SIM: &[(&str, &str, u64)] = &[
+    ("outerprod", "baseline", 0xdb5ce75d0359e094),
+    ("outerprod", "tiled", 0x291ede8c55080629),
+    ("outerprod", "meta", 0xc6d7fd45fdb20fe5),
+    ("sumrows", "baseline", 0x33c060c1b302e9f3),
+    ("sumrows", "tiled", 0x98a1c8585d8eba9a),
+    ("sumrows", "meta", 0xdec596b40f15fe89),
+    ("gemm", "baseline", 0xdd56542f65e809a3),
+    ("gemm", "tiled", 0x11c5f532bd1e76c6),
+    ("gemm", "meta", 0x7d067c9c2c0f0d27),
+    ("tpchq6", "baseline", 0xa193db608c490046),
+    ("tpchq6", "tiled", 0xaf49096f81695757),
+    ("tpchq6", "meta", 0x5f4a6d6be9006149),
+    ("gda", "baseline", 0xb1202700b8a0156a),
+    ("gda", "tiled", 0xbaa11ec2247e54bf),
+    ("gda", "meta", 0xcad442c4c7f5dbfb),
+    ("kmeans", "baseline", 0x819fc93071119920),
+    ("kmeans", "tiled", 0xef61e83410524161),
+    ("kmeans", "meta", 0xa4761306cae801d8),
+];
+
+/// Seeded-fault simulation fingerprints (metapipelined level).
+const GOLDEN_FAULT: &[(&str, u64)] = &[
+    ("outerprod", 0x818eaeadfba4d057),
+    ("sumrows", 0xa4544939d6921769),
+    ("gemm", 0x311e6bd92a600a9c),
+    ("tpchq6", 0x05097c4d7e0656ff),
+    ("gda", 0x9dc759647a0d28b9),
+    ("kmeans", 0xa9d976d74b87b54b),
+];
+
+/// `explore` fingerprints over a fixed two-substrate space.
+const GOLDEN_DSE: &[(&str, u64)] = &[
+    ("outerprod", 0x4d644f66c3c27159),
+    ("sumrows", 0x24c1fa27ac47fa1d),
+    ("gemm", 0x6f62d5ce49767ba1),
+    ("tpchq6", 0x501fbdcb1bff4e42),
+    ("gda", 0x0c9d889c77cb85e2),
+    ("kmeans", 0x9eadad22b6b94264),
+];
+
+fn mix(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn mix_u64(h: &mut u64, v: u64) {
+    mix(h, &v.to_le_bytes());
+}
+
+fn mix_str(h: &mut u64, s: &str) {
+    mix(h, s.as_bytes());
+    mix(h, &[0xff]);
+}
+
+/// Canonical fingerprint of a simulation report: every field, with floats
+/// by bit pattern, so two reports hash equal iff they are bit-identical.
+fn fingerprint_sim(r: &SimReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    mix_str(&mut h, &r.design);
+    mix_str(&mut h, &r.style.to_string());
+    mix_u64(&mut h, r.cycles);
+    mix_u64(&mut h, r.seconds.to_bits());
+    mix_u64(&mut h, r.dram_bytes);
+    mix_u64(&mut h, r.dram_words);
+    mix_u64(&mut h, r.faults.jitter_cycles);
+    mix_u64(&mut h, r.faults.degraded_requests);
+    mix_u64(&mut h, r.faults.retries);
+    mix_u64(&mut h, r.faults.retry_cycles.to_bits());
+    for s in &r.stages {
+        mix_str(&mut h, &s.name);
+        mix_u64(&mut h, s.invocations);
+        mix_u64(&mut h, s.busy_cycles.to_bits());
+        mix_u64(&mut h, s.dram_words);
+    }
+    h
+}
+
+/// Canonical fingerprint of a DSE report: the best point, the frontier,
+/// the full ranking, failures, and every stats counter.
+fn fingerprint_dse(r: &DseReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    mix_str(&mut h, &r.name);
+    for p in std::iter::once(&r.best)
+        .chain(r.frontier.iter())
+        .chain(r.evaluated.iter())
+    {
+        mix_str(&mut h, &p.label);
+        mix_u64(&mut h, p.cycles);
+        mix_u64(&mut h, p.dram_words);
+        mix_u64(&mut h, p.on_chip_bytes);
+        mix_u64(&mut h, p.area.logic.to_bits());
+        mix_u64(&mut h, p.area.ff.to_bits());
+        mix_u64(&mut h, p.area.mem.to_bits());
+        mix_u64(&mut h, p.area_score.to_bits());
+    }
+    for f in &r.failures {
+        mix_str(&mut h, &f.label);
+        mix_str(&mut h, &f.error);
+    }
+    let s = &r.stats;
+    for v in [
+        s.exhaustive,
+        s.pruned_tile,
+        s.pruned_budget,
+        s.pruned_area,
+        s.evaluated,
+        s.infeasible,
+        s.failed,
+    ] {
+        mix_u64(&mut h, v as u64);
+    }
+    mix_u64(&mut h, s.cache_hits);
+    mix_u64(&mut h, s.cache_misses);
+    h
+}
+
+fn print_mode() -> bool {
+    std::env::var("PPHW_GOLDEN_PRINT").is_ok()
+}
+
+/// The seeded fault model used for the fault-run fingerprints: every
+/// fault class active, fixed seed.
+fn golden_faults() -> FaultConfig {
+    FaultConfig::none()
+        .with_seed(0xFEED)
+        .with_latency_jitter(24)
+        .with_degradation(2048, 256, 1.5)
+        .with_burst_fail_rate(0.05)
+}
+
+fn level_tag(opt: OptLevel) -> &'static str {
+    match opt {
+        OptLevel::Baseline => "baseline",
+        OptLevel::Tiled => "tiled",
+        OptLevel::Metapipelined => "meta",
+    }
+}
+
+fn base_options(spec: &pphw_apps::BenchSpec) -> CompileOptions {
+    let mut opts = CompileOptions::new(&(spec.sizes)())
+        .tiles(&(spec.tiles)())
+        .inner_par(spec.inner_par);
+    if let Some(m) = spec.meta_par {
+        opts = opts.meta_inner_par(m);
+    }
+    opts
+}
+
+#[test]
+fn simulate_matches_pre_optimisation_fingerprints() {
+    let mut failures = Vec::new();
+    for spec in all_benchmarks() {
+        let prog = (spec.program)();
+        for level in OptLevel::all() {
+            let compiled =
+                compile(&prog, &base_options(&spec).opt(level)).expect("benchmark compiles");
+            let report = compiled
+                .simulate(&SimConfig::default())
+                .expect("benchmark simulates");
+            let got = fingerprint_sim(&report);
+            if print_mode() {
+                println!(
+                    "    (\"{}\", \"{}\", {:#018x}),",
+                    spec.name,
+                    level_tag(level),
+                    got
+                );
+                continue;
+            }
+            let want = GOLDEN_SIM
+                .iter()
+                .find(|(n, l, _)| *n == spec.name && *l == level_tag(level))
+                .map(|(_, _, f)| *f)
+                .expect("fingerprint recorded");
+            if got != want {
+                failures.push(format!(
+                    "{} [{}]: fingerprint {got:#018x} != golden {want:#018x}",
+                    spec.name,
+                    level_tag(level)
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "drifted reports:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn simulate_with_faults_matches_pre_optimisation_fingerprints() {
+    let mut failures = Vec::new();
+    for spec in all_benchmarks() {
+        let prog = (spec.program)();
+        let compiled = compile(&prog, &base_options(&spec)).expect("benchmark compiles");
+        let report = compiled
+            .simulate_with_faults(&SimConfig::default(), &golden_faults())
+            .expect("benchmark simulates under faults");
+        let got = fingerprint_sim(&report);
+        if print_mode() {
+            println!("    (\"{}\", {:#018x}),", spec.name, got);
+            continue;
+        }
+        let want = GOLDEN_FAULT
+            .iter()
+            .find(|(n, _)| *n == spec.name)
+            .map(|(_, f)| *f)
+            .expect("fingerprint recorded");
+        if got != want {
+            failures.push(format!(
+                "{} [faulted]: fingerprint {got:#018x} != golden {want:#018x}",
+                spec.name
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "drifted reports:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The fixed sweep the `explore` fingerprints are taken over: the two
+/// smallest tile candidates per tuned dimension, the benchmark's default
+/// parallelism, and two DRAM substrates — small enough for a debug-mode
+/// test, wide enough to exercise compile sharing across substrates.
+fn golden_space(spec: &pphw_apps::BenchSpec) -> SearchSpace {
+    let sizes = (spec.sizes)();
+    let mut space = SearchSpace::new(&sizes);
+    for (dim, _) in (spec.tiles)() {
+        let n = sizes
+            .iter()
+            .find(|(k, _)| *k == dim)
+            .map(|(_, v)| *v)
+            .expect("tile dim has a size");
+        let mut cands: Vec<i64> = Vec::new();
+        let mut b = 4i64;
+        while b <= n {
+            if n % b == 0 {
+                cands.push(b);
+            }
+            b *= 2;
+        }
+        cands.truncate(2); // smallest two: they always fit the budget
+        cands.reverse();
+        space = space.with_tile_candidates(dim, &cands);
+    }
+    space
+        .with_inner_pars(&[spec.inner_par])
+        .with_sim_variants(&[
+            ("max4", SimConfig::default()),
+            ("low-bw", SimConfig::default().with_dram_gbps(38.4)),
+        ])
+}
+
+fn golden_dse_config(threads: usize) -> DseConfig {
+    DseConfig {
+        threads,
+        on_chip_budget_bytes: 256 * 1024,
+        ..DseConfig::default()
+    }
+}
+
+#[test]
+fn explore_matches_pre_optimisation_fingerprints_at_any_thread_count() {
+    let mut failures = Vec::new();
+    for spec in all_benchmarks() {
+        let prog = (spec.program)();
+        let mut base = CompileOptions::new(&(spec.sizes)()).inner_par(spec.inner_par);
+        base.on_chip_budget_bytes = 256 * 1024;
+        let space = golden_space(&spec);
+        let mut first: Option<u64> = None;
+        for threads in [1usize, 4] {
+            let report = explore_with_cache(
+                &prog,
+                &base,
+                &space,
+                &golden_dse_config(threads),
+                &EvalCache::new(),
+            )
+            .expect("search succeeds");
+            let got = fingerprint_dse(&report);
+            match first {
+                None => first = Some(got),
+                Some(f) => assert_eq!(
+                    f, got,
+                    "{}: explore not deterministic across thread counts",
+                    spec.name
+                ),
+            }
+        }
+        let got = first.expect("at least one run");
+        if print_mode() {
+            println!("    (\"{}\", {:#018x}),", spec.name, got);
+            continue;
+        }
+        let want = GOLDEN_DSE
+            .iter()
+            .find(|(n, _)| *n == spec.name)
+            .map(|(_, f)| *f)
+            .expect("fingerprint recorded");
+        if got != want {
+            failures.push(format!(
+                "{} [dse]: fingerprint {got:#018x} != golden {want:#018x}",
+                spec.name
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "drifted reports:\n{}",
+        failures.join("\n")
+    );
+}
