@@ -10,6 +10,25 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== static-analysis lint gate (all six benchmarks, every stage, zero diagnostics)"
+cargo run --release --offline -p pphw-bench --bin verify
+cargo run --release --offline -p pphw-bench --bin verify -- --json > target/verify-report.json
+python3 - <<'EOF'
+import json
+with open("target/verify-report.json") as f:
+    report = json.load(f)
+assert report["error_count"] == 0, f"verify gate found diagnostics: {report}"
+runs = report["runs"]
+benches = {r["bench"] for r in runs}
+assert len(benches) == 6, f"expected six benchmarks, saw {sorted(benches)}"
+assert all(r["report"]["error_count"] == 0 for r in runs), report
+print(f"verify gate OK: {len(runs)} stages across {len(benches)} benchmarks, 0 diagnostics")
+EOF
+
+echo "== differential sweep with the per-pass verifier forced on"
+PPHW_VERIFY=1 cargo test -q --offline --test differential gemm_differential
+PPHW_VERIFY=1 cargo test -q --offline --test verify deep_verifier_runs_after_every_tiling_pass
+
 echo "== dse smoke (tiny space, 2 threads)"
 cargo run --release --offline -p pphw-bench --bin dse -- --quick --threads 2
 

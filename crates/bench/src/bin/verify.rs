@@ -1,0 +1,84 @@
+//! Lints all six benchmarks with the `pphw-verify` static analyzer: the
+//! untiled source program, then the transformed program and generated
+//! design at every optimization level. Exits nonzero if any benchmark
+//! produces an error-severity diagnostic, so CI can gate on it.
+//!
+//! Usage: `cargo run --release -p pphw-bench --bin verify [--json]`
+
+use pphw::{compile, OptLevel};
+use pphw_apps::all_benchmarks;
+use pphw_bench::options_for;
+use pphw_verify::{verify_program, VerifyConfig, VerifyReport};
+
+struct Row {
+    bench: &'static str,
+    stage: String,
+    report: VerifyReport,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in all_benchmarks() {
+        let base = options_for(&spec);
+        let cfg = VerifyConfig {
+            inner_par: spec.inner_par,
+            on_chip_budget_bytes: Some(base.on_chip_budget_bytes),
+            ..VerifyConfig::default()
+        };
+        rows.push(Row {
+            bench: spec.name,
+            stage: "source".into(),
+            report: verify_program(&(spec.program)(), &cfg),
+        });
+        for level in OptLevel::all() {
+            let opts = base.clone().opt(level);
+            match compile(&(spec.program)(), &opts) {
+                Ok(compiled) => rows.push(Row {
+                    bench: spec.name,
+                    stage: level.to_string(),
+                    report: compiled.verify(),
+                }),
+                Err(e) => {
+                    // A benchmark that no longer compiles is as gating as
+                    // a diagnostic; surface it and fail.
+                    eprintln!("verify: {} [{level}] failed to compile: {e}", spec.name);
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let error_count: usize = rows.iter().map(|r| r.report.error_count()).sum();
+    if json {
+        let body = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"bench\":\"{}\",\"stage\":\"{}\",\"report\":{}}}",
+                    r.bench,
+                    r.stage,
+                    r.report.to_json()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!("{{\"error_count\":{error_count},\"runs\":[{body}]}}");
+    } else {
+        for r in &rows {
+            let verdict = if r.report.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} error(s)", r.report.error_count())
+            };
+            println!("{:<12} {:<28} {verdict}", r.bench, r.stage);
+            for d in &r.report.diagnostics {
+                println!("    {d}");
+            }
+        }
+        println!("verify: {} runs, {error_count} error(s) total", rows.len());
+    }
+    if error_count > 0 {
+        std::process::exit(1);
+    }
+}

@@ -38,6 +38,35 @@ use pphw_transform::cost::{analyze_cost, CostReport};
 use pphw_transform::{tile_program, tile_program_no_interchange, TileConfig, TileError};
 
 pub use pphw_hw::Design;
+pub use pphw_verify::{VerifyConfig, VerifyReport};
+
+/// Installs the deep (semantic) verifier into the transform pipeline's
+/// per-pass checkpoint, once per process. After this, every tiling pass
+/// is followed by a full IR verification (def-before-use, typing, shape
+/// and arity consistency) whenever
+/// [`pphw_transform::verification_enabled`] says so — always in debug
+/// builds, and in release when `PPHW_VERIFY` is set.
+///
+/// [`compile`] and the DSE entry points call this themselves; it is
+/// public so drivers that invoke `pphw_transform` directly get the same
+/// coverage.
+pub fn install_verifier() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        pphw_transform::install_deep_verifier(Box::new(|prog, _pass| {
+            // Per-pass checks are parallelism-agnostic (the race detector
+            // and hazard checker run at the endpoints, where inner_par
+            // and the design are known), so the default config — which
+            // disables the race check — is exactly right here.
+            let report = pphw_verify::verify_program(prog, &pphw_verify::VerifyConfig::default());
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(report.to_text().trim_end().to_string())
+            }
+        }));
+    });
+}
 
 /// Optimization level — the three design points of Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,6 +331,20 @@ impl Compiled {
     pub fn emit_hgl(&self) -> String {
         pphw_hw::hgl::emit_maxj(&self.design)
     }
+
+    /// Runs the full static analyzer — IR verifier, race detector at this
+    /// compilation's effective parallelism, and the metapipeline hazard
+    /// checker over the generated design — and returns every finding.
+    pub fn verify(&self) -> VerifyReport {
+        let cfg = VerifyConfig {
+            inner_par: self.options.hw_config().inner_par,
+            on_chip_budget_bytes: Some(self.options.on_chip_budget_bytes),
+            ..VerifyConfig::default()
+        };
+        let mut report = pphw_verify::verify_program(&self.program, &cfg);
+        report.merge(pphw_verify::verify_design(&self.design, &cfg));
+        report
+    }
 }
 
 /// Compiles a PPL program at the requested optimization level.
@@ -310,6 +353,7 @@ impl Compiled {
 ///
 /// Returns a [`CompileError`] if tiling or hardware generation fails.
 pub fn compile(prog: &Program, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    install_verifier();
     let transformed = match opts.opt {
         OptLevel::Baseline => prog.clone(),
         OptLevel::Tiled | OptLevel::Metapipelined => {

@@ -107,6 +107,10 @@ pub fn explore(
                     stats.pruned_tile += 1;
                     None
                 }
+                PruneDecision::Illegal(_) => {
+                    stats.pruned_verify += 1;
+                    None
+                }
                 PruneDecision::Budget { .. } => {
                     stats.pruned_budget += 1;
                     None

@@ -1,18 +1,25 @@
 //! Analytic prefilter: reject candidates before the compile+simulate path.
 //!
-//! Three cheap checks run per candidate, in order:
+//! Four cheap checks run per candidate, in order:
 //!
 //! 1. **Tiling feasibility** — the tiling transform itself (strip mining +
 //!    interchange + tile copies) is run on the candidate's tile sizes; a
 //!    `TileError` rejects the point. This is the cheap front of the
 //!    pipeline (pure IR rewriting), run once per unique tile
 //!    configuration, not per (tiles × par × substrate) point.
-//! 2. **On-chip budget** — the analytic cost model's predicted on-chip
+//! 2. **Static legality** — the `pphw-verify` analyzers run over the tiled
+//!    program, also once per unique tile configuration: an IR-verifier
+//!    error rejects every candidate sharing the tiles, and a combine the
+//!    race detector cannot prove associative-commutative rejects exactly
+//!    the candidates that would parallelize it (`inner_par > 1`). A
+//!    candidate that cannot compute the right answer is never worth a
+//!    compile, however fast its design would be.
+//! 3. **On-chip budget** — the analytic cost model's predicted on-chip
 //!    footprint ([`pphw_transform::cost::predict_traffic`]) is compared
 //!    against the memory budget. The model charges the *minimum* buffering
 //!    a tiled schedule needs, while generated designs add double buffering
 //!    on top, so a candidate the model already rejects cannot fit.
-//! 3. **Area bound** — a conservative lower bound on design area (one
+//! 4. **Area bound** — a conservative lower bound on design area (one
 //!    vector unit at the candidate's lane count plus a single-ported
 //!    buffer for the predicted on-chip words) is checked against the
 //!    [`AreaBudget`]. Real designs contain at least this much hardware,
@@ -31,6 +38,7 @@ use pphw_ir::program::Program;
 use pphw_ir::size::Size;
 use pphw_transform::cost::{predict_traffic, TrafficPrediction};
 use pphw_transform::{tile_program, TileConfig};
+use pphw_verify::{ir_check, race, VerifyReport};
 
 use crate::space::Candidate;
 
@@ -41,6 +49,10 @@ pub enum PruneDecision {
     Keep,
     /// The tiling transform rejected the tile sizes.
     Tile(String),
+    /// The static analyzer rejected the candidate: the tiled program has
+    /// IR-verifier errors, or its parallelism would race a combine that
+    /// is not provably associative-commutative.
+    Illegal(String),
     /// Predicted on-chip footprint exceeds the memory budget.
     Budget {
         /// Predicted bytes.
@@ -85,14 +97,17 @@ pub fn prefilter(
 ) -> Vec<PruneDecision> {
     let size_pairs: Vec<(&str, i64)> = sizes.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let env = Size::env(&size_pairs);
-    // Traffic predictions per unique tile configuration (word size is a
-    // substrate property, so bytes are derived per candidate below).
-    let mut by_tiles: HashMap<String, Result<TrafficPrediction, String>> = HashMap::new();
+    // Per unique tile configuration: the traffic prediction (word size is
+    // a substrate property, so bytes are derived per candidate below) and
+    // the static-analysis verdicts. The IR check and the combine scan are
+    // parallelism-independent, so they memoize with the tiling; only the
+    // "does this candidate parallelize it?" question is per candidate.
+    let mut by_tiles: HashMap<String, Result<TilePre, String>> = HashMap::new();
     candidates
         .iter()
         .map(|c| {
             let tiles_key = format!("{:?}", c.tiles);
-            let traffic = by_tiles
+            let pre = by_tiles
                 .entry(tiles_key)
                 .or_insert_with(|| {
                     let tiled = if c.tiles.is_empty() {
@@ -105,15 +120,34 @@ pub fn prefilter(
                             Err(e) => return Err(e.to_string()),
                         }
                     };
-                    predict_traffic(&tiled, &env).map_err(|e| e.to_string())
+                    let traffic = predict_traffic(&tiled, &env).map_err(|e| e.to_string())?;
+                    let mut report = VerifyReport::new();
+                    ir_check::check_program(&tiled, &mut report);
+                    Ok(TilePre {
+                        traffic,
+                        ir_errors: report.errors().map(ToString::to_string).collect(),
+                        non_assoc: race::non_assoc_combines(&tiled),
+                    })
                 })
                 .clone();
-            match traffic {
+            match pre {
                 Err(e) => PruneDecision::Tile(e),
-                Ok(traffic) => {
+                Ok(pre) => {
+                    if let Some(err) = pre.ir_errors.first() {
+                        return PruneDecision::Illegal(err.clone());
+                    }
+                    if c.inner_par > 1 {
+                        if let Some(path) = pre.non_assoc.first() {
+                            return PruneDecision::Illegal(format!(
+                                "combine at `{path}` is not provably \
+                                 associative-commutative; inner_par={} would race it",
+                                c.inner_par
+                            ));
+                        }
+                    }
                     let a = Analytic {
-                        traffic,
-                        on_chip_bytes: traffic.on_chip_bytes(c.sim.word_bytes),
+                        traffic: pre.traffic,
+                        on_chip_bytes: pre.traffic.on_chip_bytes(c.sim.word_bytes),
                     };
                     if a.on_chip_bytes > on_chip_budget_bytes {
                         PruneDecision::Budget {
@@ -129,6 +163,18 @@ pub fn prefilter(
             }
         })
         .collect()
+}
+
+/// Tile-configuration-level precomputation shared by every candidate with
+/// the same tile sizes.
+#[derive(Debug, Clone)]
+struct TilePre {
+    traffic: TrafficPrediction,
+    /// Rendered IR-verifier errors on the tiled program (empty = clean).
+    ir_errors: Vec<String>,
+    /// Paths of combines the race detector cannot prove
+    /// associative-commutative.
+    non_assoc: Vec<String>,
 }
 
 #[cfg(test)]
@@ -242,6 +288,48 @@ mod tests {
         let real_unit = unit_area(&UnitKind::Vector { lanes: 64 }, 2, 8);
         assert!(bound.logic <= real_unit.logic + 1e4);
         assert!(bound.mem >= 1.0, "buffer must cost at least one block");
+    }
+
+    #[test]
+    fn non_associative_combine_is_pruned_only_when_parallelized() {
+        // fold over subtraction: combine (a, b) -> a - b is not
+        // associative-commutative, so any parallel candidate is illegal
+        // while the serial one stays explorable.
+        let mut b = ProgramBuilder::new("subfold");
+        let m = b.size("m");
+        let x = b.input("x", DType::F32, vec![m.clone()]);
+        let out = b.with_ctx(|c| {
+            c.fold(
+                "acc",
+                vec![m],
+                vec![],
+                pphw_ir::types::ScalarType::Prim(DType::F32),
+                pphw_ir::pattern::Init::zeros(),
+                |c, i, acc| {
+                    let v = c.read(x, vec![c.var(i[0])]);
+                    c.add(c.var(acc), v)
+                },
+                |c, a, b2| c.sub(c.var(a), c.var(b2)),
+            )
+        });
+        let prog = b.finish(vec![out]);
+        let s = sizes(&[("m", 64)]);
+        let cands = vec![cand(&[("m", 16)], 8), cand(&[("m", 16)], 1)];
+        let out = prefilter(
+            &prog,
+            &s,
+            &cands,
+            6 * 1024 * 1024,
+            &AreaBudget::full_device(),
+        );
+        match &out[0] {
+            PruneDecision::Illegal(why) => {
+                assert!(why.contains("associative"), "{why}");
+                assert!(why.contains("inner_par=8"), "{why}");
+            }
+            other => panic!("expected illegal prune, got {other:?}"),
+        }
+        assert_eq!(out[1], PruneDecision::Keep, "serial reduction is legal");
     }
 
     #[test]

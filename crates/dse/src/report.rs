@@ -46,6 +46,10 @@ pub struct DseStats {
     pub exhaustive: usize,
     /// Rejected by the prefilter: tiling infeasible.
     pub pruned_tile: usize,
+    /// Rejected by the prefilter: the static analyzer found the tiled
+    /// program illegal (IR-verifier errors, or a combine the candidate's
+    /// parallelism would race).
+    pub pruned_verify: usize,
     /// Rejected by the prefilter: predicted on-chip footprint over budget.
     pub pruned_budget: usize,
     /// Rejected by the prefilter: area lower bound over budget.
@@ -69,7 +73,7 @@ impl DseStats {
     /// Total points removed by the analytic prefilter.
     #[must_use]
     pub fn pruned_total(&self) -> usize {
-        self.pruned_tile + self.pruned_budget + self.pruned_area
+        self.pruned_tile + self.pruned_verify + self.pruned_budget + self.pruned_area
     }
 }
 
@@ -151,13 +155,14 @@ impl DseReport {
             "{{\"name\":\"{}\",\"best\":{},\"frontier\":[{frontier}],\
              \"evaluated\":[{evaluated}],\"failures\":[{failures}],\
              \"stats\":{{\"exhaustive\":{},\
-             \"pruned_tile\":{},\"pruned_budget\":{},\"pruned_area\":{},\
+             \"pruned_tile\":{},\"pruned_verify\":{},\"pruned_budget\":{},\"pruned_area\":{},\
              \"evaluated\":{},\"infeasible\":{},\"failed\":{},\
              \"cache_hits\":{},\"cache_misses\":{}}}}}",
             json_escape(&self.name),
             point_json(&self.best),
             s.exhaustive,
             s.pruned_tile,
+            s.pruned_verify,
             s.pruned_budget,
             s.pruned_area,
             s.evaluated,
@@ -210,12 +215,13 @@ impl DseReport {
         let s = &self.stats;
         let mut out = format!(
             "dse `{}`: {} points enumerated, {} pruned analytically \
-             (tile {}, budget {}, area {}), {} evaluated \
+             (tile {}, verify {}, budget {}, area {}), {} evaluated \
              ({} compiled, {} from cache), {} infeasible, {} failed\n",
             self.name,
             s.exhaustive,
             s.pruned_total(),
             s.pruned_tile,
+            s.pruned_verify,
             s.pruned_budget,
             s.pruned_area,
             s.evaluated,

@@ -100,15 +100,17 @@ pub fn generate(
             stages.push(node);
         }
     }
-    let root = if stages.len() == 1 {
-        stages.pop().expect("one stage")
-    } else {
-        Node::Ctrl(Ctrl {
-            name: format!("{}_top", prog.name),
-            kind: CtrlKind::Sequential,
-            iters: 1,
-            stages,
-        })
+    let root = match (stages.pop(), stages.is_empty()) {
+        (Some(only), true) => only,
+        (popped, _) => {
+            stages.extend(popped);
+            Node::Ctrl(Ctrl {
+                name: format!("{}_top", prog.name),
+                kind: CtrlKind::Sequential,
+                iters: 1,
+                stages,
+            })
+        }
     };
     let mut design = Design {
         name: prog.name.clone(),
@@ -1100,15 +1102,18 @@ fn group_parallel_loads(stages: Vec<Node>) -> Vec<Node> {
 }
 
 fn flush_load_run(run: &mut Vec<Node>, out: &mut Vec<Node>) {
-    match run.len() {
-        0 => {}
-        1 => out.push(run.pop().expect("one")),
-        _ => out.push(Node::Ctrl(Ctrl {
-            name: "loads".into(),
-            kind: CtrlKind::Parallel,
-            iters: 1,
-            stages: std::mem::take(run),
-        })),
+    match (run.len(), run.pop()) {
+        (_, None) => {}
+        (1, Some(only)) => out.push(only),
+        (_, Some(popped)) => {
+            run.push(popped);
+            out.push(Node::Ctrl(Ctrl {
+                name: "loads".into(),
+                kind: CtrlKind::Parallel,
+                iters: 1,
+                stages: std::mem::take(run),
+            }));
+        }
     }
 }
 

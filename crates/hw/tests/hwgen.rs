@@ -2,6 +2,8 @@
 //! metapipelined template designs (Figure 6 structure) and untiled
 //! programs become the HLS-style baseline.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw_hw::design::{BufferKind, CtrlKind, DesignStyle, Node, UnitKind};
 use pphw_hw::{design_area, generate, HwConfig};
 use pphw_ir::builder::ProgramBuilder;

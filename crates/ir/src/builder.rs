@@ -705,6 +705,8 @@ pub fn lit_f32(v: f32) -> Lit {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -977,6 +977,8 @@ fn eval_binop(op: BinOp, a: ScalarVal, b: ScalarVal) -> Result<ScalarVal, EvalEr
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::builder::ProgramBuilder;
     use crate::pattern::Init;

@@ -34,6 +34,7 @@ pub mod builder;
 pub mod expr;
 pub mod infer;
 pub mod interp;
+pub mod path;
 pub mod pattern;
 pub mod pretty;
 pub mod program;
@@ -42,6 +43,7 @@ pub mod types;
 
 pub use block::{Block, CopyOp, GuardedItem, Op, SliceDim, SliceOp, Stmt};
 pub use expr::{BinOp, Expr, Lit, UnOp};
+pub use path::IrPath;
 pub use pattern::{
     AccDef, AccUpdate, FlatMapPat, GbfBody, GroupByFoldPat, Init, Lambda, MapPat, MultiFoldPat,
     Pattern,

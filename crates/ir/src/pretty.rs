@@ -8,13 +8,26 @@ use std::fmt::Write as _;
 
 use crate::block::{Block, Op, SliceDim, Stmt};
 use crate::expr::{BinOp, Expr, UnOp};
+use crate::path::IrPath;
 use crate::pattern::{GbfBody, Pattern};
 use crate::program::Program;
 use crate::types::{Sym, SymTable};
 
 /// Renders a whole program.
 pub fn print_program(prog: &Program) -> String {
+    render_program(prog, None)
+}
+
+/// Like [`print_program`] but annotates every pattern statement with its
+/// [`IrPath`] (`// at kmeans/sums[2]`) — the same paths verifier
+/// diagnostics carry, so an error can be matched to a line of output.
+pub fn print_program_with_paths(prog: &Program) -> String {
+    render_program(prog, Some(IrPath::root(&prog.name)))
+}
+
+fn render_program(prog: &Program, path: Option<IrPath>) -> String {
     let mut p = Printer::new(&prog.syms);
+    p.path = path;
     let _ = writeln!(p.out, "// program {}", prog.name);
     for i in &prog.inputs {
         let _ = writeln!(p.out, "{}: {}", prog.syms.name(*i), prog.syms.ty(*i));
@@ -36,6 +49,9 @@ struct Printer<'a> {
     syms: &'a SymTable,
     out: String,
     indent: usize,
+    /// When set, pattern statements are annotated with their path and the
+    /// path is threaded through nested blocks.
+    path: Option<IrPath>,
 }
 
 impl<'a> Printer<'a> {
@@ -44,7 +60,18 @@ impl<'a> Printer<'a> {
             syms,
             out: String::new(),
             indent: 0,
+            path: None,
         }
+    }
+
+    /// Descends the path by one segment for the duration of `f`.
+    fn scoped(&mut self, seg: &str, f: impl FnOnce(&mut Self)) {
+        let saved = self.path.clone();
+        if let Some(p) = &self.path {
+            self.path = Some(p.child(seg));
+        }
+        f(self);
+        self.path = saved;
     }
 
     fn name(&self, s: Sym) -> String {
@@ -64,12 +91,12 @@ impl<'a> Printer<'a> {
     }
 
     fn block_stmts(&mut self, block: &Block) {
-        for stmt in &block.stmts {
-            self.stmt(stmt);
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            self.stmt(stmt, i);
         }
     }
 
-    fn stmt(&mut self, stmt: &Stmt) {
+    fn stmt(&mut self, stmt: &Stmt, index: usize) {
         let lhs = stmt
             .syms
             .iter()
@@ -112,7 +139,18 @@ impl<'a> Printer<'a> {
                     .collect();
                 self.line(&format!("{lhs} = [{}]", parts.join(", ")));
             }
-            Op::Pattern(p) => self.pattern(&lhs, p),
+            Op::Pattern(p) => {
+                let at = self.path.as_ref().map(|b| b.stmt(self.syms, stmt, index));
+                match at {
+                    Some(at) => {
+                        self.line(&format!("// at {at}"));
+                        let saved = self.path.replace(at);
+                        self.pattern(&lhs, p);
+                        self.path = saved;
+                    }
+                    None => self.pattern(&lhs, p),
+                }
+            }
         }
     }
 
@@ -151,7 +189,7 @@ impl<'a> Printer<'a> {
                     "{lhs} = map({}){{ ({params}) =>",
                     Self::sizes(&m.domain)
                 ));
-                self.nested(&m.body.body, true);
+                self.scoped("body", |p| p.nested(&m.body.body, true));
                 self.line("}");
             }
             Pattern::MultiFold(mf) => {
@@ -178,7 +216,7 @@ impl<'a> Printer<'a> {
                     Self::sizes(&mf.domain)
                 ));
                 self.indent += 1;
-                self.block_stmts(&mf.pre);
+                self.scoped("pre", |p| p.block_stmts(&mf.pre));
                 for (k, u) in mf.updates.iter().enumerate() {
                     let loc = u
                         .loc
@@ -195,12 +233,12 @@ impl<'a> Printer<'a> {
                         "upd[{k}] @({loc}) : {} =>",
                         self.name(u.acc_param)
                     ));
-                    self.nested(&u.body, true);
+                    self.scoped(&format!("update[{k}]"), |p| p.nested(&u.body, true));
                 }
                 self.indent -= 1;
                 self.line("}{ (a,b) =>");
                 self.indent += 1;
-                for c in mf.combines.iter() {
+                for (k, c) in mf.combines.iter().enumerate() {
                     match c {
                         Some(l) => {
                             let params = l
@@ -210,7 +248,7 @@ impl<'a> Printer<'a> {
                                 .collect::<Vec<_>>()
                                 .join(",");
                             self.line(&format!("combine({params}):"));
-                            self.nested(&l.body, true);
+                            self.scoped(&format!("combine[{k}]"), |p| p.nested(&l.body, true));
                         }
                         None => self.line("_"),
                     }
@@ -221,19 +259,19 @@ impl<'a> Printer<'a> {
             Pattern::FlatMap(fm) => {
                 let i = self.name(fm.body.params[0]);
                 self.line(&format!("{lhs} = flatMap({}){{ {i} =>", fm.domain));
-                self.nested(&fm.body.body, true);
+                self.scoped("body", |p| p.nested(&fm.body.body, true));
                 self.line("}");
             }
             Pattern::GroupByFold(g) => {
                 let i = self.name(g.idx);
                 self.line(&format!("{lhs} = groupByFold({})(init){{ {i} =>", g.domain));
                 self.indent += 1;
-                self.block_stmts(&g.pre);
+                self.scoped("pre", |p| p.block_stmts(&g.pre));
                 match &g.body {
                     GbfBody::Element { key, update } => {
                         let key = self.expr(key);
                         self.line(&format!("key = {key}; {} =>", self.name(update.acc_param)));
-                        self.nested(&update.body, true);
+                        self.scoped("update", |p| p.nested(&update.body, true));
                     }
                     GbfBody::Merge { dict } => {
                         self.line(&format!("merge {}", self.name(*dict)));
@@ -343,5 +381,29 @@ mod tests {
         let text = print_program(&prog);
         assert!(text.contains("multiFold(d)"), "got:\n{text}");
         assert!(text.contains("combine"), "got:\n{text}");
+    }
+
+    #[test]
+    fn path_annotated_print_marks_patterns() {
+        let mut b = ProgramBuilder::new("sum");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.fold(
+            "sum",
+            vec![d],
+            vec![],
+            crate::types::ScalarType::Prim(DType::F32),
+            crate::pattern::Init::zeros(),
+            |c, i, acc| c.add(c.var(acc), c.read(x, vec![c.var(i[0])])),
+            |c, a, b2| c.add(c.var(a), c.var(b2)),
+        );
+        let prog = b.finish(vec![out]);
+        let plain = print_program(&prog);
+        assert!(
+            !plain.contains("// at "),
+            "default output unchanged:\n{plain}"
+        );
+        let annotated = print_program_with_paths(&prog);
+        assert!(annotated.contains("// at sum/sum[0]"), "got:\n{annotated}");
     }
 }

@@ -5,6 +5,8 @@
 //! reproducible; a failure prints a `PPHW_PROP_SEED` value that replays the
 //! failing input exactly.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw_testkit::prop::{shrink, Check};
 use pphw_testkit::{prop_assert, prop_assert_eq};
 

@@ -36,7 +36,10 @@ pub fn cse_block(block: &mut Block) {
                 result: vec![],
             };
             rename_syms(&mut tmp, &replace);
-            stmt = tmp.stmts.pop().expect("one stmt");
+            let Some(renamed) = tmp.stmts.pop() else {
+                continue; // rename never drops the statement
+            };
+            stmt = renamed;
         }
         // Only single-output, pattern-free ops are deduplicated.
         let dedupable =

@@ -126,6 +126,8 @@ fn inline_expr(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use pphw_ir::builder::ProgramBuilder;
     use pphw_ir::interp::{Interpreter, Value};

@@ -82,6 +82,8 @@ fn extract_invariant(p: &mut Pattern) -> Vec<Stmt> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use pphw_ir::builder::ProgramBuilder;
     use pphw_ir::interp::{Interpreter, Value};

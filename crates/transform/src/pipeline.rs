@@ -1,0 +1,119 @@
+//! Per-pass verification hook for the tiling pipeline.
+//!
+//! The deep semantic verifier lives in `pphw-verify`, which sits *above*
+//! this crate in the dependency graph (it also analyzes hardware designs),
+//! so the pipeline cannot call it directly. Instead the driver installs it
+//! here once via [`install_deep_verifier`], and [`tile_program`]
+//! (crate::tiling) calls [`check_pass`] after every pass: a transform bug
+//! is then reported at the pass that introduced it, not three passes later
+//! as a simulation divergence.
+//!
+//! Two layers run at different costs:
+//!
+//! - the structural `Program::validate` postcondition is always on (cheap,
+//!   and already part of the pipeline's contract);
+//! - the installed deep verifier runs only when [`verification_enabled`]
+//!   says so — debug builds, or any build with `PPHW_VERIFY` set in the
+//!   environment (CI sets it) — so the release DSE hot path keeps its
+//!   measured performance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use pphw_ir::program::Program;
+
+use crate::config::TileError;
+
+/// A deep verifier: returns `Err(description)` when `prog` violates a
+/// semantic invariant. The `&str` argument names the pass that just ran.
+pub type DeepVerifier = dyn Fn(&Program, &str) -> Result<(), String> + Send + Sync;
+
+static DEEP_VERIFIER: OnceLock<Box<DeepVerifier>> = OnceLock::new();
+static DEEP_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs the process-wide deep verifier run after every tiling pass.
+///
+/// First installation wins; later calls are ignored (the driver installs
+/// the same verifier from every entry point, so this is idempotent).
+pub fn install_deep_verifier(v: Box<DeepVerifier>) {
+    let _ = DEEP_VERIFIER.set(v);
+}
+
+/// How many times the installed deep verifier has run in this process.
+/// Lets tests (and the CI differential gate) assert the per-pass checks
+/// were actually active rather than silently skipped.
+pub fn deep_verifier_runs() -> u64 {
+    DEEP_RUNS.load(Ordering::Relaxed)
+}
+
+/// Returns `true` when per-pass deep verification should run: always in
+/// debug builds, and in release builds when `PPHW_VERIFY` is set to
+/// anything but `0` in the environment.
+pub fn verification_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if cfg!(debug_assertions) {
+            return true;
+        }
+        match std::env::var("PPHW_VERIFY") {
+            Ok(v) => v != "0",
+            Err(_) => false,
+        }
+    })
+}
+
+/// Checks `prog` after `pass`: structural validation always, plus the
+/// installed deep verifier when [`verification_enabled`].
+///
+/// # Errors
+///
+/// Returns [`TileError::Unsupported`] naming the failing pass when either
+/// layer rejects the program.
+pub fn check_pass(prog: &Program, pass: &str) -> Result<(), TileError> {
+    if let Err(e) = prog.validate() {
+        return Err(TileError::Unsupported(format!(
+            "program invalid after pass `{pass}`: {e}"
+        )));
+    }
+    if verification_enabled() {
+        if let Some(v) = DEEP_VERIFIER.get() {
+            DEEP_RUNS.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = v(prog, pass) {
+                return Err(TileError::Unsupported(format!(
+                    "program rejected by verifier after pass `{pass}`: {e}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use pphw_ir::builder::ProgramBuilder;
+    use pphw_ir::types::DType;
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.map(vec![d], |c, idx| c.read(x, vec![c.var(idx[0])]));
+        b.finish(vec![out])
+    }
+
+    #[test]
+    fn check_pass_accepts_valid_program() {
+        assert!(check_pass(&tiny(), "unit-test").is_ok());
+    }
+
+    #[test]
+    fn check_pass_names_failing_pass_on_invalid_program() {
+        let mut p = tiny();
+        p.body.result = vec![pphw_ir::types::Sym(9999)];
+        let err = check_pass(&p, "unit-test").unwrap_err();
+        assert!(err.to_string().contains("after pass `unit-test`"), "{err}");
+    }
+}

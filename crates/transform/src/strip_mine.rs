@@ -83,6 +83,16 @@ impl DimPlan {
         }
     }
 
+    /// The (tile size, outer index) pair of a tiled dimension; `None` for
+    /// untiled ones. `tile` and `outer_idx` are always set together (see
+    /// [`plan_dims`]), so matching on this avoids panicking lookups.
+    fn tiled(&self) -> Option<(i64, Sym)> {
+        match (self.tile, self.outer_idx) {
+            (Some(b), Some(ii)) => Some((b, ii)),
+            _ => None,
+        }
+    }
+
     /// The expression reconstructing the original global index.
     fn global_index(&self) -> Expr {
         match (self.tile, self.outer_idx) {
@@ -272,8 +282,11 @@ fn sm_multifold(
                         && terms.len() == 1
                         && terms.values().next() == Some(&Size::Const(1)) =>
                 {
-                    let idx_sym = *terms.keys().next().expect("one term");
-                    match mf.idx.iter().position(|s| *s == idx_sym) {
+                    let pos = terms
+                        .keys()
+                        .next()
+                        .and_then(|idx_sym| mf.idx.iter().position(|s| s == idx_sym));
+                    match pos {
                         Some(k) if plans[k].tile.is_some() => AccDimPlan::Tracked { domain_dim: k },
                         Some(_) => AccDimPlan::Free, // tracked by untiled index
                         None => {
@@ -310,9 +323,10 @@ fn sm_multifold(
             .iter()
             .zip(dims)
             .map(|(s, d)| match d {
-                AccDimPlan::Tracked { domain_dim } => {
-                    Size::Const(plans[*domain_dim].tile.expect("tracked dim is tiled"))
-                }
+                AccDimPlan::Tracked { domain_dim } => match plans[*domain_dim].tile {
+                    Some(b) => Size::Const(b),
+                    None => s.clone(),
+                },
                 AccDimPlan::Free => s.clone(),
             })
             .collect();
@@ -370,11 +384,10 @@ fn sm_multifold(
         let loc: Vec<Expr> = dims
             .iter()
             .map(|d| match d {
-                AccDimPlan::Tracked { domain_dim } => {
-                    let p = &plans[*domain_dim];
-                    Expr::var(p.outer_idx.expect("tracked dim has outer idx"))
-                        .mul(Expr::SizeOf(Size::Const(p.tile.expect("tiled"))))
-                }
+                AccDimPlan::Tracked { domain_dim } => match plans[*domain_dim].tiled() {
+                    Some((b, ii)) => Expr::var(ii).mul(Expr::SizeOf(Size::Const(b))),
+                    None => Expr::int(0),
+                },
                 AccDimPlan::Free => Expr::int(0),
             })
             .collect();
@@ -383,9 +396,10 @@ fn sm_multifold(
             .iter()
             .zip(dims)
             .map(|(s, d)| match d {
-                AccDimPlan::Tracked { domain_dim } => {
-                    Size::Const(plans[*domain_dim].tile.expect("tiled"))
-                }
+                AccDimPlan::Tracked { domain_dim } => match plans[*domain_dim].tile {
+                    Some(b) => Size::Const(b),
+                    None => s.clone(),
+                },
                 AccDimPlan::Free => s.clone(),
             })
             .collect();
@@ -528,7 +542,7 @@ fn sm_flatmap(
         syms,
         cfg,
     )?;
-    let Some(b) = plans[0].tile else {
+    let Some((b, outer_idx)) = plans[0].tiled() else {
         return Ok(None);
     };
     let mut inner_body = fm.body.body.clone();
@@ -552,7 +566,7 @@ fn sm_flatmap(
     outer_body.result = vec![inner_sym];
     Ok(Some(Pattern::FlatMap(FlatMapPat {
         domain: (fm.domain.clone() / Size::Const(b)).simplified(),
-        body: Lambda::new(vec![plans[0].outer_idx.expect("tiled")], outer_body),
+        body: Lambda::new(vec![outer_idx], outer_body),
     })))
 }
 
@@ -569,7 +583,7 @@ fn sm_groupbyfold(
         syms,
         cfg,
     )?;
-    let Some(b) = plans[0].tile else {
+    let Some((b, outer_idx)) = plans[0].tiled() else {
         return Ok(None);
     };
     let subst = subst_map(&plans, std::slice::from_ref(&g.idx));
@@ -607,7 +621,7 @@ fn sm_groupbyfold(
     Ok(Some(Pattern::GroupByFold(GroupByFoldPat {
         domain: (g.domain.clone() / Size::Const(b)).simplified(),
         acc: g.acc.clone(),
-        idx: plans[0].outer_idx.expect("tiled"),
+        idx: outer_idx,
         pre: outer_pre,
         body: GbfBody::Merge { dict: dict_sym },
         combine: clone_lambda(&g.combine, syms),

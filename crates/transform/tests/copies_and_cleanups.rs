@@ -1,6 +1,8 @@
 //! Focused tests for tile-copy insertion and the cleanup passes as they
 //! compose in the full pipeline.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw_ir::builder::ProgramBuilder;
 use pphw_ir::interp::{Interpreter, Value};
 use pphw_ir::pattern::Init;

@@ -1,6 +1,8 @@
 //! Semantic equivalence of pattern interchange (§4, Table 3, Figure 5) and
 //! the split heuristic.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw_ir::builder::ProgramBuilder;
 use pphw_ir::interp::{Interpreter, Value};
 use pphw_ir::pattern::Init;

@@ -3,6 +3,8 @@
 //! hermetic `pphw-testkit` harness, with a pinned seed for reproducible CI
 //! runs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw_testkit::prop::{shrink, Check};
 use pphw_testkit::{prop_assert, Rng};
 

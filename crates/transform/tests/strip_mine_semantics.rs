@@ -1,6 +1,8 @@
 //! Semantic equivalence of strip mining (Table 1 / Table 2): the tiled
 //! program must compute exactly what the original computes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw_ir::builder::ProgramBuilder;
 use pphw_ir::expr::Expr;
 use pphw_ir::interp::{Interpreter, Value};

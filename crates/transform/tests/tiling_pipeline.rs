@@ -2,6 +2,8 @@
 //! copy insertion → cleanups, checked for semantic equivalence and for the
 //! structural/cost properties of Figure 5 and Table 3.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pphw_ir::builder::ProgramBuilder;
 use pphw_ir::interp::{Interpreter, Value};
 use pphw_ir::pattern::Init;

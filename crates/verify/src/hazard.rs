@@ -1,0 +1,302 @@
+//! Metapipeline hazard checker and area-legality pre-checks.
+//!
+//! Runs over a generated [`Design`] *after* hardware generation's own
+//! double-buffer promotion, so any surviving cross-stage sharing is a real
+//! hazard, not a not-yet-promoted buffer:
+//!
+//! - **RAW** (`PPHW020`): a metapipeline stage writes a plain
+//!   `Buffer`/`Fifo` that a later stage reads. With stages overlapped
+//!   across iterations, the reader of iteration *k* observes the writer of
+//!   iteration *k+1* unless the memory is double-buffered (Table 4's
+//!   coupling rule — exactly the set `promote_double_buffers` upgrades).
+//! - **WAW** (`PPHW021`): two distinct metapipeline stages write the same
+//!   single-buffered memory; iteration overlap interleaves their writes.
+//! - **Sibling writes** (`PPHW011`): two stages of a `Parallel` controller
+//!   write the same buffer concurrently — a race for any buffer kind
+//!   except a `Cam` (whose keyed merge is order-independent by
+//!   construction when the combine passed the race detector).
+//! - **Area** (`PPHW030`/`PPHW031`): the design's on-chip bytes exceed the
+//!   configured budget, or a buffer has zero capacity.
+
+use std::collections::BTreeSet;
+
+use pphw_hw::design::{BufId, Buffer, BufferKind, CtrlKind, Design, Node};
+
+use crate::{DiagCode, Severity, VerifyConfig, VerifyReport};
+
+/// Checks the design, appending findings to `report`.
+pub fn check_design(design: &Design, cfg: &VerifyConfig, report: &mut VerifyReport) {
+    walk(&design.root, design, report);
+    check_area(design, cfg, report);
+}
+
+/// A buffer kind that couples metapipeline stages only when promoted:
+/// the same set `promote_double_buffers` considers. `DoubleBuffer` is the
+/// fix, `Cache`/`Cam` have their own coherence story (tagged misses /
+/// keyed merge).
+fn hazardous_kind(kind: BufferKind) -> bool {
+    matches!(kind, BufferKind::Buffer | BufferKind::Fifo)
+}
+
+fn buffer(design: &Design, id: BufId) -> Option<&Buffer> {
+    design.buffers.get(id.0)
+}
+
+fn rw(node: &Node) -> (BTreeSet<BufId>, BTreeSet<BufId>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    node.visit_units(&mut |u| {
+        reads.extend(u.reads.iter().copied());
+        writes.extend(u.writes.iter().copied());
+    });
+    (reads, writes)
+}
+
+fn walk(node: &Node, design: &Design, report: &mut VerifyReport) {
+    let Node::Ctrl(c) = node else { return };
+    let path = format!("{}/{}", design.name, c.name);
+    match c.kind {
+        CtrlKind::Metapipeline => {
+            let stage_rw: Vec<_> = c.stages.iter().map(rw).collect();
+            for i in 0..stage_rw.len() {
+                for j in (i + 1)..stage_rw.len() {
+                    for w in &stage_rw[i].1 {
+                        let Some(b) = buffer(design, *w) else {
+                            continue;
+                        };
+                        if !hazardous_kind(b.kind) {
+                            continue;
+                        }
+                        if stage_rw[j].0.contains(w) {
+                            report.push(
+                                DiagCode::MetapipelineRaw,
+                                Severity::Error,
+                                format!("{path}/{}", b.name),
+                                format!(
+                                    "stage `{}` writes {} `{}` read by later stage `{}` \
+                                     without double-buffering: overlapped iterations race",
+                                    c.stages[i].name(),
+                                    b.kind,
+                                    b.name,
+                                    c.stages[j].name()
+                                ),
+                            );
+                        }
+                        if stage_rw[j].1.contains(w) {
+                            report.push(
+                                DiagCode::MetapipelineWaw,
+                                Severity::Error,
+                                format!("{path}/{}", b.name),
+                                format!(
+                                    "stages `{}` and `{}` both write {} `{}`: overlapped \
+                                     iterations interleave their writes",
+                                    c.stages[i].name(),
+                                    c.stages[j].name(),
+                                    b.kind,
+                                    b.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        CtrlKind::Parallel => {
+            let stage_w: Vec<_> = c.stages.iter().map(|s| rw(s).1).collect();
+            for i in 0..stage_w.len() {
+                for j in (i + 1)..stage_w.len() {
+                    for w in stage_w[i].intersection(&stage_w[j]) {
+                        let Some(b) = buffer(design, *w) else {
+                            continue;
+                        };
+                        if b.kind == BufferKind::Cam {
+                            continue;
+                        }
+                        report.push(
+                            DiagCode::SiblingWriteConflict,
+                            Severity::Error,
+                            format!("{path}/{}", b.name),
+                            format!(
+                                "parallel siblings `{}` and `{}` both write {} `{}`",
+                                c.stages[i].name(),
+                                c.stages[j].name(),
+                                b.kind,
+                                b.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        CtrlKind::Sequential => {}
+    }
+    for s in &c.stages {
+        walk(s, design, report);
+    }
+}
+
+fn check_area(design: &Design, cfg: &VerifyConfig, report: &mut VerifyReport) {
+    if let Some(budget) = cfg.on_chip_budget_bytes {
+        let used = design.on_chip_bytes();
+        if used > budget {
+            report.push(
+                DiagCode::OverBudget,
+                Severity::Error,
+                design.name.clone(),
+                format!("design needs {used} on-chip bytes, budget is {budget}"),
+            );
+        }
+    }
+    for b in &design.buffers {
+        if b.words == 0 {
+            report.push(
+                DiagCode::DegenerateBuffer,
+                Severity::Error,
+                format!("{}/{}", design.name, b.name),
+                format!("buffer `{}` has zero capacity", b.name),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use pphw_hw::design::{Ctrl, DesignStyle, Unit, UnitKind};
+
+    use super::*;
+
+    fn buf(id: usize, name: &str, kind: BufferKind) -> Buffer {
+        Buffer {
+            id: BufId(id),
+            name: name.into(),
+            words: 64,
+            word_bytes: 4,
+            kind,
+            banks: 1,
+            readers: 1,
+            writers: 1,
+        }
+    }
+
+    fn unit(name: &str, reads: Vec<BufId>, writes: Vec<BufId>) -> Node {
+        Node::Unit(Unit {
+            name: name.into(),
+            kind: UnitKind::Vector { lanes: 1 },
+            elems: 64,
+            ops_per_elem: 1,
+            depth: 4,
+            streams: vec![],
+            reads,
+            writes,
+        })
+    }
+
+    fn design(kind: CtrlKind, stages: Vec<Node>, buffers: Vec<Buffer>) -> Design {
+        Design {
+            name: "t".into(),
+            style: DesignStyle::Metapipelined,
+            root: Node::Ctrl(Ctrl {
+                name: "top".into(),
+                kind,
+                iters: 4,
+                stages,
+            }),
+            buffers,
+        }
+    }
+
+    fn check(d: &Design) -> VerifyReport {
+        let mut r = VerifyReport::new();
+        check_design(d, &VerifyConfig::default(), &mut r);
+        r
+    }
+
+    #[test]
+    fn raw_through_plain_buffer_is_pphw020() {
+        let d = design(
+            CtrlKind::Metapipeline,
+            vec![
+                unit("load", vec![], vec![BufId(0)]),
+                unit("compute", vec![BufId(0)], vec![]),
+            ],
+            vec![buf(0, "tile", BufferKind::Buffer)],
+        );
+        let r = check(&d);
+        assert!(r.has(DiagCode::MetapipelineRaw), "{}", r.to_text());
+    }
+
+    #[test]
+    fn raw_through_double_buffer_is_clean() {
+        let d = design(
+            CtrlKind::Metapipeline,
+            vec![
+                unit("load", vec![], vec![BufId(0)]),
+                unit("compute", vec![BufId(0)], vec![]),
+            ],
+            vec![buf(0, "tile", BufferKind::DoubleBuffer)],
+        );
+        assert!(check(&d).is_clean());
+    }
+
+    #[test]
+    fn waw_between_stages_is_pphw021() {
+        let d = design(
+            CtrlKind::Metapipeline,
+            vec![
+                unit("a", vec![], vec![BufId(0)]),
+                unit("b", vec![], vec![BufId(0)]),
+            ],
+            vec![buf(0, "acc", BufferKind::Buffer)],
+        );
+        assert!(check(&d).has(DiagCode::MetapipelineWaw));
+    }
+
+    #[test]
+    fn sibling_parallel_writes_are_pphw011() {
+        let d = design(
+            CtrlKind::Parallel,
+            vec![
+                unit("a", vec![], vec![BufId(0)]),
+                unit("b", vec![], vec![BufId(0)]),
+            ],
+            vec![buf(0, "shared", BufferKind::Buffer)],
+        );
+        assert!(check(&d).has(DiagCode::SiblingWriteConflict));
+    }
+
+    #[test]
+    fn sequential_sharing_is_legal() {
+        let d = design(
+            CtrlKind::Sequential,
+            vec![
+                unit("a", vec![], vec![BufId(0)]),
+                unit("b", vec![BufId(0)], vec![BufId(0)]),
+            ],
+            vec![buf(0, "acc", BufferKind::Buffer)],
+        );
+        assert!(check(&d).is_clean());
+    }
+
+    #[test]
+    fn budget_and_degenerate_buffers_flagged() {
+        let mut d = design(
+            CtrlKind::Sequential,
+            vec![unit("a", vec![], vec![BufId(0)])],
+            vec![buf(0, "acc", BufferKind::Buffer)],
+        );
+        d.buffers[0].words = 0;
+        let mut r = VerifyReport::new();
+        let cfg = VerifyConfig {
+            on_chip_budget_bytes: Some(1),
+            ..VerifyConfig::default()
+        };
+        // words=0 means 0 bytes, so force the budget check with a second
+        // non-empty buffer.
+        d.buffers.push(buf(1, "big", BufferKind::Buffer));
+        check_design(&d, &cfg, &mut r);
+        assert!(r.has(DiagCode::DegenerateBuffer), "{}", r.to_text());
+        assert!(r.has(DiagCode::OverBudget), "{}", r.to_text());
+    }
+}

@@ -1,0 +1,395 @@
+//! # pphw-verify — static semantic analysis
+//!
+//! A multi-pass analyzer over PPL programs and generated hardware designs,
+//! with stable diagnostic codes (`PPHW0xx`) and a machine-readable JSON
+//! report. Three analyzer families:
+//!
+//! 1. **IR verifier** ([`ir_check`]) — def-before-use, binding discipline,
+//!    output/update arity, shape and rank consistency (cross-checked with
+//!    [`pphw_ir::infer`]), accessor legality. Because blocks are
+//!    straight-line with single bindings, def-before-use also establishes
+//!    acyclicity.
+//! 2. **Parallelization race detector** ([`race`]) — a `MultiFold` /
+//!    `GroupByFold` combine that is not structurally provably
+//!    associative-commutative is a data race the moment `inner_par > 1`
+//!    parallelizes the reduction; an allowlist of node paths is the escape
+//!    hatch for combines proven correct by other means.
+//! 3. **Metapipeline hazard checker** ([`hazard`]) — inter-stage RAW/WAW
+//!    on shared buffers lacking double-buffering, sibling-parallel write
+//!    conflicts, on-chip budget and degenerate-capacity pre-checks over
+//!    [`pphw_hw::design::Design`].
+//!
+//! Every diagnostic carries a human-readable node path (see
+//! [`pphw_ir::path`]), e.g. `kmeans/best[1]/combine[0]`, so errors point
+//! at a node instead of a bare symbol id.
+
+pub mod hazard;
+pub mod ir_check;
+pub mod race;
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pphw_hw::design::Design;
+use pphw_ir::program::Program;
+
+/// Stable diagnostic codes. The numeric ranges group the families:
+/// `001`–`009` IR well-formedness, `010`–`019` parallelization races,
+/// `020`–`029` metapipeline hazards, `030`–`039` area legality.
+///
+/// Codes are part of the tool's contract: tests and downstream consumers
+/// match on them, so a code is never renumbered or reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// Symbol referenced before binding (or out of table range).
+    UnboundSym,
+    /// Symbol bound more than once.
+    Rebound,
+    /// Statement/update/combine arity disagrees with the operation.
+    OutputArity,
+    /// Pattern domain arity disagrees with its index parameters.
+    BadDomain,
+    /// A size expression references an undeclared size variable.
+    UnknownSizeVar,
+    /// An expression is ill-typed per [`pphw_ir::infer`].
+    IllTypedExpr,
+    /// A read/slice/copy indexes a tensor with the wrong rank.
+    RankMismatch,
+    /// An accumulator update or initializer disagrees with the
+    /// accumulator's shape or element width.
+    UpdateShapeMismatch,
+    /// A parallelized reduction's combine is not provably
+    /// associative-commutative.
+    NonAssocCombine,
+    /// Two sibling stages of a parallel controller write the same buffer.
+    SiblingWriteConflict,
+    /// Metapipeline read-after-write on a buffer without double-buffering.
+    MetapipelineRaw,
+    /// Metapipeline write-after-write on a shared single buffer.
+    MetapipelineWaw,
+    /// Design exceeds the on-chip memory budget.
+    OverBudget,
+    /// A buffer has zero capacity.
+    DegenerateBuffer,
+}
+
+impl DiagCode {
+    /// The stable `PPHW0xx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::UnboundSym => "PPHW001",
+            DiagCode::Rebound => "PPHW002",
+            DiagCode::OutputArity => "PPHW003",
+            DiagCode::BadDomain => "PPHW004",
+            DiagCode::UnknownSizeVar => "PPHW005",
+            DiagCode::IllTypedExpr => "PPHW006",
+            DiagCode::RankMismatch => "PPHW007",
+            DiagCode::UpdateShapeMismatch => "PPHW008",
+            DiagCode::NonAssocCombine => "PPHW010",
+            DiagCode::SiblingWriteConflict => "PPHW011",
+            DiagCode::MetapipelineRaw => "PPHW020",
+            DiagCode::MetapipelineWaw => "PPHW021",
+            DiagCode::OverBudget => "PPHW030",
+            DiagCode::DegenerateBuffer => "PPHW031",
+        }
+    }
+
+    /// One-line description for the diagnostic-code table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            DiagCode::UnboundSym => "symbol referenced before binding",
+            DiagCode::Rebound => "symbol bound more than once",
+            DiagCode::OutputArity => "statement or lambda arity mismatch",
+            DiagCode::BadDomain => "pattern domain/index arity mismatch",
+            DiagCode::UnknownSizeVar => "undeclared size variable",
+            DiagCode::IllTypedExpr => "ill-typed scalar expression",
+            DiagCode::RankMismatch => "tensor access with wrong rank",
+            DiagCode::UpdateShapeMismatch => "accumulator update/init shape mismatch",
+            DiagCode::NonAssocCombine => {
+                "parallelized combine not provably associative-commutative"
+            }
+            DiagCode::SiblingWriteConflict => "sibling parallel stages write the same buffer",
+            DiagCode::MetapipelineRaw => "metapipeline RAW on non-double-buffered memory",
+            DiagCode::MetapipelineWaw => "metapipeline WAW on shared single memory",
+            DiagCode::OverBudget => "design exceeds on-chip memory budget",
+            DiagCode::DegenerateBuffer => "zero-capacity buffer",
+        }
+    }
+
+    /// Every code, in numeric order (drives the DESIGN.md table).
+    pub fn all() -> &'static [DiagCode] {
+        &[
+            DiagCode::UnboundSym,
+            DiagCode::Rebound,
+            DiagCode::OutputArity,
+            DiagCode::BadDomain,
+            DiagCode::UnknownSizeVar,
+            DiagCode::IllTypedExpr,
+            DiagCode::RankMismatch,
+            DiagCode::UpdateShapeMismatch,
+            DiagCode::NonAssocCombine,
+            DiagCode::SiblingWriteConflict,
+            DiagCode::MetapipelineRaw,
+            DiagCode::MetapipelineWaw,
+            DiagCode::OverBudget,
+            DiagCode::DegenerateBuffer,
+        ]
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational/heuristic finding; does not fail verification.
+    Warning,
+    /// A violated invariant; verification fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable node path (`prog/stmt[i]/…` or `design/ctrl/buf`).
+    pub path: String,
+    /// What went wrong, in terms of the node at `path`.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity,
+            self.code.code(),
+            self.path,
+            self.message
+        )
+    }
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyConfig {
+    /// The inner parallelism the pipeline would apply: combines are only a
+    /// race when `inner_par > 1` parallelizes them.
+    pub inner_par: u32,
+    /// On-chip budget for the area pre-check; `None` skips it.
+    pub on_chip_budget_bytes: Option<u64>,
+    /// Node paths of combines the user asserts are associative-commutative
+    /// despite the structural analysis not proving it (the escape hatch).
+    pub allow_combines: BTreeSet<String>,
+}
+
+impl VerifyConfig {
+    /// Config for a run at the given parallelism.
+    #[must_use]
+    pub fn with_inner_par(inner_par: u32) -> VerifyConfig {
+        VerifyConfig {
+            inner_par,
+            ..VerifyConfig::default()
+        }
+    }
+
+    /// Adds a combine path to the allowlist.
+    #[must_use]
+    pub fn allow_combine(mut self, path: impl Into<String>) -> VerifyConfig {
+        self.allow_combines.insert(path.into());
+        self
+    }
+}
+
+/// The collected findings of one or more analyzer runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// All findings, in traversal order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// An empty (clean) report.
+    #[must_use]
+    pub fn new() -> VerifyReport {
+        VerifyReport::default()
+    }
+
+    /// `true` when no error-severity diagnostic was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` if any diagnostic carries `code`.
+    #[must_use]
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Appends all of `other`'s findings.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        code: DiagCode,
+        severity: Severity,
+        path: impl fmt::Display,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            path: path.to_string(),
+            message: message.into(),
+        });
+    }
+
+    /// Renders the report as JSON (machine-readable; the `verify` bin and
+    /// CI gate consume this).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"error_count\":");
+        out.push_str(&self.error_count().to_string());
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"message\":\"{}\"}}",
+                d.code.code(),
+                d.severity,
+                escape_json(&d.path),
+                escape_json(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// One line per finding (empty string when clean).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| format!("{d}\n"))
+            .collect::<String>()
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the program-level analyzers (IR verifier + race detector).
+#[must_use]
+pub fn verify_program(prog: &Program, cfg: &VerifyConfig) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    ir_check::check_program(prog, &mut report);
+    // Racing on a structurally broken program would produce noise on top
+    // of noise; combines are still analyzed because their blocks were
+    // already visited above only for well-formedness, not semantics.
+    race::check_races(prog, cfg, &mut report);
+    report
+}
+
+/// Runs the design-level analyzer (metapipeline hazards + area checks).
+#[must_use]
+pub fn verify_design(design: &Design, cfg: &VerifyConfig) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    hazard::check_design(design, cfg, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = DiagCode::all();
+        let codes: BTreeSet<&str> = all.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), all.len(), "codes must be unique");
+        assert_eq!(DiagCode::NonAssocCombine.code(), "PPHW010");
+        assert_eq!(DiagCode::MetapipelineRaw.code(), "PPHW020");
+        assert_eq!(DiagCode::OverBudget.code(), "PPHW030");
+    }
+
+    #[test]
+    fn report_json_escapes_and_counts() {
+        let mut r = VerifyReport::new();
+        r.push(
+            DiagCode::UnboundSym,
+            Severity::Error,
+            "p/x[0]",
+            "bad \"quote\"",
+        );
+        r.push(DiagCode::DegenerateBuffer, Severity::Warning, "d/b", "w");
+        assert_eq!(r.error_count(), 1);
+        assert!(!r.is_clean());
+        let json = r.to_json();
+        assert!(json.starts_with("{\"error_count\":1,"), "{json}");
+        assert!(json.contains("\\\"quote\\\""), "{json}");
+        assert!(json.contains("PPHW001"), "{json}");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = VerifyReport::new();
+        a.push(DiagCode::Rebound, Severity::Error, "p", "m");
+        let mut b = VerifyReport::new();
+        b.push(DiagCode::OverBudget, Severity::Error, "d", "m");
+        a.merge(b);
+        assert_eq!(a.diagnostics.len(), 2);
+        assert!(a.has(DiagCode::OverBudget));
+    }
+}

@@ -9,6 +9,9 @@
 //!   interchange (§4), tile copies, and the Figure 5c cost model;
 //! * [`pphw_hw`] — template-based hardware generation (Table 4), memory
 //!   allocation, metapipelining, the area model, and MaxJ emission;
+//! * [`pphw_verify`] — the static semantic analyzers (IR verifier,
+//!   parallelization race detector, metapipeline hazard checker) with
+//!   stable `PPHW0xx` diagnostic codes;
 //! * [`pphw_sim`] — the cycle-approximate DRAM/controller simulator;
 //! * [`pphw`] — the compiler driver (`compile`, `evaluate`);
 //! * [`pphw_apps`] — the six benchmarks of Table 5.
@@ -22,3 +25,4 @@ pub use pphw_hw;
 pub use pphw_ir;
 pub use pphw_sim;
 pub use pphw_transform;
+pub use pphw_verify;

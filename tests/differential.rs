@@ -110,6 +110,15 @@ fn run_sweep(name: &str) {
         assert_eq!(case.levels.len(), 3, "{}: missing levels", case.label);
         assert!(case.levels.iter().all(|l| l.cycles > 0));
     }
+    // The sweep compiles through `pphw::compile`, which installs the deep
+    // per-pass verifier: when verification is enabled (debug builds, or
+    // PPHW_VERIFY=1 as in CI), the sweep must have exercised it.
+    if pphw_transform::verification_enabled() {
+        assert!(
+            pphw_transform::deep_verifier_runs() > 0,
+            "post-transform verifier never ran during the differential sweep"
+        );
+    }
 }
 
 #[test]

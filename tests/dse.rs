@@ -242,6 +242,60 @@ fn persistent_cache_round_trips_through_a_real_search() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The static-legality stage of the prefilter: a fold whose combine is
+/// subtraction cannot be parallelized, so every `inner_par > 1` candidate
+/// is rejected *before* compile ([`PPHW010`]'s race condition), counted
+/// in `pruned_verify` — while the serial candidates survive, compile, and
+/// still produce a best point.
+#[test]
+fn non_associative_combine_candidates_are_statically_pruned() {
+    let mut b = pphw_ir::builder::ProgramBuilder::new("subfold");
+    let m = b.size("m");
+    let x = b.input("x", pphw_ir::types::DType::F32, vec![m.clone()]);
+    let out = b.fold(
+        "acc",
+        vec![m],
+        vec![],
+        pphw_ir::types::ScalarType::Prim(pphw_ir::types::DType::F32),
+        pphw_ir::pattern::Init::zeros(),
+        |c, i, acc| {
+            let v = c.read(x, vec![c.var(i[0])]);
+            c.add(c.var(acc), v)
+        },
+        |c, a, b2| c.sub(c.var(a), c.var(b2)),
+    );
+    let prog = b.finish(vec![out]);
+
+    let sizes: &[(&str, i64)] = &[("m", 64)];
+    let base = CompileOptions::new(sizes);
+    let space = SearchSpace::new(sizes)
+        .tune_dim("m")
+        .expect("m is a dimension")
+        .with_inner_pars(&[1, 8]);
+    let cfg = DseConfig::default();
+
+    let report = explore_program(&prog, &base, &space, &cfg).expect("serial candidates survive");
+    assert!(
+        report.stats.pruned_verify >= 1,
+        "static-legality prune must fire: {:?}",
+        report.stats
+    );
+    // Exactly the parallel half of the space is illegal: every surviving
+    // evaluation is a serial candidate.
+    assert_eq!(
+        report.stats.pruned_verify + report.stats.evaluated + report.stats.pruned_tile,
+        report.stats.exhaustive,
+        "{:?}",
+        report.stats
+    );
+    assert!(report.best.cycles > 0);
+    assert!(
+        report.best.label.contains("par=1 "),
+        "best must be serial: {}",
+        report.best.label
+    );
+}
+
 #[test]
 fn impossible_budget_is_no_feasible_config() {
     let prog = benchmark("gemm");

@@ -1,0 +1,238 @@
+//! Acceptance tests for the `pphw-verify` static-analysis layer.
+//!
+//! Two halves keep each other honest:
+//!
+//! - **Pristine programs verify clean.** Every Table 5 benchmark passes
+//!   all three analyzer families — the IR verifier, the parallelization
+//!   race detector at its real lane count, and the metapipeline hazard
+//!   checker — at the source level and after compilation at every
+//!   optimization level. The per-pass deep verifier is also shown to be
+//!   live inside the tiling pipeline, so a transform bug is caught at the
+//!   pass that introduced it.
+//! - **Seeded-illegal inputs are rejected with their stable code.** One
+//!   mutant per analyzer family (plus extras) asserts the exact `PPHW0xx`
+//!   diagnostic, the mutation-testing discipline that proves the
+//!   analyzers actually fire.
+
+use pphw::{compile, CompileOptions, OptLevel, VerifyConfig};
+use pphw_apps::all_benchmarks;
+use pphw_hw::design::{
+    BufId, Buffer, BufferKind, Ctrl, CtrlKind, Design, DesignStyle, Node, Unit, UnitKind,
+};
+use pphw_ir::builder::ProgramBuilder;
+use pphw_ir::pattern::Init;
+use pphw_ir::types::{DType, ScalarType, Sym};
+use pphw_ir::Program;
+use pphw_verify::{verify_design, verify_program, DiagCode};
+
+/// Mirrors `pphw_bench::options_for`: the paper's per-benchmark
+/// configuration (Table 5 sizes/tiles, §6.1 parallelism).
+fn options(spec: &pphw_apps::BenchSpec) -> CompileOptions {
+    let mut opts = CompileOptions::new(&(spec.sizes)())
+        .tiles(&(spec.tiles)())
+        .inner_par(spec.inner_par);
+    if let Some(mp) = spec.meta_par {
+        opts = opts.meta_inner_par(mp);
+    }
+    opts
+}
+
+/// All six pristine benchmarks verify clean at every stage: the source
+/// program under the IR verifier + race detector at the benchmark's real
+/// parallelism, and the compiled artifact (program + generated design) at
+/// all three optimization levels.
+#[test]
+fn six_benchmarks_verify_clean_at_every_stage() {
+    for spec in all_benchmarks() {
+        let prog = (spec.program)();
+        let cfg = VerifyConfig::with_inner_par(spec.inner_par.max(spec.meta_par.unwrap_or(0)));
+        let report = verify_program(&prog, &cfg);
+        assert!(
+            report.is_clean(),
+            "{} source:\n{}",
+            spec.name,
+            report.to_text()
+        );
+        for opt in OptLevel::all() {
+            let compiled = compile(&prog, &options(&spec).opt(opt))
+                .unwrap_or_else(|e| panic!("{} [{opt}] failed to compile: {e}", spec.name));
+            let report = compiled.verify();
+            assert!(
+                report.is_clean(),
+                "{} [{opt}]:\n{}",
+                spec.name,
+                report.to_text()
+            );
+        }
+    }
+}
+
+/// The deep per-pass verifier is installed by `pphw::compile` and runs
+/// after every pass of the tiling pipeline (debug builds and whenever
+/// `PPHW_VERIFY` is set).
+#[test]
+fn deep_verifier_runs_after_every_tiling_pass() {
+    let spec = all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "gemm")
+        .expect("gemm exists");
+    let before = pphw_transform::deep_verifier_runs();
+    compile(&(spec.program)(), &options(&spec).opt(OptLevel::Tiled)).expect("gemm compiles");
+    let after = pphw_transform::deep_verifier_runs();
+    if pphw_transform::verification_enabled() {
+        assert!(
+            after > before,
+            "deep verifier never ran during a tiled compile"
+        );
+    } else {
+        assert_eq!(after, before, "verifier must stay off when disabled");
+    }
+    // Tier-1 runs tests in debug, where the verifier is unconditionally on.
+    #[cfg(debug_assertions)]
+    assert!(pphw_transform::verification_enabled());
+}
+
+/// A fold whose combine is subtraction — not associative-commutative.
+fn subfold() -> Program {
+    let mut b = ProgramBuilder::new("subfold");
+    let m = b.size("m");
+    let x = b.input("x", DType::F32, vec![m.clone()]);
+    let out = b.fold(
+        "acc",
+        vec![m],
+        vec![],
+        ScalarType::Prim(DType::F32),
+        Init::zeros(),
+        |c, i, acc| {
+            let v = c.read(x, vec![c.var(i[0])]);
+            c.add(c.var(acc), v)
+        },
+        |c, a, b2| c.sub(c.var(a), c.var(b2)),
+    );
+    b.finish(vec![out])
+}
+
+/// Race-detector family: a parallelized non-associative combine is
+/// `PPHW010`; the same program is legal serially; the allowlist escape
+/// hatch suppresses the finding at the diagnosed path.
+#[test]
+fn non_associative_parallel_combine_is_pphw010_with_allowlist_escape() {
+    let prog = subfold();
+
+    let parallel = verify_program(&prog, &VerifyConfig::with_inner_par(8));
+    assert!(
+        parallel.has(DiagCode::NonAssocCombine),
+        "{}",
+        parallel.to_text()
+    );
+    let path = parallel
+        .errors()
+        .find(|d| d.code == DiagCode::NonAssocCombine)
+        .map(|d| d.path.clone())
+        .expect("diagnostic carries a pattern path");
+    assert!(
+        path.starts_with("subfold"),
+        "path is human-readable: {path}"
+    );
+
+    let serial = verify_program(&prog, &VerifyConfig::with_inner_par(1));
+    assert!(serial.is_clean(), "{}", serial.to_text());
+
+    let allowed = verify_program(&prog, &VerifyConfig::with_inner_par(8).allow_combine(path));
+    assert!(allowed.is_clean(), "{}", allowed.to_text());
+}
+
+fn unit(name: &str, reads: Vec<BufId>, writes: Vec<BufId>) -> Node {
+    Node::Unit(Unit {
+        name: name.into(),
+        kind: UnitKind::Vector { lanes: 1 },
+        elems: 64,
+        ops_per_elem: 1,
+        depth: 4,
+        streams: vec![],
+        reads,
+        writes,
+    })
+}
+
+fn two_stage_metapipeline(kind: BufferKind) -> Design {
+    Design {
+        name: "seeded".into(),
+        style: DesignStyle::Metapipelined,
+        root: Node::Ctrl(Ctrl {
+            name: "top".into(),
+            kind: CtrlKind::Metapipeline,
+            iters: 4,
+            stages: vec![
+                unit("load", vec![], vec![BufId(0)]),
+                unit("compute", vec![BufId(0)], vec![]),
+            ],
+        }),
+        buffers: vec![Buffer {
+            id: BufId(0),
+            name: "tile".into(),
+            words: 64,
+            word_bytes: 4,
+            kind,
+            banks: 1,
+            readers: 1,
+            writers: 1,
+        }],
+    }
+}
+
+/// Hazard-checker family: a shared single-buffered memory between
+/// overlapped metapipeline stages is `PPHW020`; double-buffering (the
+/// promotion hardware generation applies) is the fix.
+#[test]
+fn shared_buffer_metapipeline_raw_is_pphw020() {
+    let cfg = VerifyConfig::default();
+    let racy = verify_design(&two_stage_metapipeline(BufferKind::Buffer), &cfg);
+    assert!(racy.has(DiagCode::MetapipelineRaw), "{}", racy.to_text());
+
+    let fixed = verify_design(&two_stage_metapipeline(BufferKind::DoubleBuffer), &cfg);
+    assert!(fixed.is_clean(), "{}", fixed.to_text());
+}
+
+/// IR-verifier family: a read of a rank-2 tensor through a single index
+/// is `PPHW007`, located at a human-readable pattern path.
+#[test]
+fn rank_mismatch_is_pphw007() {
+    let mut b = ProgramBuilder::new("badrank");
+    let m = b.size("m");
+    let n = b.size("n");
+    let x = b.input("x", DType::F32, vec![m.clone(), n]);
+    let out = b.map(vec![m], |c, idx| c.read(x, vec![c.var(idx[0])]));
+    let prog = b.finish(vec![out]);
+    let report = verify_program(&prog, &VerifyConfig::default());
+    assert!(report.has(DiagCode::RankMismatch), "{}", report.to_text());
+    assert!(
+        report.errors().all(|d| d.path.starts_with("badrank")),
+        "{}",
+        report.to_text()
+    );
+}
+
+/// IR-verifier family: a dangling result symbol is `PPHW001`.
+#[test]
+fn unbound_result_is_pphw001() {
+    let mut prog = subfold();
+    prog.body.result = vec![Sym(9999)];
+    let report = verify_program(&prog, &VerifyConfig::default());
+    assert!(report.has(DiagCode::UnboundSym), "{}", report.to_text());
+}
+
+/// The JSON report is machine-readable: codes, severities, and paths all
+/// appear, and a clean report is an empty diagnostics array.
+#[test]
+fn json_report_is_machine_readable() {
+    let report = verify_program(&subfold(), &VerifyConfig::with_inner_par(8));
+    let json = report.to_json();
+    assert!(json.contains("\"PPHW010\""), "{json}");
+    assert!(json.contains("\"error\""), "{json}");
+    assert!(json.contains("subfold"), "{json}");
+
+    let clean = verify_program(&subfold(), &VerifyConfig::default());
+    assert!(clean.is_clean());
+    assert!(clean.to_json().contains("\"diagnostics\":[]"));
+}
