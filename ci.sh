@@ -55,6 +55,18 @@ echo "== robustness fuzz smoke (fresh seed, never-panic property)"
 PPHW_PROP_SEED=0xC1C1C1C1 PPHW_PROP_CASES=64 \
   cargo test -q --offline --test robustness fuzzed_pipeline_returns_errors_never_panics
 
+echo "== frontend corpus gate (every examples/*.ppl parses and verifies clean)"
+shopt -s nullglob
+ppl_files=(examples/*.ppl)
+[ "${#ppl_files[@]}" -ge 6 ] || { echo "corpus gate: expected >= 6 .ppl files, found ${#ppl_files[@]}"; exit 1; }
+for f in "${ppl_files[@]}"; do
+  cargo run --release --offline -p pphw-bench --bin parse -- "$f"
+done
+
+echo "== frontend fuzz smoke (parser never panics; quick seeded pass)"
+PPHW_PROP_SEED=0xF0F0F0F0 PPHW_PROP_CASES=64 \
+  cargo test -q --offline --test frontend_fuzz
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,294 @@
+//! Parse tree of the textual PPL surface syntax.
+//!
+//! The AST mirrors the grammar, not the IR: names are strings with spans,
+//! `fold` sugar is still a distinct node, and nothing is typed yet.
+//! Lowering ([`crate::lower`]) resolves names, infers types, and produces
+//! the [`pphw_ir`] program plus the path→span side table.
+
+use pphw_ir::span::Span;
+use pphw_ir::types::DType;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Name {
+    /// Identifier text, verbatim.
+    pub text: String,
+    /// Where it appears.
+    pub span: Span,
+}
+
+/// A whole `program … { … }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PProgram {
+    /// Program name.
+    pub name: Name,
+    /// Declared size variables, in order.
+    pub size_vars: Vec<Name>,
+    /// Input declarations, in order.
+    pub inputs: Vec<PInput>,
+    /// Top-level statements.
+    pub stmts: Vec<PStmt>,
+    /// `return (…)` symbols.
+    pub returns: Vec<Name>,
+}
+
+/// `input x: Float[d]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PInput {
+    /// Input name.
+    pub name: Name,
+    /// Declared type.
+    pub ty: PType,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// Scalar element types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PScalar {
+    /// `Float` / `Int` / `Bool`.
+    Prim(DType),
+    /// `(Float, Int)`.
+    Tuple(Vec<DType>),
+}
+
+/// Surface types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PType {
+    /// A scalar.
+    Scalar(PScalar),
+    /// `Float[n, d]`.
+    Tensor(PScalar, Vec<PSize>),
+    /// `Float[?]`.
+    DynVec(PScalar),
+    /// `Dict[Int -> Float[d]]`.
+    Dict(PScalar, Box<PType>),
+}
+
+/// Symbolic size expressions (structure-preserving; never simplified).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PSize {
+    /// Integer constant.
+    Const(i64),
+    /// Named dimension.
+    Var(Name),
+    /// `a + b`, `a - b`, `a * b`, `a / b`.
+    Bin(char, Box<PSize>, Box<PSize>),
+}
+
+/// A `let` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PStmt {
+    /// Bound names (`let x` or `let (a, b)`).
+    pub lhs: Vec<Name>,
+    /// Right-hand side.
+    pub rhs: PRhs,
+    /// Span of the whole statement.
+    pub span: Span,
+}
+
+/// A block body: statements then an optional `yield`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PBody {
+    /// Statements, in order.
+    pub stmts: Vec<PStmt>,
+    /// `yield` expressions (empty when the block has no results).
+    pub yields: Vec<PExpr>,
+    /// Span of the whole body.
+    pub span: Span,
+}
+
+/// One guarded item of a `[ … ]` vector construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PVvItem {
+    /// Optional `if (…)` guard.
+    pub guard: Option<PExpr>,
+    /// The element value.
+    pub value: PExpr,
+}
+
+/// One dimension of a slice/copy spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PDim {
+    /// `*`
+    Full,
+    /// A point index.
+    Point(PExpr),
+    /// `start :+ len`
+    Window(PExpr, PSize),
+}
+
+/// `acc name: Float[k, d] = splat(0.0)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PAccDecl {
+    /// Accumulator name.
+    pub name: Name,
+    /// Element scalar type.
+    pub elem: PScalar,
+    /// Accumulator shape (empty for scalars).
+    pub shape: Vec<PSize>,
+    /// `splat(…)` literals.
+    pub init: Vec<PLit>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// `update <acc> @ (locs) [shape] (param) { body }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PUpdate {
+    /// Target accumulator name (`None` in `groupByFold`, which has one).
+    pub acc: Option<Name>,
+    /// Region offset expressions.
+    pub locs: Vec<PExpr>,
+    /// Region shape.
+    pub shape: Vec<PSize>,
+    /// Region parameter name.
+    pub param: Name,
+    /// Update body.
+    pub body: PBody,
+    /// Span of the clause.
+    pub span: Span,
+}
+
+/// `combine <acc> (a, b) { body }` or `combine <acc> _`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PCombine {
+    /// Target accumulator name (`None` in `groupByFold`).
+    pub acc: Option<Name>,
+    /// `Some((a, b, body))` for a lambda, `None` for `_`.
+    pub lambda: Option<(Name, Name, PBody)>,
+    /// Span of the clause.
+    pub span: Span,
+}
+
+/// Right-hand sides of `let`.
+// Parse trees are short-lived and never stored in bulk; boxing the big
+// pattern variants would only complicate the parser and lowerer.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum PRhs {
+    /// A scalar expression.
+    Expr(PExpr),
+    /// `t.slice(dims)` / `t.copy(dims) [reuse N]`.
+    SliceCopy {
+        /// Source tensor name.
+        tensor: Name,
+        /// Dimension specs.
+        dims: Vec<PDim>,
+        /// `true` for `copy`.
+        is_copy: bool,
+        /// Reuse factor (`1` unless `reuse N` present; copies only).
+        reuse: u32,
+    },
+    /// `[item, if (g) item, …]`.
+    VarVec(Vec<PVvItem>),
+    /// `map(sizes) { (i, j) => body }`.
+    Map {
+        /// Iteration domain.
+        domain: Vec<PSize>,
+        /// Index parameter names.
+        params: Vec<Name>,
+        /// Body.
+        body: PBody,
+    },
+    /// `multiFold(sizes) { accs… (idx) => [pre] updates… combines… }`.
+    MultiFold {
+        /// Iteration domain.
+        domain: Vec<PSize>,
+        /// Accumulator declarations.
+        accs: Vec<PAccDecl>,
+        /// Index parameter names.
+        idx: Vec<Name>,
+        /// Optional `pre { … }` block.
+        pre: Option<PBody>,
+        /// Update clauses (source order).
+        updates: Vec<PUpdate>,
+        /// Combine clauses (source order).
+        combines: Vec<PCombine>,
+    },
+    /// `fold(sizes) { acc… (idx; param) => body combine (a, b) { … } }` —
+    /// sugar for a full-accumulator `multiFold`.
+    Fold {
+        /// Iteration domain.
+        domain: Vec<PSize>,
+        /// The single accumulator declaration.
+        acc: PAccDecl,
+        /// Index parameter names.
+        idx: Vec<Name>,
+        /// Accumulator parameter name.
+        param: Name,
+        /// Update body.
+        body: PBody,
+        /// Combine lambda `(a, b, body)`.
+        combine: (Name, Name, PBody),
+    },
+    /// `flatMap(size) { (i) => body }`.
+    FlatMap {
+        /// Iteration domain.
+        domain: PSize,
+        /// Index parameter name.
+        param: Name,
+        /// Body (must produce a dynamic vector).
+        body: PBody,
+    },
+    /// `groupByFold(size) { acc… (i) => [pre] (key = …; update …) | merge d combine (a,b) {…} }`.
+    GroupByFold {
+        /// Iteration domain.
+        domain: PSize,
+        /// Per-bucket accumulator declaration.
+        acc: PAccDecl,
+        /// Index parameter name.
+        idx: Name,
+        /// Optional `pre { … }` block.
+        pre: Option<PBody>,
+        /// Element form: `key = expr` + update clause.
+        element: Option<(PExpr, PUpdate)>,
+        /// Merge form: the dictionary name.
+        merge: Option<Name>,
+        /// Combine lambda.
+        combine: (Name, Name, PBody),
+    },
+}
+
+/// Literals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PLit {
+    /// Float (including `inf` / `-inf` / `nan`).
+    F32(f32),
+    /// Integer.
+    I32(i64),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// An expression with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PExpr {
+    /// Node kind.
+    pub kind: PExprKind,
+    /// Source span of the whole expression.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExprKind {
+    /// Literal.
+    Lit(PLit),
+    /// Name reference.
+    Var(Name),
+    /// `size(<size>)`.
+    SizeOf(PSize),
+    /// Unary operation (`neg`, `!`, `sqrt`, …).
+    Un(pphw_ir::expr::UnOp, Box<PExpr>),
+    /// Binary operation.
+    Bin(pphw_ir::expr::BinOp, Box<PExpr>, Box<PExpr>),
+    /// `if (c) t else f`.
+    Select(Box<PExpr>, Box<PExpr>, Box<PExpr>),
+    /// `tuple(…)` or `(a, b, …)`.
+    Tuple(Vec<PExpr>),
+    /// `e._N` (1-based in the surface syntax).
+    Field(Box<PExpr>, usize),
+    /// `name(i, j, …)` — tensor element read.
+    Read(Name, Vec<PExpr>),
+}

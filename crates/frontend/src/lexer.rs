@@ -1,0 +1,399 @@
+//! Tokenizer for the textual PPL surface syntax.
+//!
+//! Reserved words come from [`pphw_ir::pretty::KEYWORDS`] so the lexer and
+//! the faithful emitter cannot drift apart; clause words (`acc`, `pre`,
+//! `update`, …) and type names lex as ordinary identifiers and are matched
+//! by text where the grammar expects them. The lexer never panics: invalid
+//! characters and malformed literals become [`ParseError`]s and lexing
+//! continues.
+
+use pphw_ir::pretty::KEYWORDS;
+use pphw_ir::span::Span;
+
+use crate::ParseError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// Where in the source it sits.
+    pub span: Span,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier (including contextual clause words and type names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (has a `.` or an exponent).
+    Float(f32),
+    /// Reserved word (an entry of [`KEYWORDS`]).
+    Kw(&'static str),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `:+` (slice window)
+    ColonPlus,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `=>`
+    FatArrow,
+    /// `->` (dict type)
+    ThinArrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `?` (dynamic-length dimension)
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl TokKind {
+    /// Short rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokKind::Ident(s) => format!("identifier `{s}`"),
+            TokKind::Int(v) => format!("integer `{v}`"),
+            TokKind::Float(v) => format!("float `{v}`"),
+            TokKind::Kw(k) => format!("keyword `{k}`"),
+            TokKind::LParen => "`(`".into(),
+            TokKind::RParen => "`)`".into(),
+            TokKind::LBrace => "`{`".into(),
+            TokKind::RBrace => "`}`".into(),
+            TokKind::LBracket => "`[`".into(),
+            TokKind::RBracket => "`]`".into(),
+            TokKind::Comma => "`,`".into(),
+            TokKind::Colon => "`:`".into(),
+            TokKind::ColonPlus => "`:+`".into(),
+            TokKind::Assign => "`=`".into(),
+            TokKind::EqEq => "`==`".into(),
+            TokKind::FatArrow => "`=>`".into(),
+            TokKind::ThinArrow => "`->`".into(),
+            TokKind::Plus => "`+`".into(),
+            TokKind::Minus => "`-`".into(),
+            TokKind::Star => "`*`".into(),
+            TokKind::Slash => "`/`".into(),
+            TokKind::Percent => "`%`".into(),
+            TokKind::Lt => "`<`".into(),
+            TokKind::Le => "`<=`".into(),
+            TokKind::AndAnd => "`&&`".into(),
+            TokKind::OrOr => "`||`".into(),
+            TokKind::Bang => "`!`".into(),
+            TokKind::Dot => "`.`".into(),
+            TokKind::At => "`@`".into(),
+            TokKind::Question => "`?`".into(),
+            TokKind::Eof => "end of input".into(),
+        }
+    }
+
+    /// The identifier text, when this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes `src`. Always returns a token stream terminated by
+/// [`TokKind::Eof`]; lexical problems are appended to `errors` and the
+/// offending characters skipped.
+pub fn lex(src: &str, errors: &mut Vec<ParseError>) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let kind = match KEYWORDS.iter().find(|k| **k == text) {
+                Some(k) => TokKind::Kw(k),
+                None => TokKind::Ident(text.to_string()),
+            };
+            toks.push(Token {
+                kind,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Numbers: digits [. digits] [e[+-]digits]; a float iff it has a
+        // `.` or an exponent.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let span = Span::new(start, i);
+            let text = &src[start..i];
+            let kind = if is_float {
+                match text.parse::<f32>() {
+                    Ok(v) => TokKind::Float(v),
+                    Err(_) => {
+                        errors.push(ParseError::new(
+                            crate::codes::BAD_LITERAL,
+                            format!("float literal `{text}` is out of range"),
+                            span,
+                        ));
+                        TokKind::Float(0.0)
+                    }
+                }
+            } else {
+                match text.parse::<i64>() {
+                    Ok(v) => TokKind::Int(v),
+                    Err(_) => {
+                        errors.push(ParseError::new(
+                            crate::codes::BAD_LITERAL,
+                            format!("integer literal `{text}` is out of range"),
+                            span,
+                        ));
+                        TokKind::Int(0)
+                    }
+                }
+            };
+            toks.push(Token { kind, span });
+            continue;
+        }
+        // Punctuation, longest match first.
+        // `get` (not slicing) so a multi-byte char after `i` can't split.
+        let two = src.get(i..i + 2).unwrap_or("");
+        let (kind, len) = match two {
+            ":+" => (TokKind::ColonPlus, 2),
+            "==" => (TokKind::EqEq, 2),
+            "=>" => (TokKind::FatArrow, 2),
+            "->" => (TokKind::ThinArrow, 2),
+            "<=" => (TokKind::Le, 2),
+            "&&" => (TokKind::AndAnd, 2),
+            "||" => (TokKind::OrOr, 2),
+            _ => match c {
+                b'(' => (TokKind::LParen, 1),
+                b')' => (TokKind::RParen, 1),
+                b'{' => (TokKind::LBrace, 1),
+                b'}' => (TokKind::RBrace, 1),
+                b'[' => (TokKind::LBracket, 1),
+                b']' => (TokKind::RBracket, 1),
+                b',' => (TokKind::Comma, 1),
+                b':' => (TokKind::Colon, 1),
+                b'=' => (TokKind::Assign, 1),
+                b'+' => (TokKind::Plus, 1),
+                b'-' => (TokKind::Minus, 1),
+                b'*' => (TokKind::Star, 1),
+                b'/' => (TokKind::Slash, 1),
+                b'%' => (TokKind::Percent, 1),
+                b'<' => (TokKind::Lt, 1),
+                b'!' => (TokKind::Bang, 1),
+                b'.' => (TokKind::Dot, 1),
+                b'@' => (TokKind::At, 1),
+                b'?' => (TokKind::Question, 1),
+                _ => {
+                    // Skip one whole character (may be multi-byte).
+                    let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                    errors.push(ParseError::new(
+                        crate::codes::INVALID_TOKEN,
+                        format!("invalid character `{}`", &src[i..i + ch_len]),
+                        Span::new(i, i + ch_len),
+                    ));
+                    i += ch_len;
+                    continue;
+                }
+            },
+        };
+        toks.push(Token {
+            kind,
+            span: Span::new(i, i + len),
+        });
+        i += len;
+    }
+    toks.push(Token {
+        kind: TokKind::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        let mut errs = Vec::new();
+        let toks = lex(src, &mut errs);
+        assert!(errs.is_empty(), "{errs:?}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_header() {
+        let k = kinds("program sum(d) {");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Kw("program"),
+                TokKind::Ident("sum".into()),
+                TokKind::LParen,
+                TokKind::Ident("d".into()),
+                TokKind::RParen,
+                TokKind::LBrace,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn clause_words_are_identifiers() {
+        let k = kinds("acc update combine pre splat Float");
+        assert!(k.iter().take(6).all(|t| matches!(t, TokKind::Ident(_))));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokKind::Int(42));
+        assert_eq!(kinds("2.5")[0], TokKind::Float(2.5));
+        assert_eq!(kinds("3.4028235e38")[0], TokKind::Float(f32::MAX));
+        assert_eq!(kinds("1e-45")[0], TokKind::Float(1e-45));
+        // `1.` is an int followed by a dot (field access follows).
+        assert_eq!(
+            kinds("x._1")[..3],
+            [
+                TokKind::Ident("x".into()),
+                TokKind::Dot,
+                TokKind::Ident("_1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_punct() {
+        let k = kinds("=> == = :+ : -> <= && ||");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::FatArrow,
+                TokKind::EqEq,
+                TokKind::Assign,
+                TokKind::ColonPlus,
+                TokKind::Colon,
+                TokKind::ThinArrow,
+                TokKind::Le,
+                TokKind::AndAnd,
+                TokKind::OrOr,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("let x // trailing\nlet");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Kw("let"),
+                TokKind::Ident("x".into()),
+                TokKind::Kw("let"),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_chars_error_and_continue() {
+        let mut errs = Vec::new();
+        let toks = lex("let # x", &mut errs);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].code, crate::codes::INVALID_TOKEN);
+        assert_eq!(toks.len(), 3); // let, x, eof
+    }
+
+    #[test]
+    fn never_panics_on_arbitrary_bytes() {
+        let mut errs = Vec::new();
+        let _ = lex(
+            "\u{fffd}\u{1F600} @@@ 99999999999999999999 1e99999",
+            &mut errs,
+        );
+        assert!(!errs.is_empty());
+    }
+}

@@ -1,0 +1,1334 @@
+//! Recursive-descent parser with statement-level error recovery.
+//!
+//! The parser consumes the token stream of [`crate::lexer`] and produces
+//! the [`crate::ast`] parse tree. Errors never abort the whole parse:
+//! a failed statement records a diagnostic and the parser re-synchronizes
+//! at the next statement keyword (`let`, `yield`, `input`, `return`) or
+//! closing brace, so one bad line yields one diagnostic, not a cascade.
+//!
+//! Clause words (`acc`, `pre`, `update`, `combine`, `merge`, `key`,
+//! `splat`, `reuse`, `slice`, `copy`) and type names are contextual: they
+//! lex as identifiers and are matched by text where the grammar expects
+//! them, which keeps them usable as ordinary variable names.
+
+use pphw_ir::expr::{BinOp, UnOp};
+use pphw_ir::span::Span;
+use pphw_ir::types::DType;
+
+use crate::ast::{
+    Name, PAccDecl, PBody, PCombine, PDim, PExpr, PExprKind, PInput, PLit, PProgram, PRhs, PScalar,
+    PSize, PStmt, PType, PUpdate, PVvItem,
+};
+use crate::codes;
+use crate::lexer::{TokKind, Token};
+use crate::ParseError;
+
+/// Maximum expression/size/type nesting depth; deeper input is rejected
+/// with a diagnostic instead of overflowing the stack (fuzz inputs love
+/// `((((((…`).
+const MAX_DEPTH: u32 = 200;
+
+/// Parses a token stream into a program AST. Diagnostics accumulate in
+/// `errors`; `None` is returned only when the `program` header itself is
+/// unusable.
+pub fn parse(toks: &[Token], errors: &mut Vec<ParseError>) -> Option<PProgram> {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        errors,
+        depth: 0,
+    };
+    p.program()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    errors: &'a mut Vec<ParseError>,
+    depth: u32,
+}
+
+type PResult<T> = Result<T, ()>;
+
+impl Parser<'_> {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokKind {
+        &self.toks[(self.pos + off).min(self.toks.len() - 1)].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1).min(self.toks.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, k: &TokKind) -> bool {
+        self.peek() == k
+    }
+
+    fn eat(&mut self, k: &TokKind) -> bool {
+        if self.at(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_kw(&self, k: &str) -> bool {
+        matches!(self.peek(), TokKind::Kw(w) if *w == k)
+    }
+
+    fn eat_kw(&mut self, k: &str) -> bool {
+        if self.at_kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Contextual keyword: an identifier with exactly this text.
+    fn at_word(&self, w: &str) -> bool {
+        matches!(self.peek(), TokKind::Ident(s) if s == w)
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.at_word(w) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&mut self, code: &'static str, msg: impl Into<String>) {
+        self.errors
+            .push(ParseError::new(code, msg.into(), self.peek_span()));
+    }
+
+    fn unexpected(&mut self, what: &str) {
+        let got = self.peek().describe();
+        self.error(
+            codes::UNEXPECTED_TOKEN,
+            format!("expected {what}, found {got}"),
+        );
+    }
+
+    fn expect(&mut self, k: &TokKind, what: &str) -> PResult<Span> {
+        if self.at(k) {
+            Ok(self.bump().span)
+        } else {
+            self.unexpected(what);
+            Err(())
+        }
+    }
+
+    fn expect_kw(&mut self, k: &'static str) -> PResult<Span> {
+        self.expect(&TokKind::Kw(k), &format!("`{k}`"))
+    }
+
+    fn expect_word(&mut self, w: &str) -> PResult<Span> {
+        if self.at_word(w) {
+            Ok(self.bump().span)
+        } else {
+            self.unexpected(&format!("`{w}`"));
+            Err(())
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> PResult<Name> {
+        match self.peek() {
+            TokKind::Ident(s) => {
+                let text = s.clone();
+                let span = self.bump().span;
+                Ok(Name { text, span })
+            }
+            _ => {
+                self.unexpected(what);
+                Err(())
+            }
+        }
+    }
+
+    /// Skips ahead to the next statement boundary after an error.
+    fn sync(&mut self) {
+        // Always make progress so error recovery cannot loop.
+        if !matches!(self.peek(), TokKind::Eof) {
+            self.bump();
+        }
+        loop {
+            match self.peek() {
+                TokKind::Eof | TokKind::RBrace => return,
+                TokKind::Kw("let" | "yield" | "input" | "return") => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn with_depth<T>(&mut self, f: impl FnOnce(&mut Self) -> PResult<T>) -> PResult<T> {
+        if self.depth >= MAX_DEPTH {
+            self.error(codes::UNEXPECTED_TOKEN, "expression nesting too deep");
+            return Err(());
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
+    // ---- program structure ----
+
+    fn program(&mut self) -> Option<PProgram> {
+        self.expect_kw("program").ok()?;
+        let name = self.expect_ident("program name").ok()?;
+        self.expect(&TokKind::LParen, "`(`").ok()?;
+        let mut size_vars = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            while let Ok(n) = self.expect_ident("size variable") {
+                size_vars.push(n);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)`").ok()?;
+        self.expect(&TokKind::LBrace, "`{`").ok()?;
+
+        let mut inputs = Vec::new();
+        let mut stmts = Vec::new();
+        let mut returns = Vec::new();
+        let mut saw_return = false;
+        loop {
+            if self.at_kw("input") {
+                if let Ok(i) = self.input_decl() {
+                    inputs.push(i);
+                } else {
+                    self.sync();
+                }
+            } else if self.at_kw("let") {
+                if let Ok(s) = self.stmt() {
+                    stmts.push(s);
+                } else {
+                    self.sync();
+                }
+            } else if self.at_kw("return") {
+                self.bump();
+                if self.expect(&TokKind::LParen, "`(`").is_ok() {
+                    if !self.at(&TokKind::RParen) {
+                        while let Ok(n) = self.expect_ident("output name") {
+                            returns.push(n);
+                            if !self.eat(&TokKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let _ = self.expect(&TokKind::RParen, "`)`");
+                }
+                saw_return = true;
+                let _ = self.expect(&TokKind::RBrace, "`}`");
+                break;
+            } else if matches!(self.peek(), TokKind::RBrace | TokKind::Eof) {
+                self.error(
+                    codes::PROGRAM_STRUCTURE,
+                    "program body must end with `return (…)`",
+                );
+                break;
+            } else {
+                self.unexpected("`input`, `let`, or `return`");
+                self.sync();
+            }
+        }
+        if saw_return && !matches!(self.peek(), TokKind::Eof) {
+            self.error(codes::PROGRAM_STRUCTURE, "text after closing `}`");
+        }
+        Some(PProgram {
+            name,
+            size_vars,
+            inputs,
+            stmts,
+            returns,
+        })
+    }
+
+    fn input_decl(&mut self) -> PResult<PInput> {
+        let start = self.expect_kw("input")?;
+        let name = self.expect_ident("input name")?;
+        self.expect(&TokKind::Colon, "`:`")?;
+        let ty = self.ty()?;
+        Ok(PInput {
+            name,
+            ty,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    // ---- statements and bodies ----
+
+    fn stmt(&mut self) -> PResult<PStmt> {
+        let start = self.expect_kw("let")?;
+        let mut lhs = Vec::new();
+        if self.eat(&TokKind::LParen) {
+            if !self.at(&TokKind::RParen) {
+                loop {
+                    lhs.push(self.expect_ident("bound name")?);
+                    if !self.eat(&TokKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokKind::RParen, "`)`")?;
+        } else {
+            lhs.push(self.expect_ident("bound name")?);
+        }
+        self.expect(&TokKind::Assign, "`=`")?;
+        let rhs = self.rhs()?;
+        Ok(PStmt {
+            lhs,
+            rhs,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    /// A block body: `let` statements, then an optional `yield`.
+    fn body(&mut self) -> PBody {
+        let start = self.peek_span();
+        let mut stmts = Vec::new();
+        let mut yields = Vec::new();
+        loop {
+            if self.at_kw("let") {
+                match self.stmt() {
+                    Ok(s) => stmts.push(s),
+                    Err(()) => self.sync(),
+                }
+            } else if self.at_kw("yield") {
+                self.bump();
+                loop {
+                    match self.expr() {
+                        Ok(e) => yields.push(e),
+                        Err(()) => {
+                            self.sync();
+                            break;
+                        }
+                    }
+                    if !self.eat(&TokKind::Comma) {
+                        break;
+                    }
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        PBody {
+            stmts,
+            yields,
+            span: start.merge(self.prev_span()),
+        }
+    }
+
+    /// `{ body }`.
+    fn braced_body(&mut self) -> PResult<PBody> {
+        self.expect(&TokKind::LBrace, "`{`")?;
+        let b = self.body();
+        self.expect(&TokKind::RBrace, "`}`")?;
+        Ok(b)
+    }
+
+    fn rhs(&mut self) -> PResult<PRhs> {
+        match self.peek() {
+            TokKind::Kw("map") => self.map_rhs(),
+            TokKind::Kw("multiFold") => self.multifold_rhs(),
+            TokKind::Kw("fold") => self.fold_rhs(),
+            TokKind::Kw("flatMap") => self.flatmap_rhs(),
+            TokKind::Kw("groupByFold") => self.gbf_rhs(),
+            TokKind::LBracket => self.varvec_rhs(),
+            TokKind::Ident(_)
+                if self.peek_at(1) == &TokKind::Dot
+                    && matches!(self.peek_at(2), TokKind::Ident(w) if w == "slice" || w == "copy") =>
+            {
+                self.slicecopy_rhs()
+            }
+            _ => Ok(PRhs::Expr(self.expr()?)),
+        }
+    }
+
+    fn varvec_rhs(&mut self) -> PResult<PRhs> {
+        self.expect(&TokKind::LBracket, "`[`")?;
+        let mut items = Vec::new();
+        if !self.at(&TokKind::RBracket) {
+            loop {
+                let guard = if self.eat_kw("if") {
+                    self.expect(&TokKind::LParen, "`(`")?;
+                    let g = self.expr()?;
+                    self.expect(&TokKind::RParen, "`)`")?;
+                    Some(g)
+                } else {
+                    None
+                };
+                let value = self.expr()?;
+                items.push(PVvItem { guard, value });
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RBracket, "`]`")?;
+        Ok(PRhs::VarVec(items))
+    }
+
+    fn slicecopy_rhs(&mut self) -> PResult<PRhs> {
+        let tensor = self.expect_ident("tensor name")?;
+        self.expect(&TokKind::Dot, "`.`")?;
+        let is_copy = if self.eat_word("copy") {
+            true
+        } else {
+            self.expect_word("slice")?;
+            false
+        };
+        self.expect(&TokKind::LParen, "`(`")?;
+        let mut dims = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            loop {
+                dims.push(self.dim()?);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)`")?;
+        let mut reuse = 1u32;
+        if self.at_word("reuse") {
+            if !is_copy {
+                self.error(codes::UNEXPECTED_TOKEN, "`reuse` only applies to `copy`");
+                return Err(());
+            }
+            self.bump();
+            match self.peek() {
+                TokKind::Int(v) if *v > 0 && *v <= i64::from(u32::MAX) => {
+                    reuse = self.bump_int_as_u32();
+                }
+                _ => {
+                    self.unexpected("positive reuse factor");
+                    return Err(());
+                }
+            }
+        }
+        Ok(PRhs::SliceCopy {
+            tensor,
+            dims,
+            is_copy,
+            reuse,
+        })
+    }
+
+    fn bump_int_as_u32(&mut self) -> u32 {
+        match self.bump().kind {
+            TokKind::Int(v) => u32::try_from(v).unwrap_or(1),
+            _ => 1,
+        }
+    }
+
+    fn dim(&mut self) -> PResult<PDim> {
+        if self.eat(&TokKind::Star) {
+            return Ok(PDim::Full);
+        }
+        let start = self.expr()?;
+        if self.eat(&TokKind::ColonPlus) {
+            let len = self.size()?;
+            Ok(PDim::Window(start, len))
+        } else {
+            Ok(PDim::Point(start))
+        }
+    }
+
+    fn map_rhs(&mut self) -> PResult<PRhs> {
+        self.expect_kw("map")?;
+        let domain = self.paren_sizes(false)?;
+        self.expect(&TokKind::LBrace, "`{`")?;
+        let params = self.paren_idents("index parameter")?;
+        self.expect(&TokKind::FatArrow, "`=>`")?;
+        let body = self.body();
+        self.expect(&TokKind::RBrace, "`}`")?;
+        Ok(PRhs::Map {
+            domain,
+            params,
+            body,
+        })
+    }
+
+    fn multifold_rhs(&mut self) -> PResult<PRhs> {
+        self.expect_kw("multiFold")?;
+        let domain = self.paren_sizes(false)?;
+        self.expect(&TokKind::LBrace, "`{`")?;
+        let mut accs = Vec::new();
+        while self.at_word("acc") {
+            accs.push(self.acc_decl()?);
+        }
+        if accs.is_empty() {
+            self.error(
+                codes::UNEXPECTED_TOKEN,
+                "multiFold needs at least one `acc`",
+            );
+        }
+        let idx = self.paren_idents("index parameter")?;
+        self.expect(&TokKind::FatArrow, "`=>`")?;
+        let pre = self.opt_pre()?;
+        let mut updates = Vec::new();
+        while self.at_word("update") {
+            updates.push(self.update_clause(true)?);
+        }
+        let mut combines = Vec::new();
+        while self.at_word("combine") {
+            combines.push(self.combine_clause(true)?);
+        }
+        self.expect(&TokKind::RBrace, "`}`")?;
+        Ok(PRhs::MultiFold {
+            domain,
+            accs,
+            idx,
+            pre,
+            updates,
+            combines,
+        })
+    }
+
+    fn fold_rhs(&mut self) -> PResult<PRhs> {
+        self.expect_kw("fold")?;
+        let domain = self.paren_sizes(false)?;
+        self.expect(&TokKind::LBrace, "`{`")?;
+        let acc = self.acc_decl()?;
+        let idx = self.paren_idents("index parameter")?;
+        let param = {
+            self.expect(&TokKind::LParen, "`(`")?;
+            let p = self.expect_ident("accumulator parameter")?;
+            self.expect(&TokKind::RParen, "`)`")?;
+            p
+        };
+        self.expect(&TokKind::FatArrow, "`=>`")?;
+        let body = self.body();
+        self.expect_word("combine")?;
+        let combine = self.combine_lambda()?;
+        self.expect(&TokKind::RBrace, "`}`")?;
+        Ok(PRhs::Fold {
+            domain,
+            acc,
+            idx,
+            param,
+            body,
+            combine,
+        })
+    }
+
+    fn flatmap_rhs(&mut self) -> PResult<PRhs> {
+        self.expect_kw("flatMap")?;
+        self.expect(&TokKind::LParen, "`(`")?;
+        let domain = self.size()?;
+        self.expect(&TokKind::RParen, "`)`")?;
+        self.expect(&TokKind::LBrace, "`{`")?;
+        let params = self.paren_idents("index parameter")?;
+        if params.len() != 1 {
+            self.error(codes::ARITY, "flatMap takes exactly one index parameter");
+            return Err(());
+        }
+        self.expect(&TokKind::FatArrow, "`=>`")?;
+        let body = self.body();
+        self.expect(&TokKind::RBrace, "`}`")?;
+        let mut params = params;
+        let param = params.remove(0);
+        Ok(PRhs::FlatMap {
+            domain,
+            param,
+            body,
+        })
+    }
+
+    fn gbf_rhs(&mut self) -> PResult<PRhs> {
+        self.expect_kw("groupByFold")?;
+        self.expect(&TokKind::LParen, "`(`")?;
+        let domain = self.size()?;
+        self.expect(&TokKind::RParen, "`)`")?;
+        self.expect(&TokKind::LBrace, "`{`")?;
+        let acc = self.acc_decl()?;
+        let idx_list = self.paren_idents("index parameter")?;
+        if idx_list.len() != 1 {
+            self.error(
+                codes::ARITY,
+                "groupByFold takes exactly one index parameter",
+            );
+            return Err(());
+        }
+        let mut idx_list = idx_list;
+        let idx = idx_list.remove(0);
+        self.expect(&TokKind::FatArrow, "`=>`")?;
+        let pre = self.opt_pre()?;
+        let (element, merge) = if self.at_word("key") {
+            self.bump();
+            self.expect(&TokKind::Assign, "`=`")?;
+            let key = self.expr()?;
+            let update = self.update_clause(false)?;
+            (Some((key, update)), None)
+        } else if self.at_word("merge") {
+            self.bump();
+            let dict = self.expect_ident("dictionary name")?;
+            (None, Some(dict))
+        } else {
+            self.unexpected("`key = …` or `merge`");
+            return Err(());
+        };
+        self.expect_word("combine")?;
+        let combine = self.combine_lambda()?;
+        self.expect(&TokKind::RBrace, "`}`")?;
+        Ok(PRhs::GroupByFold {
+            domain,
+            acc,
+            idx,
+            pre,
+            element,
+            merge,
+            combine,
+        })
+    }
+
+    fn opt_pre(&mut self) -> PResult<Option<PBody>> {
+        if self.at_word("pre") {
+            self.bump();
+            Ok(Some(self.braced_body()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `acc name: <scalar>[shape] = splat(lits)`.
+    fn acc_decl(&mut self) -> PResult<PAccDecl> {
+        let start = self.expect_word("acc")?;
+        let name = self.expect_ident("accumulator name")?;
+        self.expect(&TokKind::Colon, "`:`")?;
+        let elem = self.scalar_ty()?;
+        let shape = if self.eat(&TokKind::LBracket) {
+            let s = self.size_list(&TokKind::RBracket)?;
+            self.expect(&TokKind::RBracket, "`]`")?;
+            s
+        } else {
+            Vec::new()
+        };
+        self.expect(&TokKind::Assign, "`=`")?;
+        self.expect_word("splat")?;
+        self.expect(&TokKind::LParen, "`(`")?;
+        let mut init = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            loop {
+                init.push(self.lit()?);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)`")?;
+        if init.is_empty() {
+            self.error(codes::ARITY, "splat needs at least one literal");
+        }
+        Ok(PAccDecl {
+            name,
+            elem,
+            shape,
+            init,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    /// A bare literal, as allowed in `splat(…)`: numbers (optionally
+    /// negative), booleans, `inf`, `-inf`, `nan`.
+    fn lit(&mut self) -> PResult<PLit> {
+        let neg = self.eat(&TokKind::Minus);
+        let lit = match self.peek().clone() {
+            TokKind::Int(v) => PLit::I32(if neg { -v } else { v }),
+            TokKind::Float(v) => PLit::F32(if neg { -v } else { v }),
+            TokKind::Kw("inf") => PLit::F32(if neg {
+                f32::NEG_INFINITY
+            } else {
+                f32::INFINITY
+            }),
+            TokKind::Kw("nan") if !neg => PLit::F32(f32::NAN),
+            TokKind::Kw("true") if !neg => PLit::Bool(true),
+            TokKind::Kw("false") if !neg => PLit::Bool(false),
+            _ => {
+                self.unexpected("literal");
+                return Err(());
+            }
+        };
+        self.bump();
+        Ok(lit)
+    }
+
+    /// `update [<acc>] @ (locs) [shape] (param) { body }`.
+    fn update_clause(&mut self, named: bool) -> PResult<PUpdate> {
+        let start = self.expect_word("update")?;
+        let acc = if named {
+            Some(self.expect_ident("accumulator name")?)
+        } else {
+            None
+        };
+        self.expect(&TokKind::At, "`@`")?;
+        self.expect(&TokKind::LParen, "`(`")?;
+        let mut locs = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            loop {
+                locs.push(self.expr()?);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)`")?;
+        self.expect(&TokKind::LBracket, "`[`")?;
+        let shape = self.size_list(&TokKind::RBracket)?;
+        self.expect(&TokKind::RBracket, "`]`")?;
+        self.expect(&TokKind::LParen, "`(`")?;
+        let param = self.expect_ident("region parameter")?;
+        self.expect(&TokKind::RParen, "`)`")?;
+        let body = self.braced_body()?;
+        Ok(PUpdate {
+            acc,
+            locs,
+            shape,
+            param,
+            body,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    /// `combine [<acc>] ( (a, b) { body } | _ )` — multiFold form.
+    fn combine_clause(&mut self, named: bool) -> PResult<PCombine> {
+        let start = self.expect_word("combine")?;
+        let acc = if named {
+            Some(self.expect_ident("accumulator name")?)
+        } else {
+            None
+        };
+        if self.at_word("_") {
+            self.bump();
+            return Ok(PCombine {
+                acc,
+                lambda: None,
+                span: start.merge(self.prev_span()),
+            });
+        }
+        let lambda = self.combine_lambda()?;
+        Ok(PCombine {
+            acc,
+            lambda: Some(lambda),
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    /// `(a, b) { body }` — the parameters and body of a combine.
+    fn combine_lambda(&mut self) -> PResult<(Name, Name, PBody)> {
+        self.expect(&TokKind::LParen, "`(`")?;
+        let a = self.expect_ident("combine parameter")?;
+        self.expect(&TokKind::Comma, "`,`")?;
+        let b = self.expect_ident("combine parameter")?;
+        self.expect(&TokKind::RParen, "`)`")?;
+        let body = self.braced_body()?;
+        Ok((a, b, body))
+    }
+
+    fn paren_idents(&mut self, what: &str) -> PResult<Vec<Name>> {
+        self.expect(&TokKind::LParen, "`(`")?;
+        let mut out = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            loop {
+                out.push(self.expect_ident(what)?);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)`")?;
+        Ok(out)
+    }
+
+    fn paren_sizes(&mut self, allow_empty: bool) -> PResult<Vec<PSize>> {
+        self.expect(&TokKind::LParen, "`(`")?;
+        let sizes = self.size_list(&TokKind::RParen)?;
+        self.expect(&TokKind::RParen, "`)`")?;
+        if sizes.is_empty() && !allow_empty {
+            self.error(codes::ARITY, "expected at least one size");
+        }
+        Ok(sizes)
+    }
+
+    fn size_list(&mut self, close: &TokKind) -> PResult<Vec<PSize>> {
+        let mut out = Vec::new();
+        if self.at(close) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.size()?);
+            if !self.eat(&TokKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- types ----
+
+    fn ty(&mut self) -> PResult<PType> {
+        self.with_depth(|p| {
+            if p.at_word("Dict") {
+                p.bump();
+                p.expect(&TokKind::LBracket, "`[`")?;
+                let key = p.scalar_ty()?;
+                p.expect(&TokKind::ThinArrow, "`->`")?;
+                let value = p.ty()?;
+                p.expect(&TokKind::RBracket, "`]`")?;
+                return Ok(PType::Dict(key, Box::new(value)));
+            }
+            let st = p.scalar_ty()?;
+            if p.eat(&TokKind::LBracket) {
+                if p.eat(&TokKind::Question) {
+                    p.expect(&TokKind::RBracket, "`]`")?;
+                    return Ok(PType::DynVec(st));
+                }
+                let shape = p.size_list(&TokKind::RBracket)?;
+                p.expect(&TokKind::RBracket, "`]`")?;
+                if shape.is_empty() {
+                    p.error(codes::ARITY, "tensor type needs at least one dimension");
+                }
+                Ok(PType::Tensor(st, shape))
+            } else {
+                Ok(PType::Scalar(st))
+            }
+        })
+    }
+
+    fn scalar_ty(&mut self) -> PResult<PScalar> {
+        if self.eat(&TokKind::LParen) {
+            let mut fields = vec![self.dtype()?];
+            while self.eat(&TokKind::Comma) {
+                fields.push(self.dtype()?);
+            }
+            self.expect(&TokKind::RParen, "`)`")?;
+            if fields.len() < 2 {
+                self.error(codes::ARITY, "tuple type needs at least two fields");
+            }
+            Ok(PScalar::Tuple(fields))
+        } else {
+            Ok(PScalar::Prim(self.dtype()?))
+        }
+    }
+
+    fn dtype(&mut self) -> PResult<DType> {
+        let d = match self.peek() {
+            TokKind::Ident(s) if s == "Float" => DType::F32,
+            TokKind::Ident(s) if s == "Int" => DType::I32,
+            TokKind::Ident(s) if s == "Bool" => DType::Bool,
+            _ => {
+                self.unexpected("type name (`Float`, `Int`, `Bool`)");
+                return Err(());
+            }
+        };
+        self.bump();
+        Ok(d)
+    }
+
+    // ---- sizes ----
+
+    fn size(&mut self) -> PResult<PSize> {
+        self.with_depth(|p| {
+            let mut left = p.size_term()?;
+            loop {
+                let op = match p.peek() {
+                    TokKind::Plus => '+',
+                    TokKind::Minus => '-',
+                    _ => break,
+                };
+                p.bump();
+                let right = p.size_term()?;
+                left = PSize::Bin(op, Box::new(left), Box::new(right));
+            }
+            Ok(left)
+        })
+    }
+
+    fn size_term(&mut self) -> PResult<PSize> {
+        let mut left = self.size_atom()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Star => '*',
+                TokKind::Slash => '/',
+                _ => break,
+            };
+            self.bump();
+            let right = self.size_atom()?;
+            left = PSize::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn size_atom(&mut self) -> PResult<PSize> {
+        match self.peek().clone() {
+            TokKind::Int(v) => {
+                self.bump();
+                Ok(PSize::Const(v))
+            }
+            TokKind::Ident(text) => {
+                let span = self.bump().span;
+                Ok(PSize::Var(Name { text, span }))
+            }
+            TokKind::LParen => {
+                self.bump();
+                let s = self.size()?;
+                self.expect(&TokKind::RParen, "`)`")?;
+                Ok(s)
+            }
+            _ => {
+                self.unexpected("size expression");
+                Err(())
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> PResult<PExpr> {
+        self.with_depth(Self::or_expr)
+    }
+
+    fn bin_chain(
+        &mut self,
+        next: impl Fn(&mut Self) -> PResult<PExpr>,
+        op_of: impl Fn(&TokKind) -> Option<BinOp>,
+    ) -> PResult<PExpr> {
+        let mut left = next(self)?;
+        while let Some(op) = op_of(self.peek()) {
+            self.bump();
+            let right = next(self)?;
+            let span = left.span.merge(right.span);
+            left = PExpr {
+                kind: PExprKind::Bin(op, Box::new(left), Box::new(right)),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn or_expr(&mut self) -> PResult<PExpr> {
+        self.bin_chain(Self::and_expr, |t| {
+            matches!(t, TokKind::OrOr).then_some(BinOp::Or)
+        })
+    }
+
+    fn and_expr(&mut self) -> PResult<PExpr> {
+        self.bin_chain(Self::cmp_expr, |t| {
+            matches!(t, TokKind::AndAnd).then_some(BinOp::And)
+        })
+    }
+
+    /// Comparison (non-associative).
+    fn cmp_expr(&mut self) -> PResult<PExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            TokKind::Lt => BinOp::Lt,
+            TokKind::Le => BinOp::Le,
+            TokKind::EqEq => BinOp::Eq,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.add_expr()?;
+        let span = left.span.merge(right.span);
+        Ok(PExpr {
+            kind: PExprKind::Bin(op, Box::new(left), Box::new(right)),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> PResult<PExpr> {
+        self.bin_chain(Self::mul_expr, |t| match t {
+            TokKind::Plus => Some(BinOp::Add),
+            TokKind::Minus => Some(BinOp::Sub),
+            _ => None,
+        })
+    }
+
+    fn mul_expr(&mut self) -> PResult<PExpr> {
+        self.bin_chain(Self::unary_expr, |t| match t {
+            TokKind::Star => Some(BinOp::Mul),
+            TokKind::Slash => Some(BinOp::Div),
+            TokKind::Percent => Some(BinOp::Rem),
+            _ => None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> PResult<PExpr> {
+        self.with_depth(|p| {
+            if p.at(&TokKind::Minus) {
+                // A leading `-` always denotes a negative literal;
+                // computational negation is spelled `neg(…)`.
+                let start = p.bump().span;
+                let lit = match p.peek().clone() {
+                    TokKind::Int(v) => PLit::I32(-v),
+                    TokKind::Float(v) => PLit::F32(-v),
+                    TokKind::Kw("inf") => PLit::F32(f32::NEG_INFINITY),
+                    _ => {
+                        p.error(
+                            codes::UNEXPECTED_TOKEN,
+                            "`-` must precede a numeric literal; use neg(…) for negation",
+                        );
+                        return Err(());
+                    }
+                };
+                let end = p.bump().span;
+                return Ok(PExpr {
+                    kind: PExprKind::Lit(lit),
+                    span: start.merge(end),
+                });
+            }
+            if p.at(&TokKind::Bang) {
+                let start = p.bump().span;
+                let inner = p.unary_expr()?;
+                let span = start.merge(inner.span);
+                return Ok(PExpr {
+                    kind: PExprKind::Un(UnOp::Not, Box::new(inner)),
+                    span,
+                });
+            }
+            p.postfix_expr()
+        })
+    }
+
+    fn postfix_expr(&mut self) -> PResult<PExpr> {
+        let mut e = self.primary_expr()?;
+        while self.at(&TokKind::Dot) {
+            self.bump();
+            let field = match self.peek() {
+                TokKind::Ident(s) if s.starts_with('_') && s[1..].parse::<usize>().is_ok() => {
+                    #[allow(clippy::unwrap_used)] // checked by the guard above
+                    s[1..].parse::<usize>().unwrap()
+                }
+                _ => {
+                    self.unexpected("tuple field (`_1`, `_2`, …)");
+                    return Err(());
+                }
+            };
+            let fspan = self.bump().span;
+            if field == 0 {
+                self.error(codes::BAD_LITERAL, "tuple fields are 1-based");
+                return Err(());
+            }
+            let span = e.span.merge(fspan);
+            e = PExpr {
+                kind: PExprKind::Field(Box::new(e), field - 1),
+                span,
+            };
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<PExpr>> {
+        self.expect(&TokKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn fixed_args(&mut self, n: usize, what: &str) -> PResult<Vec<PExpr>> {
+        let span = self.peek_span();
+        let args = self.call_args()?;
+        if args.len() != n {
+            self.errors.push(ParseError::new(
+                codes::ARITY,
+                format!("{what} takes {n} argument(s), got {}", args.len()),
+                span,
+            ));
+            return Err(());
+        }
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> PResult<PExpr> {
+        let start = self.peek_span();
+        let kind = match self.peek().clone() {
+            TokKind::Int(v) => {
+                self.bump();
+                PExprKind::Lit(PLit::I32(v))
+            }
+            TokKind::Float(v) => {
+                self.bump();
+                PExprKind::Lit(PLit::F32(v))
+            }
+            TokKind::Kw("true") => {
+                self.bump();
+                PExprKind::Lit(PLit::Bool(true))
+            }
+            TokKind::Kw("false") => {
+                self.bump();
+                PExprKind::Lit(PLit::Bool(false))
+            }
+            TokKind::Kw("inf") => {
+                self.bump();
+                PExprKind::Lit(PLit::F32(f32::INFINITY))
+            }
+            TokKind::Kw("nan") => {
+                self.bump();
+                PExprKind::Lit(PLit::F32(f32::NAN))
+            }
+            TokKind::Kw(k @ ("min" | "max")) => {
+                self.bump();
+                let mut args = self.fixed_args(2, k)?;
+                let b = Box::new(args.remove(1));
+                let a = Box::new(args.remove(0));
+                let op = if k == "min" { BinOp::Min } else { BinOp::Max };
+                PExprKind::Bin(op, a, b)
+            }
+            TokKind::Kw(
+                k @ ("sqrt" | "ln" | "exp" | "abs" | "square" | "float" | "int" | "neg"),
+            ) => {
+                self.bump();
+                let mut args = self.fixed_args(1, k)?;
+                let a = Box::new(args.remove(0));
+                let op = match k {
+                    "sqrt" => UnOp::Sqrt,
+                    "ln" => UnOp::Ln,
+                    "exp" => UnOp::Exp,
+                    "abs" => UnOp::Abs,
+                    "square" => UnOp::Square,
+                    "float" => UnOp::ToF32,
+                    "int" => UnOp::ToI32,
+                    _ => UnOp::Neg,
+                };
+                PExprKind::Un(op, a)
+            }
+            TokKind::Kw("tuple") => {
+                self.bump();
+                PExprKind::Tuple(self.call_args()?)
+            }
+            TokKind::Kw("size") => {
+                self.bump();
+                self.expect(&TokKind::LParen, "`(`")?;
+                let s = self.size()?;
+                self.expect(&TokKind::RParen, "`)`")?;
+                PExprKind::SizeOf(s)
+            }
+            TokKind::Kw("if") => return self.select_expr(),
+            TokKind::LParen => {
+                self.bump();
+                let first = self.expr()?;
+                if self.eat(&TokKind::Comma) {
+                    let mut items = vec![first];
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&TokKind::Comma) {
+                            break;
+                        }
+                    }
+                    let end = self.expect(&TokKind::RParen, "`)`")?;
+                    return Ok(PExpr {
+                        kind: PExprKind::Tuple(items),
+                        span: start.merge(end),
+                    });
+                }
+                let end = self.expect(&TokKind::RParen, "`)`")?;
+                // Plain grouping: same node, widened span.
+                return Ok(PExpr {
+                    kind: first.kind,
+                    span: start.merge(end),
+                });
+            }
+            TokKind::Ident(text) => {
+                let span = self.bump().span;
+                let name = Name { text, span };
+                if self.at(&TokKind::LParen) {
+                    PExprKind::Read(name, self.call_args()?)
+                } else {
+                    PExprKind::Var(name)
+                }
+            }
+            _ => {
+                self.unexpected("expression");
+                return Err(());
+            }
+        };
+        Ok(PExpr {
+            kind,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    /// `if (cond) then else else_` — a conditional value.
+    fn select_expr(&mut self) -> PResult<PExpr> {
+        let start = self.expect_kw("if")?;
+        self.expect(&TokKind::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&TokKind::RParen, "`)`")?;
+        let t = self.expr()?;
+        self.expect_kw("else")?;
+        let f = self.expr()?;
+        let span = start.merge(f.span);
+        Ok(PExpr {
+            kind: PExprKind::Select(Box::new(cond), Box::new(t), Box::new(f)),
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> PProgram {
+        let mut errs = Vec::new();
+        let toks = lex(src, &mut errs);
+        let ast = parse(&toks, &mut errs);
+        assert!(errs.is_empty(), "unexpected errors: {errs:?}\nin:\n{src}");
+        ast.expect("program should parse")
+    }
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_ok("program p(d) {\n  input x: Float[d]\n  return (x)\n}\n");
+        assert_eq!(p.name.text, "p");
+        assert_eq!(p.size_vars.len(), 1);
+        assert_eq!(p.inputs.len(), 1);
+        assert_eq!(p.returns[0].text, "x");
+    }
+
+    #[test]
+    fn parses_map_with_expr_body() {
+        let p = parse_ok(
+            "program m(d) { input x: Float[d]\n let y = map(d) { (i) =>\n  let v = (2.0 * x(i))\n  yield v\n }\n return (y) }",
+        );
+        match &p.stmts[0].rhs {
+            PRhs::Map {
+                domain,
+                params,
+                body,
+            } => {
+                assert_eq!(domain.len(), 1);
+                assert_eq!(params[0].text, "i");
+                assert_eq!(body.stmts.len(), 1);
+                assert_eq!(body.yields.len(), 1);
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multifold_clauses() {
+        let p = parse_ok(
+            "program s(d) { input x: Float[d]\n let s = multiFold(d) {\n  acc s: Float = splat(0.0)\n  (i) =>\n  update s @ () [] (acc) {\n    let u = (acc + x(i))\n    yield u\n  }\n  combine s (a, b) {\n    let c = (a + b)\n    yield c\n  }\n }\n return (s) }",
+        );
+        match &p.stmts[0].rhs {
+            PRhs::MultiFold {
+                accs,
+                updates,
+                combines,
+                ..
+            } => {
+                assert_eq!(accs.len(), 1);
+                assert_eq!(updates.len(), 1);
+                assert_eq!(combines.len(), 1);
+                assert!(combines[0].lambda.is_some());
+            }
+            other => panic!("expected multiFold, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovers_from_bad_statement() {
+        let mut errs = Vec::new();
+        let toks = lex(
+            "program p(d) { input x: Float[d]\n let y = ???\n let z = x(0)\n return (z) }",
+            &mut errs,
+        );
+        let ast = parse(&toks, &mut errs).expect("recovers");
+        assert!(!errs.is_empty());
+        // The good statement after the bad one still parses.
+        assert_eq!(ast.stmts.len(), 1);
+        assert_eq!(ast.stmts[0].lhs[0].text, "z");
+    }
+
+    #[test]
+    fn negative_literal_only_before_numbers() {
+        let mut errs = Vec::new();
+        let toks = lex("program p() { let y = -x return (y) }", &mut errs);
+        let _ = parse(&toks, &mut errs);
+        assert!(errs.iter().any(|e| e.message.contains("neg(")));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let mut src = String::from("program p() { let y = ");
+        for _ in 0..5000 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..5000 {
+            src.push(')');
+        }
+        src.push_str(" return (y) }");
+        let mut errs = Vec::new();
+        let toks = lex(&src, &mut errs);
+        let _ = parse(&toks, &mut errs);
+        assert!(errs.iter().any(|e| e.message.contains("too deep")));
+    }
+
+    #[test]
+    fn parses_slice_copy_and_varvec() {
+        let p = parse_ok(
+            "program p(n, b) { input x: Float[n]\n let t = x.copy(0 :+ b) reuse 2\n let s = x.slice(*)\n let v = [if ((0.0 < x(0))) x(0), 1.0]\n return (t) }",
+        );
+        match &p.stmts[0].rhs {
+            PRhs::SliceCopy {
+                is_copy,
+                reuse,
+                dims,
+                ..
+            } => {
+                assert!(*is_copy);
+                assert_eq!(*reuse, 2);
+                assert_eq!(dims.len(), 1);
+            }
+            other => panic!("expected copy, got {other:?}"),
+        }
+        assert!(matches!(
+            &p.stmts[1].rhs,
+            PRhs::SliceCopy { is_copy: false, .. }
+        ));
+        match &p.stmts[2].rhs {
+            PRhs::VarVec(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(items[0].guard.is_some());
+                assert!(items[1].guard.is_none());
+            }
+            other => panic!("expected varvec, got {other:?}"),
+        }
+    }
+}

@@ -528,10 +528,12 @@ impl<'a> Ctx<'a> {
     }
 }
 
-fn region_type(shape: &[Size], elem: &ScalarType) -> Type {
-    // Leading unit dimensions are squeezed so a (1, d) region binds as a
-    // d-vector and an all-unit region binds as a scalar, matching the
-    // paper's informal update notation.
+/// The type a region of the given shape binds as: leading unit dimensions
+/// are squeezed so a `(1, d)` region binds as a `d`-vector and an all-unit
+/// (or empty) region binds as a scalar, matching the paper's informal
+/// update notation. The textual frontend uses the same rule when typing
+/// accumulator parameters and `multiFold` outputs.
+pub fn region_type(shape: &[Size], elem: &ScalarType) -> Type {
     let squeezed: Vec<Size> = shape
         .iter()
         .skip_while(|s| s.as_const() == Some(1))

@@ -40,7 +40,9 @@ impl fmt::Display for TypeError {
 impl std::error::Error for TypeError {}
 
 /// A [`TypeError`] located at a human-readable IR path, so consumers can
-/// point at `kmeans/sums[2]/pre` instead of a bare symbol id.
+/// point at `kmeans/sums[2]/pre` instead of a bare symbol id. Programs that
+/// originate from `.ppl` text additionally carry the byte span of the
+/// offending source, letting frontends render `file:line:col` diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypeErrorAt {
     /// Rendered [`IrPath`](crate::path::IrPath) of the block the expression
@@ -48,6 +50,18 @@ pub struct TypeErrorAt {
     pub path: String,
     /// The underlying inference error.
     pub error: TypeError,
+    /// Source span, when the expression came from parsed text (`None` for
+    /// builder-constructed programs).
+    pub span: Option<crate::span::Span>,
+}
+
+impl TypeErrorAt {
+    /// Attaches a source span (builder programs leave it `None`).
+    #[must_use]
+    pub fn with_span(mut self, span: crate::span::Span) -> TypeErrorAt {
+        self.span = Some(span);
+        self
+    }
 }
 
 impl fmt::Display for TypeErrorAt {
@@ -75,6 +89,7 @@ pub fn infer_scalar_type_at(
     infer_scalar_type(expr, syms).map_err(|error| TypeErrorAt {
         path: path.to_string(),
         error,
+        span: None,
     })
 }
 

@@ -31,6 +31,7 @@
 pub mod access;
 pub mod block;
 pub mod builder;
+pub mod equiv;
 pub mod expr;
 pub mod infer;
 pub mod interp;
@@ -39,9 +40,11 @@ pub mod pattern;
 pub mod pretty;
 pub mod program;
 pub mod size;
+pub mod span;
 pub mod types;
 
 pub use block::{Block, CopyOp, GuardedItem, Op, SliceDim, SliceOp, Stmt};
+pub use equiv::{structural_diff, structural_eq};
 pub use expr::{BinOp, Expr, Lit, UnOp};
 pub use path::IrPath;
 pub use pattern::{
@@ -50,4 +53,5 @@ pub use pattern::{
 };
 pub use program::{Program, ValidateError};
 pub use size::{Size, SizeEnv};
+pub use span::{SourceMap, Span};
 pub use types::{DType, ScalarType, Sym, SymTable, Type};

@@ -343,6 +343,503 @@ impl<'a> Printer<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Faithful emitter: canonical `.ppl` surface syntax
+// ---------------------------------------------------------------------------
+
+/// Reserved words of the textual PPL surface syntax. The frontend lexer
+/// treats these as keywords; the emitter renames any symbol whose base name
+/// collides with one. Kept here (next to the emitter) so lexer and emitter
+/// cannot drift apart.
+///
+/// Clause words that only occur in unambiguous positions (`acc`, `pre`,
+/// `update`, `combine`, `merge`, `key`, `splat`, `reuse`, `slice`, `copy`,
+/// and the type names) are *contextual*: the parser matches them by text
+/// where the grammar expects them, and they remain usable as ordinary
+/// identifiers — builder programs routinely name symbols `acc` or `key`.
+pub const KEYWORDS: &[&str] = &[
+    "program",
+    "input",
+    "let",
+    "return",
+    "yield",
+    "map",
+    "multiFold",
+    "fold",
+    "flatMap",
+    "groupByFold",
+    "if",
+    "else",
+    "true",
+    "false",
+    "inf",
+    "nan",
+    "min",
+    "max",
+    "sqrt",
+    "ln",
+    "exp",
+    "abs",
+    "square",
+    "float",
+    "int",
+    "neg",
+    "tuple",
+    "size",
+];
+
+/// Returns `true` if `s` is a reserved word of the surface syntax.
+#[must_use]
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Emits the program in the canonical textual PPL surface syntax accepted
+/// by the `pphw-frontend` parser.
+///
+/// Unlike [`print_program`] (a human-oriented rendering in the paper's
+/// notation), this output is *faithful*: parsing it back yields a program
+/// structurally equal to `prog` (see [`crate::equiv`]), and re-emitting the
+/// parsed program reproduces the text byte-for-byte. Symbols are given
+/// globally unique identifier names derived from their base names, so the
+/// text carries no symbol ids.
+#[must_use]
+pub fn emit_program(prog: &Program) -> String {
+    let mut e = Emitter {
+        syms: &prog.syms,
+        out: String::new(),
+        indent: 0,
+        names: std::collections::HashMap::new(),
+        used: std::collections::HashSet::new(),
+    };
+    let _ = writeln!(
+        e.out,
+        "program {}({}) {{",
+        sanitize_ident(&prog.name),
+        prog.size_vars.join(", ")
+    );
+    e.indent = 1;
+    for &i in &prog.inputs {
+        let n = e.bind_name(i);
+        let t = ty_text(prog.syms.ty(i));
+        e.line(&format!("input {n}: {t}"));
+    }
+    for stmt in &prog.body.stmts {
+        e.stmt(stmt);
+    }
+    let rs: Vec<String> = prog.body.result.iter().map(|s| e.name(*s)).collect();
+    e.line(&format!("return ({})", rs.join(", ")));
+    e.out.push_str("}\n");
+    e.out
+}
+
+/// Forces `raw` into a non-keyword identifier shape.
+fn sanitize_ident(raw: &str) -> String {
+    let mut base: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if base.is_empty() || base.starts_with(|c: char| c.is_ascii_digit()) {
+        base.insert(0, 'v');
+    }
+    if is_keyword(&base) {
+        base.push('_');
+    }
+    base
+}
+
+fn dtype_text(d: crate::types::DType) -> &'static str {
+    match d {
+        crate::types::DType::F32 => "Float",
+        crate::types::DType::I32 => "Int",
+        crate::types::DType::Bool => "Bool",
+    }
+}
+
+fn scalar_ty_text(st: &crate::types::ScalarType) -> String {
+    match st {
+        crate::types::ScalarType::Prim(d) => dtype_text(*d).to_string(),
+        crate::types::ScalarType::Tuple(fs) => {
+            let parts: Vec<&str> = fs.iter().map(|d| dtype_text(*d)).collect();
+            format!("({})", parts.join(", "))
+        }
+    }
+}
+
+fn ty_text(ty: &crate::types::Type) -> String {
+    use crate::types::Type;
+    match ty {
+        Type::Scalar(s) => scalar_ty_text(s),
+        Type::Tensor { elem, shape } => {
+            format!("{}[{}]", scalar_ty_text(elem), sizes_text(shape))
+        }
+        Type::DynVec { elem } => format!("{}[?]", scalar_ty_text(elem)),
+        Type::Dict { key, value } => {
+            format!("Dict[{} -> {}]", scalar_ty_text(key), ty_text(value))
+        }
+    }
+}
+
+/// Size expressions with every compound form parenthesized, so the parse
+/// reproduces the structure exactly (the `Display` impl elides parentheses
+/// around `*` and `/`, which is ambiguous).
+fn size_text(s: &crate::size::Size) -> String {
+    use crate::size::Size;
+    match s {
+        Size::Const(c) => c.to_string(),
+        Size::Var(v) => v.clone(),
+        Size::Add(a, b) => format!("({} + {})", size_text(a), size_text(b)),
+        Size::Sub(a, b) => format!("({} - {})", size_text(a), size_text(b)),
+        Size::Mul(a, b) => format!("({} * {})", size_text(a), size_text(b)),
+        Size::Div(a, b) => format!("({} / {})", size_text(a), size_text(b)),
+    }
+}
+
+fn sizes_text(sizes: &[crate::size::Size]) -> String {
+    sizes.iter().map(size_text).collect::<Vec<_>>().join(", ")
+}
+
+/// Literals in re-parseable form: floats use the shortest round-trip
+/// representation (always with `.` or an exponent), non-finite values the
+/// `inf` / `-inf` / `nan` keywords.
+fn lit_text(l: &crate::expr::Lit) -> String {
+    use crate::expr::Lit;
+    match l {
+        Lit::F32(v) => {
+            if v.is_nan() {
+                "nan".to_string()
+            } else if *v == f32::INFINITY {
+                "inf".to_string()
+            } else if *v == f32::NEG_INFINITY {
+                "-inf".to_string()
+            } else {
+                format!("{v:?}")
+            }
+        }
+        Lit::I32(v) => v.to_string(),
+        Lit::Bool(v) => v.to_string(),
+    }
+}
+
+struct Emitter<'a> {
+    syms: &'a SymTable,
+    out: String,
+    indent: usize,
+    names: std::collections::HashMap<Sym, String>,
+    used: std::collections::HashSet<String>,
+}
+
+impl Emitter<'_> {
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        self.pad();
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// Assigns (on first call) a globally unique identifier for `s`.
+    fn bind_name(&mut self, s: Sym) -> String {
+        if let Some(n) = self.names.get(&s) {
+            return n.clone();
+        }
+        let base = sanitize_ident(&self.syms.info(s).name);
+        let mut candidate = base.clone();
+        let mut k = 1;
+        while self.used.contains(&candidate) {
+            k += 1;
+            candidate = format!("{base}_{k}");
+        }
+        self.used.insert(candidate.clone());
+        self.names.insert(s, candidate.clone());
+        candidate
+    }
+
+    /// The already-assigned name of `s` (uses always follow bindings in
+    /// emission order; the fallback covers invalid programs only).
+    fn name(&self, s: Sym) -> String {
+        self.names
+            .get(&s)
+            .cloned()
+            .unwrap_or_else(|| format!("v{}", s.0))
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        let names: Vec<String> = stmt.syms.iter().map(|s| self.bind_name(*s)).collect();
+        let lhs = if names.len() == 1 {
+            names[0].clone()
+        } else {
+            format!("({})", names.join(", "))
+        };
+        match &stmt.op {
+            Op::Expr(e) => {
+                let t = self.expr_text(e);
+                self.line(&format!("let {lhs} = {t}"));
+            }
+            Op::Slice(s) => {
+                let dims = self.dims_text(&s.dims);
+                self.line(&format!(
+                    "let {lhs} = {}.slice({dims})",
+                    self.name(s.tensor)
+                ));
+            }
+            Op::Copy(c) => {
+                let dims = self.dims_text(&c.dims);
+                let reuse = if c.reuse == 1 {
+                    String::new()
+                } else {
+                    format!(" reuse {}", c.reuse)
+                };
+                self.line(&format!(
+                    "let {lhs} = {}.copy({dims}){reuse}",
+                    self.name(c.tensor)
+                ));
+            }
+            Op::VarVec(items) => {
+                let parts: Vec<String> = items
+                    .iter()
+                    .map(|it| match &it.guard {
+                        Some(g) => {
+                            format!("if ({}) {}", self.expr_text(g), self.expr_text(&it.value))
+                        }
+                        None => self.expr_text(&it.value),
+                    })
+                    .collect();
+                self.line(&format!("let {lhs} = [{}]", parts.join(", ")));
+            }
+            Op::Pattern(p) => self.emit_pattern(&lhs, p),
+        }
+    }
+
+    /// Statements of a nested block followed by its `yield` (when the block
+    /// has results), between braces the caller emits.
+    fn body_block(&mut self, b: &Block) {
+        self.indent += 1;
+        for stmt in &b.stmts {
+            self.stmt(stmt);
+        }
+        if !b.result.is_empty() {
+            let rs: Vec<String> = b.result.iter().map(|s| self.name(*s)).collect();
+            self.line(&format!("yield {}", rs.join(", ")));
+        }
+        self.indent -= 1;
+    }
+
+    fn acc_decl(&mut self, a: &crate::pattern::AccDef) -> String {
+        let ty = if a.shape.is_empty() {
+            scalar_ty_text(&a.elem)
+        } else {
+            format!("{}[{}]", scalar_ty_text(&a.elem), sizes_text(&a.shape))
+        };
+        let lits: Vec<String> = a.init.splat.iter().map(lit_text).collect();
+        format!(
+            "acc {}: {} = splat({})",
+            sanitize_ident(&a.name),
+            ty,
+            lits.join(", ")
+        )
+    }
+
+    fn emit_pattern(&mut self, lhs: &str, p: &Pattern) {
+        match p {
+            Pattern::Map(m) => {
+                let params: Vec<String> =
+                    m.body.params.iter().map(|s| self.bind_name(*s)).collect();
+                self.line(&format!(
+                    "let {lhs} = map({}) {{ ({}) =>",
+                    sizes_text(&m.domain),
+                    params.join(", ")
+                ));
+                self.body_block(&m.body.body);
+                self.line("}");
+            }
+            Pattern::MultiFold(mf) => {
+                self.line(&format!(
+                    "let {lhs} = multiFold({}) {{",
+                    sizes_text(&mf.domain)
+                ));
+                self.indent += 1;
+                let acc_names: Vec<String> =
+                    mf.accs.iter().map(|a| sanitize_ident(&a.name)).collect();
+                for a in &mf.accs {
+                    let decl = self.acc_decl(a);
+                    self.line(&decl);
+                }
+                let idx: Vec<String> = mf.idx.iter().map(|s| self.bind_name(*s)).collect();
+                self.line(&format!("({}) =>", idx.join(", ")));
+                if !mf.pre.stmts.is_empty() || !mf.pre.result.is_empty() {
+                    self.line("pre {");
+                    self.body_block(&mf.pre);
+                    self.line("}");
+                }
+                for (k, u) in mf.updates.iter().enumerate() {
+                    let locs: Vec<String> = u.loc.iter().map(|e| self.expr_text(e)).collect();
+                    let param = self.bind_name(u.acc_param);
+                    let acc = acc_names.get(k).cloned().unwrap_or_else(|| "_".into());
+                    self.line(&format!(
+                        "update {acc} @ ({}) [{}] ({param}) {{",
+                        locs.join(", "),
+                        sizes_text(&u.shape)
+                    ));
+                    self.body_block(&u.body);
+                    self.line("}");
+                }
+                for (k, c) in mf.combines.iter().enumerate() {
+                    let acc = acc_names.get(k).cloned().unwrap_or_else(|| "_".into());
+                    match c {
+                        Some(l) => {
+                            let params: Vec<String> =
+                                l.params.iter().map(|s| self.bind_name(*s)).collect();
+                            self.line(&format!("combine {acc} ({}) {{", params.join(", ")));
+                            self.body_block(&l.body);
+                            self.line("}");
+                        }
+                        None => self.line(&format!("combine {acc} _")),
+                    }
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Pattern::FlatMap(fm) => {
+                let params: Vec<String> =
+                    fm.body.params.iter().map(|s| self.bind_name(*s)).collect();
+                self.line(&format!(
+                    "let {lhs} = flatMap({}) {{ ({}) =>",
+                    size_text(&fm.domain),
+                    params.join(", ")
+                ));
+                self.body_block(&fm.body.body);
+                self.line("}");
+            }
+            Pattern::GroupByFold(g) => {
+                self.line(&format!(
+                    "let {lhs} = groupByFold({}) {{",
+                    size_text(&g.domain)
+                ));
+                self.indent += 1;
+                let decl = self.acc_decl(&g.acc);
+                self.line(&decl);
+                let idx = self.bind_name(g.idx);
+                self.line(&format!("({idx}) =>"));
+                if !g.pre.stmts.is_empty() || !g.pre.result.is_empty() {
+                    self.line("pre {");
+                    self.body_block(&g.pre);
+                    self.line("}");
+                }
+                match &g.body {
+                    GbfBody::Element { key, update } => {
+                        let k = self.expr_text(key);
+                        self.line(&format!("key = {k}"));
+                        let locs: Vec<String> =
+                            update.loc.iter().map(|e| self.expr_text(e)).collect();
+                        let param = self.bind_name(update.acc_param);
+                        self.line(&format!(
+                            "update @ ({}) [{}] ({param}) {{",
+                            locs.join(", "),
+                            sizes_text(&update.shape)
+                        ));
+                        self.body_block(&update.body);
+                        self.line("}");
+                    }
+                    GbfBody::Merge { dict } => {
+                        self.line(&format!("merge {}", self.name(*dict)));
+                    }
+                }
+                let params: Vec<String> = g
+                    .combine
+                    .params
+                    .iter()
+                    .map(|s| self.bind_name(*s))
+                    .collect();
+                self.line(&format!("combine ({}) {{", params.join(", ")));
+                self.body_block(&g.combine.body);
+                self.line("}");
+                self.indent -= 1;
+                self.line("}");
+            }
+        }
+    }
+
+    fn dims_text(&self, dims: &[SliceDim]) -> String {
+        dims.iter()
+            .map(|d| match d {
+                SliceDim::Point(e) => self.expr_text(e),
+                SliceDim::Window { start, len } => {
+                    format!("{} :+ {}", self.expr_text(start), size_text(len))
+                }
+                SliceDim::Full => "*".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Canonical expression text: binaries fully parenthesized, `min`/`max`
+    /// as functions, `Select` as a parenthesized `if`, negation via `neg()`
+    /// (a bare `-` always denotes a negative literal in the grammar).
+    fn expr_text(&self, e: &Expr) -> String {
+        match e {
+            Expr::Lit(l) => lit_text(l),
+            Expr::Var(s) => self.name(*s),
+            Expr::SizeOf(s) => format!("size({})", size_text(s)),
+            Expr::Un(op, a) => {
+                let a = self.expr_text(a);
+                match op {
+                    UnOp::Neg => format!("neg({a})"),
+                    UnOp::Not => format!("(!{a})"),
+                    UnOp::Sqrt => format!("sqrt({a})"),
+                    UnOp::Ln => format!("ln({a})"),
+                    UnOp::Exp => format!("exp({a})"),
+                    UnOp::Abs => format!("abs({a})"),
+                    UnOp::Square => format!("square({a})"),
+                    UnOp::ToF32 => format!("float({a})"),
+                    UnOp::ToI32 => format!("int({a})"),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.expr_text(a), self.expr_text(b));
+                match op {
+                    BinOp::Min => format!("min({a}, {b})"),
+                    BinOp::Max => format!("max({a}, {b})"),
+                    _ => format!("({a} {} {b})", op.symbol()),
+                }
+            }
+            Expr::Select {
+                cond,
+                if_true,
+                if_false,
+            } => format!(
+                "(if ({}) {} else {})",
+                self.expr_text(cond),
+                self.expr_text(if_true),
+                self.expr_text(if_false)
+            ),
+            Expr::Tuple(es) => {
+                let parts: Vec<String> = es.iter().map(|e| self.expr_text(e)).collect();
+                if es.len() >= 2 {
+                    format!("({})", parts.join(", "))
+                } else {
+                    format!("tuple({})", parts.join(", "))
+                }
+            }
+            Expr::Field(a, i) => format!("{}._{}", self.expr_text(a), i + 1),
+            Expr::Read { tensor, index } => {
+                let idx: Vec<String> = index.iter().map(|e| self.expr_text(e)).collect();
+                format!("{}({})", self.name(*tensor), idx.join(", "))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,5 +902,101 @@ mod tests {
         );
         let annotated = print_program_with_paths(&prog);
         assert!(annotated.contains("// at sum/sum[0]"), "got:\n{annotated}");
+    }
+
+    #[test]
+    fn emit_is_canonical_surface_syntax() {
+        let mut b = ProgramBuilder::new("sum");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let out = b.fold(
+            "sum",
+            vec![d],
+            vec![],
+            crate::types::ScalarType::Prim(DType::F32),
+            crate::pattern::Init::zeros(),
+            |c, i, acc| c.add(c.var(acc), c.read(x, vec![c.var(i[0])])),
+            |c, a, b2| c.add(c.var(a), c.var(b2)),
+        );
+        let prog = b.finish(vec![out]);
+        let text = emit_program(&prog);
+        assert!(text.starts_with("program sum(d) {\n"), "got:\n{text}");
+        assert!(text.contains("input x: Float[d]"), "got:\n{text}");
+        assert!(text.contains("multiFold(d) {"), "got:\n{text}");
+        assert!(text.contains("acc sum: Float = splat(0.0)"), "got:\n{text}");
+        assert!(text.contains("update sum @ () [] (acc) {"), "got:\n{text}");
+        assert!(text.contains("combine sum (a, b) {"), "got:\n{text}");
+        assert!(text.contains("yield"), "got:\n{text}");
+        assert!(text.trim_end().ends_with('}'), "got:\n{text}");
+        // No symbol ids leak into the canonical text.
+        assert!(!text.contains("x_0"), "got:\n{text}");
+    }
+
+    #[test]
+    fn emit_uniquifies_repeated_base_names() {
+        // Two nested folds both mint `acc`, `a`, `b`, `upd`, `comb` bases.
+        let mut b = ProgramBuilder::new("two");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        let mk = |b: &mut ProgramBuilder, d: &crate::size::Size, x: Sym, name: &str| {
+            b.fold(
+                name,
+                vec![d.clone()],
+                vec![],
+                crate::types::ScalarType::Prim(DType::F32),
+                crate::pattern::Init::zeros(),
+                |c, i, acc| c.add(c.var(acc), c.read(x, vec![c.var(i[0])])),
+                |c, a, b2| c.add(c.var(a), c.var(b2)),
+            )
+        };
+        let s1 = mk(&mut b, &d, x, "s1");
+        let s2 = mk(&mut b, &d, x, "s2");
+        let prog = b.finish(vec![s1, s2]);
+        let text = emit_program(&prog);
+        assert!(
+            text.contains("(acc_2)"),
+            "second acc param renamed:\n{text}"
+        );
+        assert!(
+            text.contains("(a_2, b_2)"),
+            "combine params renamed:\n{text}"
+        );
+    }
+
+    #[test]
+    fn emit_handles_special_floats_and_keyword_names() {
+        let mut b = ProgramBuilder::new("arg");
+        let d = b.size("d");
+        let x = b.input("x", DType::F32, vec![d.clone()]);
+        // `map` is both a keyword and the builder's output base name.
+        let out = b.map(vec![d], |c, idx| {
+            c.select(
+                c.lt(c.read(x, vec![c.var(idx[0])]), c.f32(f32::MAX)),
+                c.f32(f32::INFINITY),
+                c.f32(f32::NEG_INFINITY),
+            )
+        });
+        let prog = b.finish(vec![out]);
+        let text = emit_program(&prog);
+        assert!(
+            text.contains("3.4028235e38"),
+            "f32::MAX round-trips:\n{text}"
+        );
+        assert!(text.contains("inf"), "got:\n{text}");
+        assert!(text.contains("-inf"), "got:\n{text}");
+        assert!(!text.contains("let map ="), "keyword renamed:\n{text}");
+        assert!(text.contains("let map_ ="), "got:\n{text}");
+    }
+
+    #[test]
+    fn keyword_table_is_consistent() {
+        assert!(is_keyword("multiFold"));
+        // Clause words and type names are contextual, not reserved.
+        assert!(!is_keyword("Float"));
+        assert!(!is_keyword("acc"));
+        assert!(!is_keyword("sums"));
+        assert_eq!(sanitize_ident("map"), "map_");
+        assert_eq!(sanitize_ident("9lives"), "v9lives");
+        assert_eq!(sanitize_ident("a-b"), "a_b");
     }
 }

@@ -161,6 +161,24 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A resolved source location for a diagnostic: the byte span plus its
+/// precomputed 1-based line/column, so consumers can render
+/// `file:line:col` without re-scanning the source. Only present on
+/// diagnostics whose program came from parsed `.ppl` text (see
+/// [`VerifyReport::attach_spans`]); builder-constructed programs locate
+/// findings by path alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagSpan {
+    /// Byte offset of the first character in the source.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based column of `start`.
+    pub col: usize,
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -172,6 +190,8 @@ pub struct Diagnostic {
     pub path: String,
     /// What went wrong, in terms of the node at `path`.
     pub message: String,
+    /// Source location, when the program was parsed from text.
+    pub span: Option<DiagSpan>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -223,6 +243,10 @@ impl VerifyConfig {
 pub struct VerifyReport {
     /// All findings, in traversal order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Display name of the source file the spans index into (set by
+    /// [`attach_spans`](VerifyReport::attach_spans); `None` for builder
+    /// programs).
+    pub file: Option<String>,
 }
 
 impl VerifyReport {
@@ -263,6 +287,28 @@ impl VerifyReport {
     /// Appends all of `other`'s findings.
     pub fn merge(&mut self, other: VerifyReport) {
         self.diagnostics.extend(other.diagnostics);
+        if self.file.is_none() {
+            self.file = other.file;
+        }
+    }
+
+    /// Resolves source locations for every diagnostic whose path (or an
+    /// ancestor of it) is recorded in `map`, using `src` to compute
+    /// line/column. Call this after verifying a program parsed from text;
+    /// builder programs have no map, so their reports stay span-free.
+    pub fn attach_spans(&mut self, map: &pphw_ir::span::SourceMap, src: &str) {
+        self.file = Some(map.file.clone());
+        for d in &mut self.diagnostics {
+            if let Some(span) = map.lookup(&d.path) {
+                let (line, col) = pphw_ir::span::line_col(src, span.start);
+                d.span = Some(DiagSpan {
+                    start: span.start,
+                    end: span.end,
+                    line,
+                    col,
+                });
+            }
+        }
     }
 
     pub(crate) fn push(
@@ -277,6 +323,7 @@ impl VerifyReport {
             severity,
             path: path.to_string(),
             message: message.into(),
+            span: None,
         });
     }
 
@@ -286,29 +333,43 @@ impl VerifyReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"error_count\":");
         out.push_str(&self.error_count().to_string());
+        if let Some(file) = &self.file {
+            out.push_str(&format!(",\"file\":\"{}\"", escape_json(file)));
+        }
         out.push_str(",\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"code\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"message\":\"{}\"}}",
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"message\":\"{}\"",
                 d.code.code(),
                 d.severity,
                 escape_json(&d.path),
                 escape_json(&d.message)
             ));
+            if let Some(s) = &d.span {
+                out.push_str(&format!(
+                    ",\"span\":{{\"start\":{},\"end\":{},\"line\":{},\"col\":{}}}",
+                    s.start, s.end, s.line, s.col
+                ));
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
     }
 
-    /// One line per finding (empty string when clean).
+    /// One line per finding (empty string when clean). Findings with a
+    /// resolved source location are prefixed `file:line:col: `.
     #[must_use]
     pub fn to_text(&self) -> String {
         self.diagnostics
             .iter()
-            .map(|d| format!("{d}\n"))
+            .map(|d| match (&self.file, &d.span) {
+                (Some(file), Some(s)) => format!("{file}:{}:{}: {d}\n", s.line, s.col),
+                _ => format!("{d}\n"),
+            })
             .collect::<String>()
     }
 }
@@ -380,6 +441,31 @@ mod tests {
         assert!(json.starts_with("{\"error_count\":1,"), "{json}");
         assert!(json.contains("\\\"quote\\\""), "{json}");
         assert!(json.contains("PPHW001"), "{json}");
+    }
+
+    #[test]
+    fn attach_spans_resolves_locations() {
+        let src = "program p(n) {\n  let x = 1\n}\n";
+        let mut map = pphw_ir::span::SourceMap::new("t.ppl");
+        map.record("p/x[0]", pphw_ir::span::Span::new(17, 26));
+        let mut r = VerifyReport::new();
+        r.push(DiagCode::UnboundSym, Severity::Error, "p/x[0]/body", "m");
+        r.push(DiagCode::Rebound, Severity::Error, "q/z[9]", "m");
+        r.attach_spans(&map, src);
+        assert_eq!(r.file.as_deref(), Some("t.ppl"));
+        // First diagnostic resolves via ancestor fallback; second has no
+        // recorded path and stays span-free.
+        let s = r.diagnostics[0].span.expect("resolved");
+        assert_eq!((s.line, s.col), (2, 3));
+        assert_eq!(r.diagnostics[1].span, None);
+        let text = r.to_text();
+        assert!(text.starts_with("t.ppl:2:3: error [PPHW001]"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"file\":\"t.ppl\""), "{json}");
+        assert!(
+            json.contains("\"span\":{\"start\":17,\"end\":26,\"line\":2,\"col\":3}"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Corpus equivalence: every checked-in `examples/*.ppl` parses to a
+//! program structurally equal to its builder twin, and the parsed program
+//! joins the differential harness — the text path earns the same
+//! end-to-end guarantees (golden model, tiling, simulated design) as the
+//! builder path.
+
+use std::path::PathBuf;
+
+use pphw_apps::all_benchmarks;
+use pphw_frontend::parse_program;
+use pphw_ir::equiv::structural_diff;
+use pphw_ir::program::Program;
+use pphw_testkit::differential::{run_differential, DiffCase, DiffOptions};
+
+/// One small sweep case per benchmark, enough to push the parsed program
+/// through all three semantics without repeating the full tier-1 sweep.
+fn small_case(name: &str) -> DiffCase {
+    match name {
+        "outerprod" => DiffCase::new(&[("m", 32), ("n", 32)], &[("m", 8), ("n", 8)], 711),
+        "sumrows" => DiffCase::new(&[("m", 16), ("n", 64)], &[("m", 4), ("n", 64)], 721),
+        "gemm" => DiffCase::new(
+            &[("m", 16), ("n", 16), ("p", 16)],
+            &[("m", 4), ("n", 4), ("p", 4)],
+            731,
+        ),
+        "tpchq6" => DiffCase::new(&[("n", 256)], &[("n", 32)], 741),
+        "gda" => DiffCase::new(&[("n", 64), ("d", 8)], &[("n", 16)], 751),
+        "kmeans" => DiffCase::new(
+            &[("n", 64), ("k", 4), ("d", 4)],
+            &[("n", 16), ("k", 2)],
+            761,
+        ),
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+/// Reads and parses the checked-in `.ppl` twin of a benchmark.
+fn parse_corpus_file(name: &str) -> Program {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(format!("{name}.ppl"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    match parse_program(&src, &format!("examples/{name}.ppl")) {
+        Ok(out) => out.program,
+        Err(errs) => {
+            let rendered: Vec<String> = errs
+                .iter()
+                .map(|e| e.render(&src, &format!("examples/{name}.ppl")))
+                .collect();
+            panic!("{name}.ppl failed to parse:\n{}", rendered.join("\n"));
+        }
+    }
+}
+
+#[test]
+fn corpus_files_match_builder_twins() {
+    let mut checked = 0;
+    for spec in all_benchmarks() {
+        let parsed = parse_corpus_file(spec.name);
+        if let Some(diff) = structural_diff(&(spec.program)(), &parsed) {
+            panic!(
+                "examples/{}.ppl is not structurally equal to its builder twin: {diff}",
+                spec.name
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 6, "expected all six benchmarks to have .ppl twins");
+}
+
+#[test]
+fn parsed_corpus_passes_differential_harness() {
+    for spec in all_benchmarks() {
+        let parsed = parse_corpus_file(spec.name);
+        let report = run_differential(
+            spec.name,
+            &parsed,
+            &spec.inputs,
+            Some(&spec.golden),
+            &[small_case(spec.name)],
+            &DiffOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: parsed program failed differential: {e}", spec.name));
+        assert_eq!(report.cases.len(), 1);
+        assert!(report.cases[0].levels.iter().all(|l| l.cycles > 0));
+    }
+}

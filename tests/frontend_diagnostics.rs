@@ -1,0 +1,136 @@
+//! Golden diagnostics: every `tests/corpus/bad/*.ppl` must render its
+//! expected `file:line:col` + code output exactly (the `.expected` file
+//! next to it). Files that parse cleanly are pushed through the static
+//! verifier at `inner_par = 4` with spans attached, so the corpus also
+//! pins the span-threaded `PPHW0xx` rendering.
+//!
+//! Regenerate the expectations with `PPHW_UPDATE_GOLDEN=1 cargo test
+//! --test frontend_diagnostics` after inspecting the new output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pphw_frontend::parse_program;
+use pphw_verify::{verify_program, VerifyConfig};
+
+/// Renders all diagnostics for one corpus file: parse errors when it does
+/// not parse, otherwise the span-attached verify report.
+fn render(path: &Path) -> String {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    // Render under the repo-relative path so expectations are stable
+    // across checkouts.
+    let rel = format!(
+        "tests/corpus/bad/{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+    );
+    match parse_program(&src, &rel) {
+        Err(errs) => {
+            assert!(!errs.is_empty(), "{rel}: error case with no errors");
+            errs.iter()
+                .map(|e| e.render(&src, &rel))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        Ok(out) => {
+            let cfg = VerifyConfig {
+                inner_par: 4,
+                ..VerifyConfig::default()
+            };
+            let mut report = verify_program(&out.program, &cfg);
+            report.attach_spans(&out.source_map, &src);
+            assert!(
+                report.error_count() > 0,
+                "{rel}: parses and verifies clean — not a bad-corpus file"
+            );
+            report.to_text()
+        }
+    }
+}
+
+#[test]
+fn bad_corpus_diagnostics_are_golden() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/bad");
+    let update = std::env::var_os("PPHW_UPDATE_GOLDEN").is_some();
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {dir:?}: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ppl"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 6,
+        "bad corpus shrank to {} files",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    for ppl in &files {
+        let got = render(ppl);
+        let expected_path = ppl.with_extension("expected");
+        if update {
+            fs::write(&expected_path, format!("{}\n", got.trim_end()))
+                .unwrap_or_else(|e| panic!("write {expected_path:?}: {e}"));
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("missing golden {expected_path:?}: {e}"));
+        if got.trim_end() != want.trim_end() {
+            failures.push(format!(
+                "== {}\n-- expected --\n{}\n-- got --\n{}",
+                ppl.display(),
+                want.trim_end(),
+                got.trim_end()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden diagnostics diverged:\n{}",
+        failures.join("\n\n")
+    );
+}
+
+/// Every frontend diagnostic in the goldens carries a `file:line:col`
+/// prefix and a stable code — the machine-checkable shape downstream
+/// tooling keys on.
+#[test]
+fn golden_diagnostics_carry_spans_and_codes() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/bad");
+    let mut seen_codes = std::collections::BTreeSet::new();
+    for entry in fs::read_dir(&dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}")) {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "expected") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        for line in text.lines() {
+            if let Some(idx) = line.find("error") {
+                let prefix = &line[..idx];
+                assert!(
+                    prefix.contains("tests/corpus/bad/") && prefix.matches(':').count() >= 3,
+                    "{path:?}: diagnostic lacks file:line:col prefix: {line}"
+                );
+                if let Some(code) = line[idx..]
+                    .split(['[', ']'])
+                    .nth(1)
+                    .filter(|c| c.starts_with("PP"))
+                {
+                    seen_codes.insert(code.to_string());
+                }
+            }
+        }
+    }
+    // The corpus must cover both frontend (PPLP) and verifier (PPHW)
+    // code spaces.
+    assert!(
+        seen_codes.iter().any(|c| c.starts_with("PPLP")),
+        "no PPLP codes in goldens: {seen_codes:?}"
+    );
+    assert!(
+        seen_codes.iter().any(|c| c.starts_with("PPHW")),
+        "no PPHW codes in goldens: {seen_codes:?}"
+    );
+    assert!(
+        seen_codes.len() >= 6,
+        "golden corpus covers too few codes: {seen_codes:?}"
+    );
+}

@@ -1,0 +1,58 @@
+//! Round-trip property: `parse(pretty(p))` is structurally equal to `p`.
+//!
+//! Covers every builder benchmark plus a seeded family of random IR
+//! programs, and additionally checks that pretty-printing the re-parsed
+//! program is byte-identical to the first print (emitter idempotence).
+
+use pphw_frontend::{arbitrary::random_program, parse_program};
+use pphw_ir::equiv::structural_diff;
+use pphw_ir::pretty::emit_program;
+use pphw_ir::program::Program;
+use pphw_testkit::prop::Check;
+
+/// Checks the full round trip for one program.
+fn check_round_trip(p: &Program, label: &str) -> Result<(), String> {
+    let text = emit_program(p);
+    let out = match parse_program(&text, &format!("{label}.ppl")) {
+        Ok(out) => out,
+        Err(errs) => {
+            let rendered: Vec<String> = errs.iter().map(|e| e.render(&text, "emitted")).collect();
+            return Err(format!(
+                "{label}: emitted text failed to parse:\n{}\n--- source ---\n{text}",
+                rendered.join("\n")
+            ));
+        }
+    };
+    if let Some(diff) = structural_diff(p, &out.program) {
+        return Err(format!(
+            "{label}: round trip not structurally equal: {diff}\n--- source ---\n{text}"
+        ));
+    }
+    let second = emit_program(&out.program);
+    if text != second {
+        return Err(format!(
+            "{label}: second pretty-print is not byte-identical\n--- first ---\n{text}\n--- second ---\n{second}"
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn benchmarks_round_trip() {
+    for spec in pphw_apps::all_benchmarks() {
+        if let Err(msg) = check_round_trip(&(spec.program)(), spec.name) {
+            panic!("{msg}");
+        }
+    }
+}
+
+#[test]
+fn random_programs_round_trip() {
+    Check::new("frontend_roundtrip_random").cases(64).run(
+        |rng| rng.next_u64(),
+        |seed| {
+            let p = random_program(*seed);
+            check_round_trip(&p, &format!("rand_seed_{seed}"))
+        },
+    );
+}
