@@ -67,6 +67,83 @@ echo "== frontend fuzz smoke (parser never panics; quick seeded pass)"
 PPHW_PROP_SEED=0xF0F0F0F0 PPHW_PROP_CASES=64 \
   cargo test -q --offline --test frontend_fuzz
 
+echo "== serve smoke (daemon on ephemeral port, mixed batch, clean shutdown)"
+rm -f target/serve-addr.txt
+cargo build --release --offline -p pphw-server --bin serve
+./target/release/serve --addr 127.0.0.1:0 --print-addr > target/serve-addr.txt &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" target/serve-addr.txt 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^listening on //p' target/serve-addr.txt)
+[ -n "$SERVE_ADDR" ] || { echo "serve smoke: daemon never reported its address"; kill "$SERVE_PID"; exit 1; }
+python3 - "$SERVE_ADDR" <<'EOF'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=30)
+rfile = sock.makefile("r", encoding="utf-8")
+
+def call(obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+    return json.loads(rfile.readline())
+
+# compile
+r = call({"id": 1, "method": "compile", "bench": "gemm",
+          "sizes": {"m": 16, "n": 16, "p": 16}, "tiles": {"m": 8, "n": 8}, "inner_par": 4})
+assert r["ok"] and r["result"]["on_chip_bytes"] > 0, r
+
+# verify with spanned diagnostics (bad source must be a typed EPPL error)
+r = call({"id": 2, "method": "verify", "source": "prog nope {"})
+assert not r["ok"] and r["error"]["code"] == "EPPL", r
+assert r["error"]["diagnostics"][0]["span"]["line"] == 1, r
+
+# simulate
+r = call({"id": 3, "method": "simulate", "bench": "sumrows", "sizes": {"m": 16, "n": 16}})
+assert r["ok"] and r["result"]["cycles"] > 0, r
+
+# duplicate in-flight pair: pipeline two identical requests in one write,
+# then read both — the dedup counter must see the pair.
+dup = json.dumps({"id": 4, "method": "simulate", "bench": "outerprod",
+                  "sizes": {"m": 8, "n": 8}, "inner_par": 2})
+sock.sendall((dup + "\n" + dup + "\n").encode())
+a, b = json.loads(rfile.readline()), json.loads(rfile.readline())
+assert a == b and a["ok"], (a, b)
+
+# over-budget request degrades to the typed budget error
+r = call({"id": 5, "method": "simulate", "bench": "sumrows",
+          "sizes": {"m": 16, "n": 16}, "cycle_budget": 1})
+assert not r["ok"] and r["error"]["code"] == "EBUDGET", r
+
+stats = call({"id": 6, "method": "stats"})
+assert stats["ok"] and stats["result"]["dedup_hits"] >= 1, stats
+
+bye = call({"id": 7, "method": "shutdown"})
+assert bye["ok"] and bye["result"]["shutting_down"], bye
+print(f"serve smoke OK: {stats['result']}")
+EOF
+wait "$SERVE_PID" || { echo "serve smoke: daemon exited non-zero"; exit 1; }
+
+echo "== serve load harness (cold/warm phases, warm compile-free, dedup > 0)"
+rm -f BENCH_serve.json
+cargo run --release --offline -p pphw-bench --bin loadgen -- --quick
+python3 - <<'EOF'
+import json
+with open("BENCH_serve.json") as f:
+    report = json.load(f)
+phases = {p["phase"]: p for p in report["phases"]}
+for p in phases.values():
+    assert p["throughput_rps"] > 0, p
+    lat = p["latency_us"]
+    assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"], lat
+assert phases["warm"]["design_builds"] == 0, f"warm phase recompiled: {phases['warm']}"
+assert report["dedup_hits"] > 0, f"dedup never fired: {report}"
+print(f"loadgen OK: cold {phases['cold']['throughput_rps']} rps -> "
+      f"warm {phases['warm']['throughput_rps']} rps, "
+      f"{report['dedup_hits']} dedup hits, 0 warm compiles")
+EOF
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,339 @@
+//! Load harness for the compilation-as-a-service daemon: fires a mixed
+//! workload (ping / compile / verify / simulate / source programs /
+//! duplicate hot requests / a small DSE) from concurrent clients and
+//! reports throughput, latency percentiles, and the daemon's cache and
+//! deduplication counters.
+//!
+//! Usage:
+//! `cargo run --release -p pphw-bench --bin loadgen [--addr HOST:PORT]
+//!  [--clients N] [--requests N] [--quick] [--out PATH]`
+//!
+//! - `--addr HOST:PORT`  target a running daemon; without it, an
+//!   in-process daemon is spun up on an ephemeral port (and shut down —
+//!   with its final counters harvested — when the run ends)
+//! - `--clients N`       concurrent client connections (default 4)
+//! - `--requests N`      requests per client per phase (default 40)
+//! - `--quick`           CI-sized run: 2 clients × 20 requests
+//! - `--out PATH`        report path (default `BENCH_serve.json`)
+//!
+//! The workload runs twice: a **cold** phase against empty caches and a
+//! **warm** phase repeating the same request population. The warm phase
+//! must compile *nothing* (`warm.design_builds == 0`) — that delta is the
+//! whole point of a serving daemon — and the duplicate hot requests must
+//! show up in the dedup counter. Both are asserted, so a cache regression
+//! fails the bench rather than quietly inflating latency.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pphw_apps::all_benchmarks;
+use pphw_dse::cache::EvalCache;
+use pphw_ir::pretty::emit_program;
+use pphw_server::json::{escape, parse_json, Json};
+use pphw_server::{Client, Limits, Server, Service};
+
+struct Args {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        clients: 4,
+        requests: 40,
+        quick: false,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--addr" => args.addr = Some(val("--addr")),
+            "--clients" => args.clients = val("--clients").parse().expect("--clients N"),
+            "--requests" => args.requests = val("--requests").parse().expect("--requests N"),
+            "--quick" => args.quick = true,
+            "--out" => args.out = val("--out"),
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    if args.quick {
+        args.clients = args.clients.min(2);
+        args.requests = args.requests.min(20);
+    }
+    args
+}
+
+/// The request population: one line per (client, index) pair, identical
+/// across phases so the warm phase replays exactly the cold population.
+fn request_line(client: usize, i: usize, sources: &[(String, String)]) -> String {
+    let id = client * 10_000 + i;
+    let benches = ["sumrows", "outerprod", "gemm"];
+    let bench = benches[(client + i) % benches.len()];
+    // Two size variants per benchmark keep the design population small
+    // enough that the warm phase provably re-visits every config.
+    let scale = if i.is_multiple_of(2) { 8 } else { 16 };
+    match i % 10 {
+        0 => format!("{{\"id\":{id},\"method\":\"ping\"}}"),
+        1 | 2 => format!(
+            "{{\"id\":{id},\"method\":\"simulate\",\"bench\":{},\"sizes\":{{\"m\":{scale},\"n\":{scale},\"p\":{scale}}},\"tiles\":{{\"m\":4,\"n\":4}},\"inner_par\":4}}",
+            escape(bench)
+        ),
+        3 => format!(
+            "{{\"id\":{id},\"method\":\"compile\",\"bench\":{},\"sizes\":{{\"m\":{scale},\"n\":{scale},\"p\":{scale}}},\"tiles\":{{\"m\":4,\"n\":4}},\"inner_par\":4}}",
+            escape(bench)
+        ),
+        4 => format!(
+            "{{\"id\":{id},\"method\":\"verify\",\"bench\":{}}}",
+            escape(bench)
+        ),
+        5 => {
+            let (_, src) = &sources[(client + i) % sources.len()];
+            format!("{{\"id\":{id},\"method\":\"verify\",\"source\":{}}}", escape(src))
+        }
+        6 => {
+            let (_, src) = &sources[(client + i) % sources.len()];
+            format!(
+                "{{\"id\":{id},\"method\":\"simulate\",\"source\":{},\"sizes\":{{\"m\":8,\"n\":8}},\"inner_par\":4}}",
+                escape(src)
+            )
+        }
+        7 => format!(
+            "{{\"id\":{id},\"method\":\"simulate\",\"bench\":\"tpchq6\",\"sizes\":{{\"n\":{}}},\"tiles\":{{\"n\":16}},\"inner_par\":4}}",
+            scale * 4
+        ),
+        // The hot request: identical for every client and index, so
+        // concurrent arrivals pile onto one evaluation (the dedup
+        // counter must see these).
+        8 => format!(
+            "{{\"id\":{id},\"method\":\"simulate\",\"bench\":\"sumrows\",\"sizes\":{{\"m\":8,\"n\":8}},\"inner_par\":2}}"
+        ),
+        _ => format!(
+            "{{\"id\":{id},\"method\":\"dse\",\"bench\":\"sumrows\",\"sizes\":{{\"m\":16,\"n\":16}},\
+             \"tile_candidates\":{{\"m\":[4,8]}},\"inner_pars\":[4]}}"
+        ),
+    }
+}
+
+/// One phase: every client replays its slice of the population over its
+/// own connection, lock-step, timing each request. Returns all latencies
+/// in microseconds plus the phase wall time in seconds.
+fn run_phase(
+    addr: &std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    sources: &[(String, String)],
+) -> (Vec<u64>, f64) {
+    let t0 = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+                    let mut lats = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let line = request_line(c, i, sources);
+                        let t = Instant::now();
+                        let resp = client
+                            .call(&line)
+                            .unwrap_or_else(|e| panic!("client {c} request {i}: {e}"));
+                        let micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        lats.push(micros);
+                        let v = parse_json(&resp)
+                            .unwrap_or_else(|e| panic!("client {c} bad response: {e}"));
+                        assert_eq!(
+                            v.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "client {c} request {i} failed: {resp}"
+                        );
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    (
+        latencies.into_iter().flatten().collect(),
+        t0.elapsed().as_secs_f64(),
+    )
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Daemon counters relevant to the report, fetched via `stats`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    requests: u64,
+    dedup_hits: u64,
+    dedup_builds: u64,
+    design_builds: u64,
+    design_reuses: u64,
+    eval_hits: u64,
+    eval_misses: u64,
+}
+
+fn fetch_counters(addr: &std::net::SocketAddr) -> Counters {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+    let resp = client
+        .call("{\"id\":\"stats\",\"method\":\"stats\"}")
+        .unwrap_or_else(|e| panic!("stats: {e}"));
+    let v = parse_json(&resp).unwrap_or_else(|e| panic!("stats response: {e}"));
+    let field = |name: &str| {
+        v.get("result")
+            .and_then(|r| r.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {name}: {resp}"))
+    };
+    Counters {
+        requests: field("requests"),
+        dedup_hits: field("dedup_hits"),
+        dedup_builds: field("dedup_builds"),
+        design_builds: field("design_builds"),
+        design_reuses: field("design_reuses"),
+        eval_hits: field("eval_hits"),
+        eval_misses: field("eval_misses"),
+    }
+}
+
+struct Phase {
+    name: &'static str,
+    secs: f64,
+    lats: Vec<u64>,
+    delta: Counters,
+}
+
+impl Phase {
+    fn to_json(&self, requests: usize) -> String {
+        let mut sorted = self.lats.clone();
+        sorted.sort_unstable();
+        let throughput = requests as f64 / self.secs.max(1e-9);
+        format!(
+            "    {{\"phase\":\"{}\",\"requests\":{requests},\"secs\":{:.4},\
+             \"throughput_rps\":{throughput:.1},\"latency_us\":{{\"p50\":{},\"p95\":{},\
+             \"p99\":{},\"max\":{}}},\"dedup_hits\":{},\"dedup_builds\":{},\
+             \"design_builds\":{},\"design_reuses\":{},\"eval_hits\":{},\"eval_misses\":{}}}",
+            self.name,
+            self.secs,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.95),
+            percentile(&sorted, 0.99),
+            sorted.last().copied().unwrap_or(0),
+            self.delta.dedup_hits,
+            self.delta.dedup_builds,
+            self.delta.design_builds,
+            self.delta.design_reuses,
+            self.delta.eval_hits,
+            self.delta.eval_misses,
+        )
+    }
+}
+
+fn delta(after: Counters, before: Counters) -> Counters {
+    Counters {
+        requests: after.requests - before.requests,
+        dedup_hits: after.dedup_hits - before.dedup_hits,
+        dedup_builds: after.dedup_builds - before.dedup_builds,
+        design_builds: after.design_builds - before.design_builds,
+        design_reuses: after.design_reuses - before.design_reuses,
+        eval_hits: after.eval_hits - before.eval_hits,
+        eval_misses: after.eval_misses - before.eval_misses,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Source-program payloads: the canonical text of two builder
+    // benchmarks, exercising the frontend path under load.
+    let sources: Vec<(String, String)> = all_benchmarks()
+        .into_iter()
+        .filter(|s| matches!(s.name, "sumrows" | "outerprod"))
+        .map(|s| (s.name.to_string(), emit_program(&(s.program)())))
+        .collect();
+
+    // Target: an external daemon (`--addr`) or an in-process one.
+    let mut in_process = None;
+    let addr = match &args.addr {
+        Some(a) => a.parse().unwrap_or_else(|e| panic!("--addr {a}: {e}")),
+        None => {
+            let service = Arc::new(Service::new(Limits::default(), 2, EvalCache::new()));
+            let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 4)
+                .unwrap_or_else(|e| panic!("bind: {e}"));
+            let addr = server.local_addr().expect("local_addr");
+            in_process = Some(std::thread::spawn(move || server.run().expect("serve")));
+            addr
+        }
+    };
+
+    let per_phase = args.clients * args.requests;
+    let base = fetch_counters(&addr);
+    let (cold_lats, cold_secs) = run_phase(&addr, args.clients, args.requests, &sources);
+    let mid = fetch_counters(&addr);
+    let (warm_lats, warm_secs) = run_phase(&addr, args.clients, args.requests, &sources);
+    let end = fetch_counters(&addr);
+
+    let cold = Phase {
+        name: "cold",
+        secs: cold_secs,
+        lats: cold_lats,
+        delta: delta(mid, base),
+    };
+    let warm = Phase {
+        name: "warm",
+        secs: warm_secs,
+        lats: warm_lats,
+        delta: delta(end, mid),
+    };
+
+    // The two guarantees the daemon exists for, asserted.
+    assert_eq!(
+        warm.delta.design_builds, 0,
+        "warm phase recompiled designs: every config was already served in the cold phase"
+    );
+    assert!(
+        end.dedup_hits > 0,
+        "no request was ever answered from the response memo — dedup is broken"
+    );
+
+    if let Some(handle) = in_process {
+        let mut client = Client::connect(&addr).expect("connect for shutdown");
+        client
+            .call("{\"id\":\"bye\",\"method\":\"shutdown\"}")
+            .expect("shutdown");
+        handle.join().expect("server thread");
+    }
+
+    let json = format!(
+        "{{\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"quick\": {},\n  \
+         \"target\": \"{}\",\n  \"phases\": [\n{},\n{}\n  ],\n  \
+         \"total_requests\": {},\n  \"dedup_hits\": {},\n  \
+         \"warm_design_builds\": {},\n  \"warm_speedup\": {:.2}\n}}",
+        args.clients,
+        args.requests,
+        args.quick,
+        args.addr.as_deref().unwrap_or("in-process"),
+        cold.to_json(per_phase),
+        warm.to_json(per_phase),
+        end.requests,
+        end.dedup_hits,
+        warm.delta.design_builds,
+        cold_secs / warm_secs.max(1e-9),
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("{json}");
+    println!("wrote {}", args.out);
+}

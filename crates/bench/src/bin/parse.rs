@@ -6,6 +6,10 @@
 //!       [--sizes k=v,...] [--seed N]
 //!   cargo run -p pphw-bench --bin parse -- --emit <bench>
 //!
+//! `<file.ppl>` may be `-` to read the program from stdin (diagnostics
+//! then cite `<stdin>`), so the tool composes in pipelines:
+//! `parse --emit gemm | parse - --json`.
+//!
 //! `--emit` prints the canonical text of a named builder benchmark (the
 //! exact form `examples/*.ppl` is generated from). Otherwise the file is
 //! parsed; parse diagnostics render as `file:line:col` caret snippets (or
@@ -178,11 +182,21 @@ fn main() {
     }
 
     let Some(file) = &args.file else { usage() };
-    let src = match std::fs::read_to_string(file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("parse: cannot read {file}: {e}");
+    // `-` reads the program from stdin; diagnostics cite `<stdin>`.
+    let (file, src) = if file == "-" {
+        let mut src = String::new();
+        if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut src) {
+            eprintln!("parse: cannot read stdin: {e}");
             std::process::exit(2);
+        }
+        ("<stdin>", src)
+    } else {
+        match std::fs::read_to_string(file) {
+            Ok(s) => (file.as_str(), s),
+            Err(e) => {
+                eprintln!("parse: cannot read {file}: {e}");
+                std::process::exit(2);
+            }
         }
     };
 

@@ -227,7 +227,9 @@ impl EvalCache {
     }
 
     /// Serializes every persistable entry to `path`, atomically (written
-    /// to a sibling temp file, then renamed). [`EvalOutcome::Failed`]
+    /// to a uniquely-named sibling temp file, then renamed — safe under
+    /// concurrent savers: readers always see a complete image, and the
+    /// last completed save wins). [`EvalOutcome::Failed`]
     /// entries are skipped: a later sweep should retry a failure, not
     /// replay it. The format is the versioned, checksummed layout
     /// documented on [`CacheFileError`].
@@ -254,9 +256,22 @@ impl EvalCache {
             bytes.extend_from_slice(payload);
             bytes.extend_from_slice(&entry_checksum(*key, payload).to_le_bytes());
         }
-        let tmp = path.with_extension("tmp");
+        // The temp name must be unique per save: concurrent savers (e.g.
+        // two daemons pointed at the same cache file, or a sweep racing a
+        // server shutdown) sharing one `.tmp` path would truncate each
+        // other mid-write and one rename would publish a torn file. With
+        // unique names each rename atomically publishes a complete image;
+        // last writer wins, which is the best a keyed merge-free format
+        // can offer.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
         std::fs::write(&tmp, &bytes).map_err(CacheFileError::Io)?;
-        std::fs::rename(&tmp, path).map_err(CacheFileError::Io)
+        std::fs::rename(&tmp, path).map_err(|e| {
+            // Never leave an orphaned temp file behind a failed publish.
+            let _ = std::fs::remove_file(&tmp);
+            CacheFileError::Io(e)
+        })
     }
 
     /// Deserializes a cache previously written by [`EvalCache::save`].
@@ -658,6 +673,43 @@ mod tests {
             Some(EvalOutcome::Infeasible("budget exceeded".into()))
         );
         assert!(loaded.get(3).is_none(), "Failed outcomes must not persist");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_savers_never_publish_a_torn_file() {
+        let dir = std::env::temp_dir().join("pphw-cache-concurrent-save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evals.pphwc");
+        // Each saver writes a differently-sized cache to the same path;
+        // every interleaving must leave a loadable image of one of them.
+        std::thread::scope(|scope| {
+            for round in 0u64..4 {
+                let path = &path;
+                scope.spawn(move || {
+                    let cache = EvalCache::new();
+                    for key in 0..=round * 8 {
+                        cache.insert(key, EvalOutcome::Infeasible(format!("r{round}")));
+                    }
+                    for _ in 0..16 {
+                        cache.save(path).unwrap();
+                    }
+                });
+            }
+        });
+        let loaded = EvalCache::load(&path).expect("last completed save is intact");
+        assert!(
+            [1, 9, 17, 25].contains(&loaded.len()),
+            "len {}",
+            loaded.len()
+        );
+        // No orphaned temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "orphaned temp files: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

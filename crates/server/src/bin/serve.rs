@@ -1,0 +1,124 @@
+//! The compilation-as-a-service daemon.
+//!
+//! Usage:
+//! `cargo run --release -p pphw-server --bin serve [--addr HOST:PORT]
+//!  [--threads N] [--dse-threads N] [--cache PATH] [--max-space N]
+//!  [--default-cycle-budget N] [--max-cycle-budget N] [--print-addr]`
+//!
+//! - `--addr HOST:PORT`  listen address (default `127.0.0.1:7340`; port
+//!   `0` picks an ephemeral port — combine with `--print-addr`)
+//! - `--threads N`       worker threads per connection batch (default 4)
+//! - `--dse-threads N`   worker threads inside one `dse` request
+//!   (default 2 — a serving daemon balances many requests rather than
+//!   racing one sweep)
+//! - `--cache PATH`      persistent measurement cache: loaded at startup
+//!   (cold if missing or damaged), saved at shutdown
+//! - `--max-space N`     per-request DSE candidate ceiling
+//! - `--default-cycle-budget N` / `--max-cycle-budget N`  watchdog
+//!   defaults and clamp for simulation requests
+//! - `--print-addr`      print `listening on ADDR` once bound (scripts
+//!   parse this to find an ephemeral port)
+//!
+//! The daemon runs until a client sends `{"method":"shutdown"}`, then
+//! saves the cache (if `--cache`) and prints the final counters.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pphw_dse::cache::EvalCache;
+use pphw_server::{Limits, Server, Service};
+
+struct Args {
+    addr: String,
+    threads: usize,
+    dse_threads: usize,
+    cache: Option<String>,
+    limits: Limits,
+    print_addr: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7340".to_string(),
+        threads: 4,
+        dse_threads: 2,
+        cache: None,
+        limits: Limits::default(),
+        print_addr: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--addr" => args.addr = val("--addr"),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads N"),
+            "--dse-threads" => {
+                args.dse_threads = val("--dse-threads").parse().expect("--dse-threads N");
+            }
+            "--cache" => args.cache = Some(val("--cache")),
+            "--max-space" => {
+                args.limits.max_space = val("--max-space").parse().expect("--max-space N");
+            }
+            "--default-cycle-budget" => {
+                args.limits.default_cycle_budget = val("--default-cycle-budget")
+                    .parse()
+                    .expect("--default-cycle-budget N");
+            }
+            "--max-cycle-budget" => {
+                args.limits.max_cycle_budget = val("--max-cycle-budget")
+                    .parse()
+                    .expect("--max-cycle-budget N");
+            }
+            "--print-addr" => args.print_addr = true,
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let evals = match &args.cache {
+        Some(p) => {
+            let cache = EvalCache::load_or_cold(Path::new(p));
+            eprintln!("eval cache: {} entries preloaded from {p}", cache.len());
+            cache
+        }
+        None => EvalCache::new(),
+    };
+    let service = Arc::new(Service::new(args.limits, args.dse_threads, evals));
+    let server = match Server::bind(&args.addr, Arc::clone(&service), args.threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) if args.print_addr => println!("listening on {addr}"),
+        Ok(addr) => eprintln!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let stats = match server.run() {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(p) = &args.cache {
+        match service.eval_cache().save(Path::new(p)) {
+            Ok(()) => eprintln!(
+                "eval cache: {} entries saved to {p}",
+                service.eval_cache().len()
+            ),
+            Err(e) => eprintln!("eval cache: save failed: {e}"),
+        }
+    }
+    eprintln!("final stats: {}", stats.to_json());
+    ExitCode::SUCCESS
+}

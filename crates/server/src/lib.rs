@@ -1,0 +1,36 @@
+//! Compilation-as-a-service: a long-running daemon that answers
+//! compile / verify / simulate / DSE requests over a newline-framed
+//! JSON-over-TCP protocol, multiplexing every client onto one
+//! process-wide design cache and one persistent measurement cache.
+//!
+//! The interactive pipeline (`parse` → `compile` → `simulate` → `dse`
+//! binaries) pays full compilation for every invocation; a serving
+//! deployment amortizes that across requests. This crate provides the
+//! three layers:
+//!
+//! - [`json`] — a std-only JSON value, parser, and canonical writer (the
+//!   workspace builds `--offline` with zero registry dependencies).
+//! - [`protocol`] — the wire types: request decoding with per-field
+//!   validation, typed error codes, server [`protocol::Limits`].
+//! - [`service`] — the engine: method dispatch over the shared caches
+//!   with exactly-once deduplication of identical in-flight requests.
+//! - [`server`] — the TCP front: per-connection handlers, pipelined
+//!   request batching onto the work-stealing pool, and a minimal
+//!   [`server::Client`] for tests and the load harness.
+//!
+//! See the repository README ("Serving") for the protocol by example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::must_use_candidate)]
+#![allow(clippy::missing_panics_doc)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use protocol::{codes, ErrorBody, Limits};
+pub use server::{Client, Server};
+pub use service::{Service, ServiceStats};

@@ -1,0 +1,836 @@
+//! The request engine: decodes lines, runs methods against the shared
+//! caches, and renders response lines.
+//!
+//! One [`Service`] lives for the whole daemon process and is shared by
+//! every connection. Three layers of sharing make warm traffic cheap:
+//!
+//! 1. **Response memo** — every work request (compile / verify /
+//!    simulate / dse) is keyed by its canonical payload fingerprint in a
+//!    [`DesignCache`], the exactly-once `OnceLock` table from the DSE
+//!    fast lane. Identical requests *in flight* block on the first
+//!    arrival's slot and share its evaluation; identical requests later
+//!    are served straight from the memo. [`ServiceStats::dedup_hits`]
+//!    counts both.
+//! 2. **Design cache** — compile artifacts shared across requests that
+//!    differ only in simulation substrate, and with the `dse` method's
+//!    sweeps (one [`DesignCache`] instance for the whole process).
+//! 3. **Eval cache** — the persistent measurement memo
+//!    ([`EvalCache`]), loaded at startup and saved at shutdown, shared
+//!    between direct `simulate` requests and `dse` sweeps.
+//!
+//! Every request runs under a watchdog cycle budget clamped to the
+//! server's [`Limits`]: a pathological request degrades to a typed
+//! [`codes::BUDGET`](crate::protocol::codes::BUDGET) error, and the
+//! worker moves on. Source programs are cache-keyed by *content hash*
+//! (appended to the program name), so two clients whose programs share a
+//! name can never poison each other's artifacts.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pphw::dse::{explore_with_caches, DesignArtifact};
+use pphw::{compile, CompileOptions, OptLevel, PphwError};
+use pphw_dse::cache::{config_key, design_key, fnv1a64, DesignCache, EvalCache};
+use pphw_dse::space::Candidate;
+use pphw_dse::{DseConfig, EvalOutcome, Measurement, SearchSpace};
+use pphw_ir::program::Program;
+use pphw_ir::span::{line_col, SourceMap};
+use pphw_sim::{SimConfig, SimError};
+use pphw_verify::VerifyConfig;
+
+use crate::json::escape;
+use crate::protocol::{
+    codes, err_line, ok_line, DseRequest, ErrorBody, Limits, Method, ProgramRef, Request,
+    WorkRequest,
+};
+
+/// Counter snapshot reported by the `stats` method and the daemon's exit
+/// banner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Total request lines answered (including errors).
+    pub requests: u64,
+    /// Responses that carried `"ok":false`.
+    pub errors: u64,
+    /// Work requests served from the response memo — either a concurrent
+    /// in-flight duplicate that shared one evaluation, or a later repeat.
+    pub dedup_hits: u64,
+    /// Work requests that actually evaluated (first sighting of a
+    /// fingerprint).
+    pub dedup_builds: u64,
+    /// Designs compiled by this process.
+    pub design_builds: u64,
+    /// Design lookups served from an existing artifact.
+    pub design_reuses: u64,
+    /// Measurement-cache hits.
+    pub eval_hits: u64,
+    /// Measurement-cache misses.
+    pub eval_misses: u64,
+    /// Entries currently in the measurement cache.
+    pub eval_len: u64,
+}
+
+impl ServiceStats {
+    /// Renders the stats as the `stats` result object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"errors\":{},\"dedup_hits\":{},\"dedup_builds\":{},\
+             \"design_builds\":{},\"design_reuses\":{},\"eval_hits\":{},\
+             \"eval_misses\":{},\"eval_len\":{}}}",
+            self.requests,
+            self.errors,
+            self.dedup_hits,
+            self.dedup_builds,
+            self.design_builds,
+            self.design_reuses,
+            self.eval_hits,
+            self.eval_misses,
+            self.eval_len
+        )
+    }
+}
+
+/// The memoized outcome of one work request: whether it succeeded and the
+/// rendered `result` (or error object) JSON, without the id envelope.
+type MemoBody = (bool, String);
+
+/// The shared request engine. See the module docs for the cache layers.
+pub struct Service {
+    limits: Limits,
+    /// Worker threads handed to the `dse` method's internal sweep.
+    dse_threads: usize,
+    designs: Arc<DesignCache<DesignArtifact>>,
+    evals: EvalCache,
+    memo: DesignCache<MemoBody>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Service {
+    /// Creates a service with fresh in-memory caches and the given
+    /// (possibly preloaded) measurement cache.
+    #[must_use]
+    pub fn new(limits: Limits, dse_threads: usize, evals: EvalCache) -> Service {
+        Service {
+            limits,
+            dse_threads: dse_threads.max(1),
+            designs: Arc::new(DesignCache::new()),
+            evals,
+            memo: DesignCache::new(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The server limits this service enforces.
+    #[must_use]
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Whether a `shutdown` request has been accepted.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (also reachable through the wire method).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The persistent measurement cache (for saving at shutdown).
+    #[must_use]
+    pub fn eval_cache(&self) -> &EvalCache {
+        &self.evals
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            dedup_hits: self.memo.hits(),
+            dedup_builds: self.memo.builds(),
+            design_builds: self.designs.builds(),
+            design_reuses: self.designs.hits(),
+            eval_hits: self.evals.hits(),
+            eval_misses: self.evals.misses(),
+            eval_len: self.evals.len() as u64,
+        }
+    }
+
+    /// Handles one request line end to end, returning the response line
+    /// (no trailing newline). Blank lines get no response. Never panics:
+    /// every failure renders as a typed error response.
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match Request::decode(line, &self.limits) {
+            Ok(req) => req,
+            Err((id, err)) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Some(err_line(&id, &err));
+            }
+        };
+        let id = req.id.clone();
+        let (ok, body) = if req.method.is_work() {
+            // Exactly-once evaluation per fingerprint: concurrent
+            // duplicates block on the slot, later repeats hit the memo.
+            let outcome = self
+                .memo
+                .get_or_compute(req.fingerprint(), || self.run_work(&req.method));
+            (*outcome).clone()
+        } else {
+            match &req.method {
+                Method::Ping => (true, "{\"pong\":true}".to_string()),
+                Method::Stats => (true, self.stats().to_json()),
+                Method::Shutdown => {
+                    self.request_shutdown();
+                    (true, "{\"shutting_down\":true}".to_string())
+                }
+                // is_work() covered the rest.
+                _ => (
+                    false,
+                    ErrorBody::new(codes::METHOD, "unreachable method").to_json(),
+                ),
+            }
+        };
+        if ok {
+            Some(ok_line(&id, &body))
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            Some(format!(
+                "{{\"id\":{},\"ok\":false,\"error\":{body}}}",
+                crate::json::to_string(&id)
+            ))
+        }
+    }
+
+    fn run_work(&self, method: &Method) -> MemoBody {
+        let out = match method {
+            Method::Compile(w) => self.compile_method(w),
+            Method::Verify(w) => self.verify_method(w),
+            Method::Simulate(w) => self.simulate_method(w),
+            Method::Dse(d) => self.dse_method(d),
+            // is_work() gates this path to the four above.
+            _ => Err(ErrorBody::new(codes::METHOD, "not a work method")),
+        };
+        match out {
+            Ok(result) => (true, result),
+            Err(err) => (false, err.to_json()),
+        }
+    }
+
+    // ---- request resolution -------------------------------------------
+
+    fn resolve(&self, w: &WorkRequest) -> Result<Resolved, ErrorBody> {
+        let (prog, display_name, mut sizes, mut tiles, default_par, source) = match &w.program {
+            ProgramRef::Bench(name) => {
+                let Some(spec) = pphw_apps::all_benchmarks()
+                    .into_iter()
+                    .find(|s| s.name == name)
+                else {
+                    let known: Vec<&str> =
+                        pphw_apps::all_benchmarks().iter().map(|s| s.name).collect();
+                    return Err(ErrorBody::new(
+                        codes::BENCH,
+                        format!("unknown benchmark `{name}`; known: {}", known.join(", ")),
+                    ));
+                };
+                let sizes: Vec<(String, i64)> = (spec.sizes)()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                let tiles: Vec<(String, i64)> = (spec.tiles)()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                (
+                    (spec.program)(),
+                    spec.name.to_string(),
+                    sizes,
+                    tiles,
+                    spec.inner_par,
+                    None,
+                )
+            }
+            ProgramRef::Source { text, file } => {
+                let mut out = pphw_frontend::parse_program(text, file)
+                    .map_err(|errs| ppl_error(&errs, text, file))?;
+                let display = out.program.name.clone();
+                // Key source programs by content, not by their (client
+                // chosen) name: the shared design/eval caches must never
+                // serve one client's artifact for another's program.
+                out.program.name = format!("{display}@{:016x}", fnv1a64(text.as_bytes()));
+                let sizes: Vec<(String, i64)> = out
+                    .program
+                    .size_vars
+                    .iter()
+                    .map(|sv| (sv.clone(), 8))
+                    .collect();
+                (
+                    out.program,
+                    display,
+                    sizes,
+                    Vec::new(),
+                    4,
+                    Some((text.clone(), out.source_map)),
+                )
+            }
+        };
+        for (k, v) in &w.sizes {
+            match sizes.iter_mut().find(|(name, _)| name == k) {
+                Some(slot) => slot.1 = *v,
+                None => sizes.push((k.clone(), *v)),
+            }
+        }
+        if !w.tiles.is_empty() {
+            tiles.clone_from(&w.tiles);
+        }
+        let mut sim = w.sim.clone();
+        sim.cycle_budget = w
+            .cycle_budget
+            .unwrap_or(self.limits.default_cycle_budget)
+            .min(self.limits.max_cycle_budget);
+        Ok(Resolved {
+            prog,
+            display_name,
+            sizes,
+            tiles,
+            inner_par: w.inner_par.unwrap_or(default_par),
+            opt: w.opt,
+            sim,
+            source,
+        })
+    }
+
+    // ---- methods ------------------------------------------------------
+
+    fn compile_method(&self, w: &WorkRequest) -> Result<String, ErrorBody> {
+        let r = self.resolve(w)?;
+        let (artifact, _) = self.artifact_for(&r);
+        match &*artifact {
+            DesignArtifact::Ready {
+                compiled,
+                on_chip_bytes,
+            } => {
+                let area = compiled.area();
+                let hgl = compiled.emit_hgl();
+                Ok(format!(
+                    "{{\"program\":{},\"opt\":{},\"tiles\":{},\"inner_par\":{},\
+                     \"on_chip_bytes\":{on_chip_bytes},\"buffers\":{},\
+                     \"area\":{},\"hgl_fnv1a64\":\"{:016x}\",\"hgl_lines\":{}}}",
+                    escape(&r.display_name),
+                    escape(&opt_name(r.opt)),
+                    dims_json(&r.tiles),
+                    r.inner_par,
+                    compiled.design.buffers.len(),
+                    area_json(area),
+                    fnv1a64(hgl.as_bytes()),
+                    hgl.lines().count()
+                ))
+            }
+            DesignArtifact::Infeasible(e) => Err(ErrorBody::new(codes::COMPILE, e.clone())),
+        }
+    }
+
+    fn verify_method(&self, w: &WorkRequest) -> Result<String, ErrorBody> {
+        let r = self.resolve(w)?;
+        let cfg = VerifyConfig {
+            inner_par: r.inner_par,
+            ..VerifyConfig::default()
+        };
+        let mut report = pphw_verify::verify_program(&r.prog, &cfg);
+        if let Some((text, map)) = &r.source {
+            report.attach_spans(map, text);
+        }
+        Ok(format!(
+            "{{\"program\":{},\"inner_par\":{},\"error_count\":{},\"report\":{}}}",
+            escape(&r.display_name),
+            r.inner_par,
+            report.error_count(),
+            report.to_json()
+        ))
+    }
+
+    fn simulate_method(&self, w: &WorkRequest) -> Result<String, ErrorBody> {
+        let r = self.resolve(w)?;
+        let (salt, cand) = r.salt_and_candidate();
+        let ckey = config_key(&r.prog.name, &r.sizes, &salt, &cand);
+        if let Some(outcome) = self.evals.get(ckey) {
+            return match outcome {
+                EvalOutcome::Feasible(m) => Ok(simulate_result(&r, &m)),
+                EvalOutcome::Infeasible(e) => Err(ErrorBody::new(codes::COMPILE, e)),
+                // Failed outcomes are never cached; treat one defensively
+                // as a miss by falling through.
+                EvalOutcome::Failed(_) => self.simulate_fresh(&r, ckey),
+            };
+        }
+        self.simulate_fresh(&r, ckey)
+    }
+
+    fn simulate_fresh(&self, r: &Resolved, ckey: u64) -> Result<String, ErrorBody> {
+        let (artifact, _) = self.artifact_for(r);
+        let (compiled, on_chip_bytes) = match &*artifact {
+            DesignArtifact::Ready {
+                compiled,
+                on_chip_bytes,
+            } => (compiled, *on_chip_bytes),
+            DesignArtifact::Infeasible(e) => {
+                self.evals.insert(ckey, EvalOutcome::Infeasible(e.clone()));
+                return Err(ErrorBody::new(codes::COMPILE, e.clone()));
+            }
+        };
+        match compiled.simulate(&r.sim) {
+            Ok(report) => {
+                let m = Measurement {
+                    cycles: report.cycles,
+                    dram_words: report.dram_words,
+                    on_chip_bytes,
+                    area: compiled.area(),
+                };
+                self.evals.insert(ckey, EvalOutcome::Feasible(m));
+                Ok(simulate_result(r, &m))
+            }
+            Err(PphwError::Sim(SimError::BudgetExceeded { what, budget })) => {
+                Err(ErrorBody::new(
+                    codes::BUDGET,
+                    format!("simulation exceeded its {what} of {budget} (request clamped to the server's per-request watchdog)"),
+                ))
+            }
+            Err(e) => Err(ErrorBody::new(codes::SIM, e.to_string())),
+        }
+    }
+
+    fn dse_method(&self, d: &DseRequest) -> Result<String, ErrorBody> {
+        let r = self.resolve(&d.base)?;
+        let size_pairs: Vec<(&str, i64)> = r.sizes.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let mut space = SearchSpace::new(&size_pairs);
+        let tile_candidates: Vec<(String, Vec<i64>)> = if d.tile_candidates.is_empty() {
+            r.tiles.iter().map(|(k, v)| (k.clone(), vec![*v])).collect()
+        } else {
+            d.tile_candidates.clone()
+        };
+        for (dim, cands) in &tile_candidates {
+            if !r.sizes.iter().any(|(k, _)| k == dim) {
+                return Err(ErrorBody::new(
+                    codes::PROTO,
+                    format!("tile dimension `{dim}` has no concrete size"),
+                ));
+            }
+            space = space.with_tile_candidates(dim, cands);
+        }
+        let pars = if d.inner_pars.is_empty() {
+            vec![r.inner_par]
+        } else {
+            d.inner_pars.clone()
+        };
+        space = space.with_inner_pars(&pars);
+        let named = SimConfig::named_variants();
+        let mut variants: Vec<(&str, SimConfig)> = Vec::new();
+        if d.sims.is_empty() {
+            variants.push(("max4", budgeted(SimConfig::default(), r.sim.cycle_budget)));
+        } else {
+            for want in &d.sims {
+                let Some((name, cfg)) = named.iter().find(|(n, _)| *n == want.as_str()) else {
+                    let known: Vec<&str> = named.iter().map(|(n, _)| *n).collect();
+                    return Err(ErrorBody::new(
+                        codes::PROTO,
+                        format!("unknown sim variant `{want}`; known: {}", known.join(", ")),
+                    ));
+                };
+                variants.push((*name, budgeted(cfg.clone(), r.sim.cycle_budget)));
+            }
+        }
+        space = space.with_sim_variants(&variants);
+        if space.is_empty() {
+            return Err(ErrorBody::new(codes::DSE, "search space is empty"));
+        }
+        if space.len() > self.limits.max_space {
+            return Err(ErrorBody::new(
+                codes::LIMIT,
+                format!(
+                    "space enumerates {} candidates, limit is {}",
+                    space.len(),
+                    self.limits.max_space
+                ),
+            ));
+        }
+        let base_opts = r.base_options();
+        let cfg = DseConfig {
+            threads: self.dse_threads,
+            ..DseConfig::default()
+        };
+        let report = explore_with_caches(
+            &r.prog,
+            &base_opts,
+            &space,
+            &cfg,
+            &self.evals,
+            Arc::clone(&self.designs),
+        )
+        .map_err(|e| ErrorBody::new(codes::DSE, e.to_string()))?;
+        let s = report.stats;
+        Ok(format!(
+            "{{\"program\":{},\"best\":{{\"label\":{},\"cycles\":{},\"area_score\":{}}},\
+             \"space\":{},\"evaluated\":{},\"frontier\":{},\"failures\":{},\
+             \"pruned\":{}}}",
+            escape(&r.display_name),
+            escape(&report.best.label),
+            report.best.cycles,
+            report.best.area_score,
+            s.exhaustive,
+            report.evaluated.len(),
+            report.frontier.len(),
+            report.failures.len(),
+            s.pruned_total()
+        ))
+    }
+
+    /// The shared compile artifact for a resolved request (design cache:
+    /// exactly-once per design key, shared with `dse` sweeps).
+    fn artifact_for(&self, r: &Resolved) -> (Arc<DesignArtifact>, u64) {
+        let (salt, cand) = r.salt_and_candidate();
+        let dkey = design_key(&r.prog.name, &r.sizes, &salt, &cand);
+        let opts = r.base_options().tiles(
+            &r.tiles
+                .iter()
+                .map(|(k, v)| (k.as_str(), *v))
+                .collect::<Vec<_>>(),
+        );
+        let artifact = self.designs.get_or_compute(dkey, || {
+            let mut opts = opts;
+            opts.inner_par = r.inner_par;
+            opts.meta_inner_par = None;
+            match compile(&r.prog, &opts) {
+                Ok(compiled) => {
+                    let on_chip_bytes = compiled.design.on_chip_bytes();
+                    if on_chip_bytes > opts.on_chip_budget_bytes {
+                        DesignArtifact::Infeasible(format!(
+                            "design needs {on_chip_bytes} on-chip bytes, budget is {}",
+                            opts.on_chip_budget_bytes
+                        ))
+                    } else {
+                        DesignArtifact::Ready {
+                            compiled: Box::new(compiled),
+                            on_chip_bytes,
+                        }
+                    }
+                }
+                Err(e) => DesignArtifact::Infeasible(e.to_string()),
+            }
+        });
+        (artifact, dkey)
+    }
+}
+
+/// A fully-resolved work request: program, effective configuration, and
+/// (for source programs) the text + span map for diagnostics.
+struct Resolved {
+    prog: Program,
+    display_name: String,
+    sizes: Vec<(String, i64)>,
+    tiles: Vec<(String, i64)>,
+    inner_par: u32,
+    opt: OptLevel,
+    sim: SimConfig,
+    source: Option<(String, SourceMap)>,
+}
+
+impl Resolved {
+    /// Base compile options (sizes + opt level, default budget), tiles
+    /// and parallelism applied by the caller or the candidate.
+    fn base_options(&self) -> CompileOptions {
+        let pairs: Vec<(&str, i64)> = self.sizes.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        CompileOptions::new(&pairs)
+            .opt(self.opt)
+            .inner_par(self.inner_par)
+    }
+
+    /// The cache salt and candidate for the direct compile/simulate path.
+    /// The salt mirrors `CompileEvaluator::cache_salt` so direct requests
+    /// and `dse` sweeps share design and measurement entries.
+    fn salt_and_candidate(&self) -> (String, Candidate) {
+        let opts = self.base_options();
+        let salt = format!(
+            "opt={:?};interchange={};budget={}",
+            opts.opt, opts.interchange, opts.on_chip_budget_bytes
+        );
+        let cand = Candidate {
+            tiles: self.tiles.clone(),
+            inner_par: self.inner_par,
+            sim_label: "req".to_string(),
+            sim: self.sim.clone(),
+        };
+        (salt, cand)
+    }
+}
+
+fn opt_name(opt: OptLevel) -> String {
+    match opt {
+        OptLevel::Baseline => "baseline".to_string(),
+        OptLevel::Tiled => "tiled".to_string(),
+        OptLevel::Metapipelined => "meta".to_string(),
+    }
+}
+
+fn dims_json(pairs: &[(String, i64)]) -> String {
+    let mut sorted: Vec<_> = pairs.iter().collect();
+    sorted.sort();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", escape(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn area_json(a: pphw_hw::Area) -> String {
+    format!(
+        "{{\"logic\":{},\"ff\":{},\"mem\":{}}}",
+        a.logic, a.ff, a.mem
+    )
+}
+
+fn budgeted(mut sim: SimConfig, cycle_budget: u64) -> SimConfig {
+    sim.cycle_budget = cycle_budget;
+    sim
+}
+
+fn simulate_result(r: &Resolved, m: &Measurement) -> String {
+    format!(
+        "{{\"program\":{},\"opt\":{},\"tiles\":{},\"inner_par\":{},\"cycles\":{},\
+         \"dram_words\":{},\"on_chip_bytes\":{},\"area\":{}}}",
+        escape(&r.display_name),
+        escape(&opt_name(r.opt)),
+        dims_json(&r.tiles),
+        r.inner_par,
+        m.cycles,
+        m.dram_words,
+        m.on_chip_bytes,
+        area_json(m.area)
+    )
+}
+
+/// Renders frontend parse errors as a [`codes::PPL`] error with a spanned
+/// diagnostics array.
+fn ppl_error(errs: &[pphw_frontend::ParseError], src: &str, file: &str) -> ErrorBody {
+    let diags: Vec<String> = errs
+        .iter()
+        .map(|e| {
+            let (line, col) = line_col(src, e.span.start);
+            format!(
+                "{{\"code\":{},\"message\":{},\"file\":{},\
+                 \"span\":{{\"start\":{},\"end\":{},\"line\":{line},\"col\":{col}}}}}",
+                escape(e.code),
+                escape(&e.message),
+                escape(file),
+                e.span.start,
+                e.span.end
+            )
+        })
+        .collect();
+    let mut err = ErrorBody::new(
+        codes::PPL,
+        format!("{} parse error(s) in {file}", errs.len()),
+    );
+    err.extra
+        .push(("diagnostics".to_string(), format!("[{}]", diags.join(","))));
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::json::Json;
+
+    fn service() -> Service {
+        Service::new(Limits::default(), 1, EvalCache::new())
+    }
+
+    fn get<'j>(v: &'j Json, path: &[&str]) -> &'j Json {
+        let mut cur = v;
+        for p in path {
+            cur = cur.get(p).unwrap_or_else(|| panic!("missing field {p}"));
+        }
+        cur
+    }
+
+    fn call(svc: &Service, line: &str) -> Json {
+        let resp = svc.handle_line(line).expect("response expected");
+        crate::json::parse_json(&resp).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown_round_trip() {
+        let svc = service();
+        let pong = call(&svc, "{\"id\":1,\"method\":\"ping\"}");
+        assert_eq!(get(&pong, &["result", "pong"]).as_bool(), Some(true));
+        let stats = call(&svc, "{\"id\":2,\"method\":\"stats\"}");
+        assert_eq!(get(&stats, &["result", "requests"]).as_u64(), Some(2));
+        assert!(!svc.is_shutdown());
+        let bye = call(&svc, "{\"id\":3,\"method\":\"shutdown\"}");
+        assert_eq!(
+            get(&bye, &["result", "shutting_down"]).as_bool(),
+            Some(true)
+        );
+        assert!(svc.is_shutdown());
+    }
+
+    #[test]
+    fn simulate_bench_is_cached_and_deduped() {
+        let svc = service();
+        let line = "{\"id\":1,\"method\":\"simulate\",\"bench\":\"gemm\"}";
+        let a = call(&svc, line);
+        let cycles = get(&a, &["result", "cycles"]).as_u64().unwrap();
+        assert!(cycles > 0);
+        let before = svc.stats();
+        assert_eq!(before.dedup_builds, 1);
+        assert_eq!(before.design_builds, 1);
+        // Repeat: memo hit, no new design build, bit-identical result.
+        let b = call(
+            &svc,
+            "{\"id\":2,\"method\":\"simulate\",\"bench\":\"gemm\"}",
+        );
+        assert_eq!(get(&a, &["result"]), get(&b, &["result"]));
+        let after = svc.stats();
+        assert_eq!(after.dedup_hits, before.dedup_hits + 1);
+        assert_eq!(after.design_builds, 1);
+    }
+
+    #[test]
+    fn compile_and_simulate_share_one_design() {
+        let svc = service();
+        call(
+            &svc,
+            "{\"id\":1,\"method\":\"compile\",\"bench\":\"sumrows\"}",
+        );
+        assert_eq!(svc.stats().design_builds, 1);
+        call(
+            &svc,
+            "{\"id\":2,\"method\":\"simulate\",\"bench\":\"sumrows\"}",
+        );
+        let s = svc.stats();
+        assert_eq!(
+            s.design_builds, 1,
+            "simulate must reuse the compile artifact"
+        );
+        assert!(s.design_reuses >= 1);
+    }
+
+    #[test]
+    fn over_budget_simulation_is_a_typed_error() {
+        let svc = service();
+        let resp = call(
+            &svc,
+            "{\"id\":9,\"method\":\"simulate\",\"bench\":\"gemm\",\"cycle_budget\":1}",
+        );
+        assert_eq!(get(&resp, &["ok"]).as_bool(), Some(false));
+        assert_eq!(get(&resp, &["error", "code"]).as_str(), Some(codes::BUDGET));
+        // The failure is not pinned in the measurement cache: a bigger
+        // budget succeeds.
+        let ok = call(
+            &svc,
+            "{\"id\":10,\"method\":\"simulate\",\"bench\":\"gemm\"}",
+        );
+        assert_eq!(get(&ok, &["ok"]).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn source_programs_verify_with_spans_and_parse_errors_are_typed() {
+        let svc = service();
+        let src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/gemm.ppl"),
+        )
+        .unwrap();
+        let line = format!(
+            "{{\"id\":1,\"method\":\"verify\",\"source\":{}}}",
+            escape(&src)
+        );
+        let resp = call(&svc, &line);
+        assert_eq!(get(&resp, &["ok"]).as_bool(), Some(true));
+        assert_eq!(get(&resp, &["result", "error_count"]).as_u64(), Some(0));
+
+        let bad = call(
+            &svc,
+            "{\"id\":2,\"method\":\"verify\",\"source\":\"prog broken { x = }\"}",
+        );
+        assert_eq!(get(&bad, &["ok"]).as_bool(), Some(false));
+        assert_eq!(get(&bad, &["error", "code"]).as_str(), Some(codes::PPL));
+        let diags = get(&bad, &["error", "diagnostics"]).as_arr().unwrap();
+        assert!(!diags.is_empty());
+        assert!(get(&diags[0], &["span", "line"]).as_u64().is_some());
+    }
+
+    #[test]
+    fn source_simulate_runs_end_to_end() {
+        let svc = service();
+        let src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/sumrows.ppl"),
+        )
+        .unwrap();
+        let line = format!(
+            "{{\"id\":1,\"method\":\"simulate\",\"source\":{},\"sizes\":{{\"m\":16,\"n\":16}},\"inner_par\":4}}",
+            escape(&src)
+        );
+        let resp = call(&svc, &line);
+        assert_eq!(get(&resp, &["ok"]).as_bool(), Some(true), "{resp:?}");
+        assert!(get(&resp, &["result", "cycles"]).as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn dse_method_sweeps_a_bounded_space() {
+        let svc = service();
+        let resp = call(
+            &svc,
+            "{\"id\":1,\"method\":\"dse\",\"bench\":\"sumrows\",\
+             \"tile_candidates\":{\"m\":[4,8]},\"inner_pars\":[16]}",
+        );
+        assert_eq!(get(&resp, &["ok"]).as_bool(), Some(true), "{resp:?}");
+        assert_eq!(get(&resp, &["result", "space"]).as_u64(), Some(2));
+        assert!(get(&resp, &["result", "best", "cycles"]).as_u64().unwrap() > 0);
+        // The dse sweep populated the shared eval cache; a direct
+        // simulate of the winning config must not recompile.
+        assert!(svc.stats().eval_len >= 1);
+
+        let over = call(
+            &svc,
+            "{\"id\":2,\"method\":\"dse\",\"bench\":\"sumrows\",\
+             \"inner_pars\":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,\
+             21,22,23,24,25,26,27,28,29,30,31,32,33,34,35,36,37,38,39,40,41,42,\
+             43,44,45,46,47,48,49,50,51,52,53,54,55,56,57,58,59,60,61,62,63,64,\
+             65,66,67,68,69,70,71,72,73,74,75,76,77,78,79,80,81,82,83,84,85,86,\
+             87,88,89,90,91,92,93,94,95,96,97,98,99,100],\
+             \"tile_candidates\":{\"m\":[4,8,16],\"n\":[4,8]},\
+             \"sims\":[\"max4\"]}",
+        );
+        assert_eq!(get(&over, &["ok"]).as_bool(), Some(false));
+        assert_eq!(get(&over, &["error", "code"]).as_str(), Some(codes::LIMIT));
+    }
+
+    #[test]
+    fn unknown_bench_is_typed() {
+        let svc = service();
+        let resp = call(&svc, "{\"id\":1,\"method\":\"compile\",\"bench\":\"nope\"}");
+        assert_eq!(get(&resp, &["error", "code"]).as_str(), Some(codes::BENCH));
+    }
+
+    #[test]
+    fn malformed_lines_never_drop_the_dispatcher() {
+        let svc = service();
+        for bad in ["{", "[]", "{\"id\":{},\"method\":\"ping\"}", "\u{1}", "42"] {
+            let resp = call(&svc, bad);
+            assert_eq!(get(&resp, &["ok"]).as_bool(), Some(false), "line {bad:?}");
+        }
+        assert!(svc.handle_line("   ").is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Golden wire-protocol behavior: every `tests/corpus/*.req` line is sent
+//! to a live daemon **over one TCP connection, in order**, and must
+//! produce exactly the response pinned in the sibling `.expected` file.
+//!
+//! The corpus is the protocol's failure catalogue — malformed JSON, a
+//! non-object, a missing or unknown method, a mistyped field, an unknown
+//! benchmark, a limit violation, a watchdog budget overrun, a source
+//! parse error — terminated by a `ping`. Running the whole catalogue over
+//! a single connection pins the two properties clients depend on: every
+//! failure is a typed, stable error *response* (codes and messages are
+//! part of the protocol), and no failure ever drops the connection or
+//! kills the daemon (the final `ping` still answers).
+//!
+//! Regenerate expectations with `PPHW_UPDATE_GOLDEN=1 cargo test -p
+//! pphw-server --test protocol_golden` after inspecting the new output.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pphw_dse::cache::EvalCache;
+use pphw_server::{Client, Limits, Server, Service};
+
+#[test]
+fn wire_protocol_failures_are_golden_and_never_drop_the_connection() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let update = std::env::var_os("PPHW_UPDATE_GOLDEN").is_some();
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {dir:?}: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "req"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 10,
+        "wire corpus shrank to {} files",
+        files.len()
+    );
+
+    let service = Arc::new(Service::new(Limits::default(), 1, EvalCache::new()));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 1).expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    // One connection for the whole catalogue: any dropped connection or
+    // daemon panic fails the next `call`, not just a later assertion.
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut failures = Vec::new();
+    for req_path in &files {
+        let req = fs::read_to_string(req_path).unwrap_or_else(|e| panic!("read {req_path:?}: {e}"));
+        let req = req.trim_end_matches('\n');
+        let got = client
+            .call(req)
+            .unwrap_or_else(|e| panic!("{req_path:?}: connection died: {e}"));
+        let expected_path = req_path.with_extension("expected");
+        if update {
+            fs::write(&expected_path, format!("{got}\n"))
+                .unwrap_or_else(|e| panic!("write {expected_path:?}: {e}"));
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("missing golden {expected_path:?}: {e}"));
+        if got != want.trim_end_matches('\n') {
+            failures.push(format!(
+                "== {}\n-- expected --\n{}\n-- got --\n{got}",
+                req_path.display(),
+                want.trim_end()
+            ));
+        }
+    }
+    // The daemon survived the entire catalogue on one connection.
+    let pong = client
+        .call("{\"id\":\"alive\",\"method\":\"ping\"}")
+        .expect("daemon must still answer after the failure catalogue");
+    assert!(
+        pong.contains("\"pong\":true"),
+        "unexpected ping reply: {pong}"
+    );
+
+    client
+        .call("{\"id\":\"bye\",\"method\":\"shutdown\"}")
+        .expect("shutdown");
+    handle.join().expect("join");
+    assert!(
+        failures.is_empty(),
+        "golden wire responses diverged:\n{}",
+        failures.join("\n\n")
+    );
+}

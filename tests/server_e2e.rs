@@ -1,0 +1,175 @@
+//! End-to-end serving: concurrent clients against one daemon must share
+//! one design cache (a popular design compiles exactly once, no matter
+//! how many clients race for it), responses must be bit-identical across
+//! clients, and a request that blows its watchdog budget must degrade to
+//! a typed error while concurrent well-behaved requests complete.
+
+use std::sync::Arc;
+
+use pphw_dse::cache::EvalCache;
+use pphw_server::json::{parse_json, Json};
+use pphw_server::{codes, Client, Limits, Server, Service};
+
+fn spawn_daemon() -> (
+    std::net::SocketAddr,
+    Arc<Service>,
+    std::thread::JoinHandle<pphw_server::ServiceStats>,
+) {
+    let service = Arc::new(Service::new(Limits::default(), 2, EvalCache::new()));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 4).expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, service, handle)
+}
+
+fn shutdown(
+    addr: &std::net::SocketAddr,
+    handle: std::thread::JoinHandle<pphw_server::ServiceStats>,
+) {
+    let mut c = Client::connect(addr).expect("connect");
+    c.call("{\"id\":\"bye\",\"method\":\"shutdown\"}")
+        .expect("shutdown");
+    handle.join().expect("join");
+}
+
+fn result_of(resp: &str) -> Json {
+    let v = parse_json(resp).unwrap_or_else(|e| panic!("bad response {resp}: {e}"));
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {resp}"
+    );
+    v.get("result").expect("result").clone()
+}
+
+#[test]
+fn concurrent_clients_share_exactly_one_compile() {
+    let (addr, service, handle) = spawn_daemon();
+    const CLIENTS: usize = 8;
+    // Every client asks for the same design at the same time. The
+    // exactly-once cache must fold all of them onto one compile.
+    let line = "{\"id\":7,\"method\":\"compile\",\"bench\":\"gemm\",\
+                \"sizes\":{\"m\":16,\"n\":16,\"p\":16},\"tiles\":{\"m\":8,\"n\":8},\
+                \"inner_par\":4}";
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    c.call(line).expect("call")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    // Bit-identical artifacts: every client sees the same response text,
+    // including the emitted-hardware hash.
+    for resp in &responses[1..] {
+        assert_eq!(resp, &responses[0], "clients saw different artifacts");
+    }
+    let hgl = result_of(&responses[0])
+        .get("hgl_fnv1a64")
+        .and_then(|h| h.as_str().map(str::to_string))
+        .expect("hgl hash");
+    assert_eq!(hgl.len(), 16, "hgl hash should be 16 hex chars: {hgl}");
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.design_builds, 1,
+        "{CLIENTS} concurrent clients must trigger exactly one compile"
+    );
+    assert_eq!(
+        stats.dedup_builds, 1,
+        "one fingerprint must evaluate exactly once"
+    );
+    assert_eq!(
+        stats.dedup_hits,
+        (CLIENTS - 1) as u64,
+        "the other {} requests must ride the first evaluation",
+        CLIENTS - 1
+    );
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn over_budget_request_fails_typed_while_neighbors_complete() {
+    let (addr, _service, handle) = spawn_daemon();
+    let over = "{\"id\":1,\"method\":\"simulate\",\"bench\":\"sumrows\",\
+                \"sizes\":{\"m\":16,\"n\":16},\"cycle_budget\":1}";
+    let fine = "{\"id\":2,\"method\":\"simulate\",\"bench\":\"sumrows\",\
+                \"sizes\":{\"m\":16,\"n\":16}}";
+    let (bad, good) = std::thread::scope(|scope| {
+        let bad = scope.spawn(|| {
+            let mut c = Client::connect(&addr).expect("connect");
+            c.call(over).expect("call")
+        });
+        let good = scope.spawn(|| {
+            let mut c = Client::connect(&addr).expect("connect");
+            c.call(fine).expect("call")
+        });
+        (bad.join().expect("bad"), good.join().expect("good"))
+    });
+    let bad = parse_json(&bad).expect("bad json");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some(codes::BUDGET),
+        "budget overrun must surface as the typed budget error"
+    );
+    let cycles = result_of(&good)
+        .get("cycles")
+        .and_then(Json::as_u64)
+        .expect("cycles");
+    assert!(cycles > 0);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn repeated_configs_never_recompile_and_sources_share_by_content() {
+    let (addr, service, handle) = spawn_daemon();
+    let mut c = Client::connect(&addr).expect("connect");
+    let sim = "{\"id\":1,\"method\":\"simulate\",\"bench\":\"outerprod\",\
+               \"sizes\":{\"m\":8,\"n\":8},\"inner_par\":2}";
+    let first = c.call(sim).expect("call");
+    let builds_after_first = service.stats().design_builds;
+    for _ in 0..5 {
+        assert_eq!(
+            c.call(sim).expect("call"),
+            first,
+            "warm responses must be bit-identical"
+        );
+    }
+    assert_eq!(
+        service.stats().design_builds,
+        builds_after_first,
+        "repeats of a served config must not recompile"
+    );
+
+    // Two *different* programs under the same client-chosen name must not
+    // collide in the shared caches: the server keys sources by content.
+    let src_a = "program t(n) {\n  input x: Float[n]\n  let y = map(n) { (i) =>\n    let v = (x(i) + 1.0)\n    yield v\n  }\n  return (y)\n}\n";
+    let src_b = "program t(n) {\n  input x: Float[n]\n  let y = map(n) { (i) =>\n    let v = (x(i) + 2.0)\n    yield v\n  }\n  return (y)\n}\n";
+    let call_src = |c: &mut Client, src: &str| {
+        let line = format!(
+            "{{\"id\":9,\"method\":\"compile\",\"source\":{},\"sizes\":{{\"n\":8}},\"inner_par\":2}}",
+            pphw_server::json::escape(src)
+        );
+        let resp = c.call(&line).expect("call");
+        result_of(&resp)
+            .get("hgl_fnv1a64")
+            .and_then(|h| h.as_str().map(str::to_string))
+            .expect("hgl hash")
+    };
+    let hash_a = call_src(&mut c, src_a);
+    let hash_b = call_src(&mut c, src_b);
+    assert_ne!(
+        hash_a, hash_b,
+        "same-named source programs must be cached by content, not name"
+    );
+    shutdown(&addr, handle);
+}
