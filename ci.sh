@@ -144,6 +144,58 @@ print(f"loadgen OK: cold {phases['cold']['throughput_rps']} rps -> "
       f"{report['dedup_hits']} dedup hits, 0 warm compiles")
 EOF
 
+echo "== chaos smoke (seeded fault proxy, typed outcomes, kill -9 recovery gate)"
+rm -f target/chaos-cache.pphwc target/chaos-cache.pphwc.jnl \
+      target/chaos-addr.txt target/chaos-addr2.txt \
+      BENCH_chaos.json BENCH_chaos_recovery.json
+./target/release/serve --addr 127.0.0.1:0 --cache target/chaos-cache.pphwc \
+  --cache-sync-every 1 --print-addr > target/chaos-addr.txt &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" target/chaos-addr.txt 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^listening on //p' target/chaos-addr.txt)
+[ -n "$SERVE_ADDR" ] || { echo "chaos smoke: daemon never reported its address"; kill "$SERVE_PID"; exit 1; }
+cargo run --release --offline -p pphw-bench --bin loadgen -- \
+  --chaos --quick --chaos-seed 42 --addr "$SERVE_ADDR"
+# Hard crash: no shutdown, no snapshot save — the journal is all that survives.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+[ -s target/chaos-cache.pphwc.jnl ] || { echo "chaos smoke: journal empty after kill -9"; exit 1; }
+./target/release/serve --addr 127.0.0.1:0 --cache target/chaos-cache.pphwc \
+  --print-addr > target/chaos-addr2.txt &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" target/chaos-addr2.txt 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^listening on //p' target/chaos-addr2.txt)
+[ -n "$SERVE_ADDR" ] || { echo "chaos smoke: restarted daemon never reported its address"; kill "$SERVE_PID"; exit 1; }
+cargo run --release --offline -p pphw-bench --bin loadgen -- \
+  --warm-check --quick --addr "$SERVE_ADDR" --shutdown
+wait "$SERVE_PID" || { echo "chaos smoke: restarted daemon exited non-zero"; exit 1; }
+python3 - <<'EOF'
+import json
+with open("BENCH_chaos.json") as f:
+    chaos = json.load(f)
+o = chaos["outcomes"]
+assert o["exhausted"] == 0, f"chaos gate: untyped failures: {o}"
+assert o["ok"] > 0, o
+flt = chaos["faults"]
+injected = (flt["disconnects"] + flt["corruptions"] + flt["duplicates"]
+            + flt["trickles"] + flt["delays"])
+assert injected > 0, f"chaos gate: no faults injected, the run proved nothing: {flt}"
+with open("BENCH_chaos_recovery.json") as f:
+    rec = json.load(f)
+assert rec["eval_misses"] == 0, f"recovery gate: journal lost evaluations: {rec}"
+assert rec["design_builds"] == 0, f"recovery gate: designs recompiled: {rec}"
+assert rec["eval_hits"] > 0, rec
+print(f"chaos smoke OK: {o['ok']} ok / {o['typed_error']} typed errors / 0 untyped "
+      f"through {injected} injected faults; after kill -9: {rec['eval_hits']} hits, "
+      f"0 misses, 0 rebuilds")
+EOF
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -106,8 +106,14 @@ fn main() {
     // One evaluation cache and one compile-artifact cache span the whole
     // run; keys include the benchmark name, so sharing across benchmarks
     // is safe and lets `--bench` runs reuse an all-benchmark cache file.
+    // Journaled when backed by a file: every evaluation is appended
+    // crash-safely as it lands, so an interrupted sweep resumes from
+    // everything it measured, not just the last clean save.
     let eval_cache = match &args.cache {
-        Some(p) => EvalCache::load_or_cold(Path::new(p)),
+        Some(p) => EvalCache::open_journaled(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("cache: journal open failed ({e}); running unjournaled");
+            EvalCache::load_or_cold(Path::new(p))
+        }),
         None => EvalCache::new(),
     };
     let preloaded = eval_cache.len();
@@ -173,7 +179,12 @@ fn main() {
         designs.hits()
     );
     if let Some(p) = &args.cache {
-        match eval_cache.save(Path::new(p)) {
+        let result = if eval_cache.is_journaled() {
+            eval_cache.checkpoint().map_err(|e| e.to_string())
+        } else {
+            eval_cache.save(Path::new(p)).map_err(|e| e.to_string())
+        };
+        match result {
             Ok(()) => println!(
                 "cache: saved {} entries to {p} ({preloaded} preloaded)",
                 eval_cache.len()

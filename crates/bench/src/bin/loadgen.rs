@@ -6,7 +6,8 @@
 //!
 //! Usage:
 //! `cargo run --release -p pphw-bench --bin loadgen [--addr HOST:PORT]
-//!  [--clients N] [--requests N] [--quick] [--out PATH]`
+//!  [--clients N] [--requests N] [--quick] [--out PATH]
+//!  [--chaos] [--chaos-seed N] [--warm-check] [--shutdown]`
 //!
 //! - `--addr HOST:PORT`  target a running daemon; without it, an
 //!   in-process daemon is spun up on an ephemeral port (and shut down —
@@ -14,30 +15,54 @@
 //! - `--clients N`       concurrent client connections (default 4)
 //! - `--requests N`      requests per client per phase (default 40)
 //! - `--quick`           CI-sized run: 2 clients × 20 requests
-//! - `--out PATH`        report path (default `BENCH_serve.json`)
+//! - `--out PATH`        report path (default `BENCH_serve.json`;
+//!   `BENCH_chaos.json` / `BENCH_chaos_recovery.json` in chaos modes)
+//! - `--chaos`           drive the population through a seeded
+//!   fault-injecting proxy with retrying clients, and assert every
+//!   logical request ends in exactly one typed outcome
+//! - `--chaos-seed N`    fault-schedule seed (default 42)
+//! - `--warm-check`      replay the chaos population directly (requires
+//!   `--addr`) and assert zero eval-cache misses and zero design builds —
+//!   the post-crash journal-recovery gate
+//! - `--shutdown`        send a clean `shutdown` at the end even when
+//!   targeting an external daemon
 //!
-//! The workload runs twice: a **cold** phase against empty caches and a
-//! **warm** phase repeating the same request population. The warm phase
-//! must compile *nothing* (`warm.design_builds == 0`) — that delta is the
-//! whole point of a serving daemon — and the duplicate hot requests must
-//! show up in the dedup counter. Both are asserted, so a cache regression
-//! fails the bench rather than quietly inflating latency.
+//! The default workload runs twice: a **cold** phase against empty caches
+//! and a **warm** phase repeating the same request population. The warm
+//! phase must compile *nothing* (`warm.design_builds == 0`) — that delta
+//! is the whole point of a serving daemon — and the duplicate hot
+//! requests must show up in the dedup counter. Both are asserted, so a
+//! cache regression fails the bench rather than quietly inflating
+//! latency.
+//!
+//! The chaos workload (`--chaos`) uses a deterministic population of
+//! ping / simulate / verify requests so the recovery gate can be exact:
+//! after the chaos phase, a direct **settle** pass (no proxy) replays the
+//! clean population, guaranteeing every key is evaluated and journaled
+//! before the harness returns. A later `--warm-check` run — typically
+//! against a daemon restarted after `kill -9` — then proves the journal
+//! recovered everything: zero eval misses, zero design builds.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pphw_apps::all_benchmarks;
 use pphw_dse::cache::EvalCache;
 use pphw_ir::pretty::emit_program;
 use pphw_server::json::{escape, parse_json, Json};
-use pphw_server::{Client, Limits, Server, Service};
+use pphw_server::{CallOutcome, Client, Limits, RetryClient, RetryConfig, Server, Service};
+use pphw_testkit::chaos::{ChaosConfig, ChaosProxy};
 
 struct Args {
     addr: Option<String>,
     clients: usize,
     requests: usize,
     quick: bool,
-    out: String,
+    out: Option<String>,
+    chaos: bool,
+    chaos_seed: u64,
+    warm_check: bool,
+    shutdown: bool,
 }
 
 fn parse_args() -> Args {
@@ -46,7 +71,11 @@ fn parse_args() -> Args {
         clients: 4,
         requests: 40,
         quick: false,
-        out: "BENCH_serve.json".to_string(),
+        out: None,
+        chaos: false,
+        chaos_seed: 42,
+        warm_check: false,
+        shutdown: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,7 +85,13 @@ fn parse_args() -> Args {
             "--clients" => args.clients = val("--clients").parse().expect("--clients N"),
             "--requests" => args.requests = val("--requests").parse().expect("--requests N"),
             "--quick" => args.quick = true,
-            "--out" => args.out = val("--out"),
+            "--out" => args.out = Some(val("--out")),
+            "--chaos" => args.chaos = true,
+            "--chaos-seed" => {
+                args.chaos_seed = val("--chaos-seed").parse().expect("--chaos-seed N")
+            }
+            "--warm-check" => args.warm_check = true,
+            "--shutdown" => args.shutdown = true,
             other => panic!("unknown flag {other} (see the module docs)"),
         }
     }
@@ -65,6 +100,18 @@ fn parse_args() -> Args {
         args.requests = args.requests.min(20);
     }
     args
+}
+
+impl Args {
+    fn out_path(&self) -> &str {
+        self.out.as_deref().unwrap_or(if self.warm_check {
+            "BENCH_chaos_recovery.json"
+        } else if self.chaos {
+            "BENCH_chaos.json"
+        } else {
+            "BENCH_serve.json"
+        })
+    }
 }
 
 /// The request population: one line per (client, index) pair, identical
@@ -114,6 +161,29 @@ fn request_line(client: usize, i: usize, sources: &[(String, String)]) -> String
         _ => format!(
             "{{\"id\":{id},\"method\":\"dse\",\"bench\":\"sumrows\",\"sizes\":{{\"m\":16,\"n\":16}},\
              \"tile_candidates\":{{\"m\":[4,8]}},\"inner_pars\":[4]}}"
+        ),
+    }
+}
+
+/// The chaos population: deterministic ping / simulate / verify lines.
+/// Restricted to methods whose replay is exactly reproducible from the
+/// eval-cache journal (simulate short-circuits on a cache hit *before*
+/// touching the design cache; ping and verify build nothing), so the
+/// post-crash `--warm-check` can assert zero misses and zero builds.
+fn chaos_request_line(client: usize, i: usize) -> String {
+    let id = client * 10_000 + i;
+    let benches = ["sumrows", "outerprod", "gemm"];
+    let bench = benches[(client + i) % benches.len()];
+    let scale = if i.is_multiple_of(2) { 8 } else { 16 };
+    match i % 4 {
+        0 => format!("{{\"id\":{id},\"method\":\"ping\"}}"),
+        1 | 2 => format!(
+            "{{\"id\":{id},\"method\":\"simulate\",\"bench\":{},\"sizes\":{{\"m\":{scale},\"n\":{scale},\"p\":{scale}}},\"tiles\":{{\"m\":4,\"n\":4}},\"inner_par\":4}}",
+            escape(bench)
+        ),
+        _ => format!(
+            "{{\"id\":{id},\"method\":\"verify\",\"bench\":{}}}",
+            escape(bench)
         ),
     }
 }
@@ -254,8 +324,300 @@ fn delta(after: Counters, before: Counters) -> Counters {
     }
 }
 
+/// Outcome tallies for one chaos client.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChaosTally {
+    ok: u64,
+    typed_err: u64,
+    exhausted: u64,
+    attempts: u64,
+    reconnects: u64,
+    retried_overload: u64,
+    retried_transport: u64,
+}
+
+/// The `--chaos` mode: the population flows through a seeded
+/// fault-injecting proxy, each client retries through faults, and the
+/// gate is **exactly one typed outcome per logical request** — zero
+/// exhausted retries, zero untyped failures. A direct settle pass then
+/// journals the whole clean population (see the module docs).
+fn run_chaos(args: &Args) {
+    let (addr, in_process) = target_daemon(args);
+    let proxy = ChaosProxy::spawn(
+        addr,
+        ChaosConfig {
+            seed: args.chaos_seed,
+            ..ChaosConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("chaos proxy: {e}"));
+    let paddr = proxy.addr();
+
+    let t0 = Instant::now();
+    let tallies: Vec<ChaosTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let cfg = RetryConfig {
+                        jitter_seed: args
+                            .chaos_seed
+                            .wrapping_add((c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        read_timeout: Duration::from_secs(2),
+                        ..RetryConfig::default()
+                    };
+                    let mut rc = RetryClient::new(paddr, cfg);
+                    let mut t = ChaosTally::default();
+                    for i in 0..args.requests {
+                        let line = chaos_request_line(c, i);
+                        match rc.call(&line) {
+                            CallOutcome::Typed(resp) => {
+                                let v = parse_json(&resp).unwrap_or_else(|e| {
+                                    panic!("client {c} final outcome is not JSON: {e}")
+                                });
+                                if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                                    t.ok += 1;
+                                } else {
+                                    // A corrupted-but-parseable request can
+                                    // end in a typed error; that is still
+                                    // exactly one typed outcome, but it must
+                                    // carry a code.
+                                    assert!(
+                                        v.get("error").and_then(|e| e.get("code")).is_some(),
+                                        "client {c} request {i}: untyped failure: {resp}"
+                                    );
+                                    t.typed_err += 1;
+                                }
+                            }
+                            CallOutcome::Exhausted { attempts, last } => {
+                                eprintln!(
+                                    "chaos: client {c} request {i} exhausted after \
+                                     {attempts} attempts: {last}"
+                                );
+                                t.exhausted += 1;
+                            }
+                        }
+                    }
+                    let s = rc.stats();
+                    t.attempts = s.attempts;
+                    t.reconnects = s.reconnects;
+                    t.retried_overload = s.retried_overload;
+                    t.retried_transport = s.retried_transport;
+                    t
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let faults = proxy.stop();
+
+    let mut sum = ChaosTally::default();
+    for t in &tallies {
+        sum.ok += t.ok;
+        sum.typed_err += t.typed_err;
+        sum.exhausted += t.exhausted;
+        sum.attempts += t.attempts;
+        sum.reconnects += t.reconnects;
+        sum.retried_overload += t.retried_overload;
+        sum.retried_transport += t.retried_transport;
+    }
+    let total = (args.clients * args.requests) as u64;
+    assert_eq!(
+        sum.ok + sum.typed_err + sum.exhausted,
+        total,
+        "chaos accounting bug: outcomes do not cover the population"
+    );
+    assert_eq!(
+        sum.exhausted, 0,
+        "chaos gate: {} logical request(s) never reached a typed outcome",
+        sum.exhausted
+    );
+    assert!(
+        faults.chunks > 0,
+        "chaos proxy forwarded nothing — the run did not go through the proxy"
+    );
+    let injected = faults.disconnects
+        + faults.corruptions
+        + faults.duplicates
+        + faults.trickles
+        + faults.delays;
+    assert!(
+        injected > 0,
+        "chaos run injected zero faults — the schedule never fired, nothing was exercised"
+    );
+
+    // Settle pass: replay the clean population straight at the daemon so
+    // every key is evaluated and journaled regardless of which chaos
+    // requests ended in typed errors. This is the baseline the
+    // `--warm-check` recovery gate measures against.
+    let mut settle = Client::connect(&addr).unwrap_or_else(|e| panic!("settle connect: {e}"));
+    for c in 0..args.clients {
+        for i in 0..args.requests {
+            let line = chaos_request_line(c, i);
+            let resp = settle
+                .call(&line)
+                .unwrap_or_else(|e| panic!("settle {c}/{i}: {e}"));
+            let v = parse_json(&resp).unwrap_or_else(|e| panic!("settle {c}/{i}: {e}"));
+            assert_eq!(
+                v.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "settle {c}/{i} failed: {resp}"
+            );
+        }
+    }
+    drop(settle);
+
+    shutdown_daemon(&addr, in_process, args.shutdown);
+
+    let json = format!(
+        "{{\n  \"mode\": \"chaos\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+         \"requests_per_client\": {},\n  \"secs\": {secs:.4},\n  \
+         \"outcomes\": {{\"ok\": {}, \"typed_error\": {}, \"exhausted\": {}}},\n  \
+         \"retry\": {{\"attempts\": {}, \"reconnects\": {}, \"retried_overload\": {}, \
+         \"retried_transport\": {}}},\n  \
+         \"faults\": {{\"connections\": {}, \"chunks\": {}, \"disconnects\": {}, \
+         \"corruptions\": {}, \"duplicates\": {}, \"trickles\": {}, \"delays\": {}}},\n  \
+         \"settled\": {total}\n}}",
+        args.chaos_seed,
+        args.clients,
+        args.requests,
+        sum.ok,
+        sum.typed_err,
+        sum.exhausted,
+        sum.attempts,
+        sum.reconnects,
+        sum.retried_overload,
+        sum.retried_transport,
+        faults.connections,
+        faults.chunks,
+        faults.disconnects,
+        faults.corruptions,
+        faults.duplicates,
+        faults.trickles,
+        faults.delays,
+    );
+    let out = args.out_path();
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+    println!("wrote {out}");
+}
+
+/// The `--warm-check` mode: replay the chaos population directly against
+/// a (typically freshly restarted) daemon and assert the eval-cache
+/// journal recovered everything — zero eval misses, zero design builds.
+fn run_warm_check(args: &Args) {
+    let addr: std::net::SocketAddr = args
+        .addr
+        .as_deref()
+        .expect("--warm-check requires --addr (a daemon restarted over a recovered cache)")
+        .parse()
+        .unwrap_or_else(|e| panic!("--addr: {e}"));
+    let base = fetch_counters(&addr);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..args.clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).unwrap_or_else(|e| panic!("connect: {e}"));
+                for i in 0..args.requests {
+                    let line = chaos_request_line(c, i);
+                    let resp = client
+                        .call(&line)
+                        .unwrap_or_else(|e| panic!("warm-check {c}/{i}: {e}"));
+                    let v = parse_json(&resp).unwrap_or_else(|e| panic!("warm-check {c}/{i}: {e}"));
+                    assert_eq!(
+                        v.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "warm-check {c}/{i} failed: {resp}"
+                    );
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let end = fetch_counters(&addr);
+    let d = delta(end, base);
+    assert_eq!(
+        d.eval_misses, 0,
+        "recovery gate: warm replay re-evaluated {} key(s) the journal should have recovered",
+        d.eval_misses
+    );
+    assert_eq!(
+        d.design_builds, 0,
+        "recovery gate: warm replay rebuilt {} design(s) — eval-cache hits must \
+         short-circuit before the design cache",
+        d.design_builds
+    );
+
+    shutdown_daemon(&addr, None, args.shutdown);
+
+    let json = format!(
+        "{{\n  \"mode\": \"warm_check\",\n  \"clients\": {},\n  \
+         \"requests_per_client\": {},\n  \"secs\": {secs:.4},\n  \
+         \"eval_hits\": {},\n  \"eval_misses\": {},\n  \"design_builds\": {}\n}}",
+        args.clients, args.requests, d.eval_hits, d.eval_misses, d.design_builds,
+    );
+    let out = args.out_path();
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+    println!("wrote {out}");
+}
+
+/// Resolves the target daemon: an external one (`--addr`) or an
+/// in-process one on an ephemeral port.
+fn target_daemon(
+    args: &Args,
+) -> (
+    std::net::SocketAddr,
+    Option<std::thread::JoinHandle<pphw_server::ServiceStats>>,
+) {
+    match &args.addr {
+        Some(a) => (
+            a.parse().unwrap_or_else(|e| panic!("--addr {a}: {e}")),
+            None,
+        ),
+        None => {
+            let service = Arc::new(Service::new(Limits::default(), 2, EvalCache::new()));
+            let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 4)
+                .unwrap_or_else(|e| panic!("bind: {e}"));
+            let addr = server.local_addr().expect("local_addr");
+            let handle = std::thread::spawn(move || server.run().expect("serve"));
+            (addr, Some(handle))
+        }
+    }
+}
+
+/// Cleanly shuts the daemon down when it is in-process (always) or when
+/// `--shutdown` asked for it (external daemons).
+fn shutdown_daemon(
+    addr: &std::net::SocketAddr,
+    in_process: Option<std::thread::JoinHandle<pphw_server::ServiceStats>>,
+    forced: bool,
+) {
+    if in_process.is_none() && !forced {
+        return;
+    }
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client
+        .call("{\"id\":\"bye\",\"method\":\"shutdown\"}")
+        .expect("shutdown");
+    if let Some(handle) = in_process {
+        handle.join().expect("server thread");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.warm_check {
+        run_warm_check(&args);
+        return;
+    }
+    if args.chaos {
+        run_chaos(&args);
+        return;
+    }
 
     // Source-program payloads: the canonical text of two builder
     // benchmarks, exercising the frontend path under load.
@@ -266,18 +628,7 @@ fn main() {
         .collect();
 
     // Target: an external daemon (`--addr`) or an in-process one.
-    let mut in_process = None;
-    let addr = match &args.addr {
-        Some(a) => a.parse().unwrap_or_else(|e| panic!("--addr {a}: {e}")),
-        None => {
-            let service = Arc::new(Service::new(Limits::default(), 2, EvalCache::new()));
-            let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 4)
-                .unwrap_or_else(|e| panic!("bind: {e}"));
-            let addr = server.local_addr().expect("local_addr");
-            in_process = Some(std::thread::spawn(move || server.run().expect("serve")));
-            addr
-        }
-    };
+    let (addr, in_process) = target_daemon(&args);
 
     let per_phase = args.clients * args.requests;
     let base = fetch_counters(&addr);
@@ -309,13 +660,7 @@ fn main() {
         "no request was ever answered from the response memo — dedup is broken"
     );
 
-    if let Some(handle) = in_process {
-        let mut client = Client::connect(&addr).expect("connect for shutdown");
-        client
-            .call("{\"id\":\"bye\",\"method\":\"shutdown\"}")
-            .expect("shutdown");
-        handle.join().expect("server thread");
-    }
+    shutdown_daemon(&addr, in_process, args.shutdown);
 
     let json = format!(
         "{{\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"quick\": {},\n  \
@@ -333,7 +678,8 @@ fn main() {
         warm.delta.design_builds,
         cold_secs / warm_secs.max(1e-9),
     );
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    let out = args.out_path();
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("{json}");
-    println!("wrote {}", args.out);
+    println!("wrote {out}");
 }

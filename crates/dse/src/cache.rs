@@ -19,6 +19,12 @@
 //!   version-mismatched file degrades to a cold cache — a typed
 //!   [`CacheFileError`] or a silent miss, never a panic — and
 //!   [`EvalOutcome::Failed`] entries are never persisted.
+//!
+//! For crash safety beyond cooperative shutdown, a cache can be opened
+//! *journaled* ([`EvalCache::open_journaled`]): every insert is also
+//! appended to a sibling write-ahead journal (see [`crate::journal`]), so
+//! a process killed at any instant loses at most the last unflushed fsync
+//! batch instead of everything since the previous `save`.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -27,6 +33,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use pphw_hw::Area;
 
+use crate::journal::{Journal, JournalConfig, JournalStats};
 use crate::space::Candidate;
 use crate::{EvalOutcome, Measurement};
 
@@ -162,12 +169,18 @@ impl<T> DesignCache<T> {
 }
 
 /// A thread-safe memoization table from configuration hash to evaluation
-/// outcome, with lifetime hit/miss counters.
+/// outcome, with lifetime hit/miss counters and an optional write-ahead
+/// journal for crash safety ([`EvalCache::open_journaled`]).
 #[derive(Debug, Default)]
 pub struct EvalCache {
     map: Mutex<HashMap<u64, EvalOutcome>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// `Some` iff the cache was opened journaled. Locked strictly *after*
+    /// (never while holding a wait on) `map`: `insert` releases the table
+    /// lock before appending, and compaction — which takes the table lock
+    /// inside the journal lock via `save` — is therefore cycle-free.
+    journal: Mutex<Option<Journal>>,
 }
 
 impl EvalCache {
@@ -197,9 +210,65 @@ impl EvalCache {
         out
     }
 
-    /// Stores a measurement.
+    /// Stores a measurement. On a journaled cache the entry is also
+    /// appended to the write-ahead journal (unless it is an
+    /// [`EvalOutcome::Failed`], which is never persisted), and the journal
+    /// is compacted into a fresh snapshot once it outgrows its size
+    /// threshold. The in-memory insert always happens first, so a
+    /// snapshot written by compaction is always a superset of what the
+    /// journal recorded.
     pub fn insert(&self, key: u64, outcome: EvalOutcome) {
-        self.table().insert(key, outcome);
+        let journal_worthy = !matches!(outcome, EvalOutcome::Failed(_));
+        if journal_worthy {
+            self.table().insert(key, outcome.clone());
+            self.journal_append(key, &outcome);
+        } else {
+            self.table().insert(key, outcome);
+        }
+    }
+
+    /// Locks the journal slot, recovering from poisoning (the journal's
+    /// own byte-level invariants are maintained by `Journal`, not by the
+    /// critical section).
+    fn journal_slot(&self) -> std::sync::MutexGuard<'_, Option<Journal>> {
+        self.journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends one already-inserted entry to the journal (no-op on an
+    /// unjournaled cache) and compacts if the journal has outgrown its
+    /// threshold. Journal I/O errors degrade persistence, never serving:
+    /// they are counted in [`JournalStats::io_errors`] and the in-memory
+    /// entry stands.
+    fn journal_append(&self, key: u64, outcome: &EvalOutcome) {
+        let mut slot = self.journal_slot();
+        let Some(j) = slot.as_mut() else { return };
+        if let Err(e) = j.append(key, outcome) {
+            j.stats.io_errors += 1;
+            eprintln!("warning: eval-cache journal append failed: {e}");
+            return;
+        }
+        if j.wants_compaction() {
+            let snapshot = j.snapshot_path.clone();
+            // Publish the snapshot first, then reset the journal: a crash
+            // between the two replays entries that are already in the
+            // snapshot, which is harmless.
+            match self.save(&snapshot) {
+                Ok(()) => {
+                    if let Err(e) = j.reset() {
+                        j.stats.io_errors += 1;
+                        eprintln!("warning: eval-cache journal reset failed: {e}");
+                    } else {
+                        j.stats.compactions += 1;
+                    }
+                }
+                Err(e) => {
+                    j.stats.io_errors += 1;
+                    eprintln!("warning: eval-cache compaction save failed: {e}");
+                }
+            }
+        }
     }
 
     /// Number of cached configurations.
@@ -321,6 +390,93 @@ impl EvalCache {
     pub fn load_or_cold(path: &Path) -> EvalCache {
         EvalCache::load(path).unwrap_or_default()
     }
+
+    /// Opens a crash-safe journaled cache at `path` with default tuning:
+    /// [`EvalCache::open_journaled_with`] with [`JournalConfig::default`].
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] if the journal file cannot be opened or
+    /// repaired (a corrupt *snapshot* still degrades to cold, as with
+    /// [`EvalCache::load_or_cold`]).
+    pub fn open_journaled(path: &Path) -> std::io::Result<EvalCache> {
+        EvalCache::open_journaled_with(path, JournalConfig::default())
+    }
+
+    /// Opens a crash-safe journaled cache: loads the snapshot at `path`
+    /// (cold on any irregularity), replays the intact prefix of the
+    /// sibling `<path>.jnl` journal on top of it (journal entries win —
+    /// they are newer), truncates any torn journal tail, and arms the
+    /// cache so every subsequent [`EvalCache::insert`] is appended to the
+    /// journal (fsynced every [`JournalConfig::sync_every`] records) and
+    /// compacted into a fresh snapshot once the journal exceeds
+    /// [`JournalConfig::compact_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] if the journal file cannot be opened,
+    /// repaired, or created.
+    pub fn open_journaled_with(path: &Path, cfg: JournalConfig) -> std::io::Result<EvalCache> {
+        let cache = EvalCache::load_or_cold(path);
+        let recovered_snapshot = cache.len() as u64;
+        let (mut journal, replayed) = Journal::open(path, cfg)?;
+        journal.stats.recovered_snapshot = recovered_snapshot;
+        {
+            let mut table = cache.table();
+            for (key, outcome) in replayed {
+                table.insert(key, outcome);
+            }
+        }
+        *cache.journal_slot() = Some(journal);
+        Ok(cache)
+    }
+
+    /// Whether this cache was opened with a write-ahead journal.
+    #[must_use]
+    pub fn is_journaled(&self) -> bool {
+        self.journal_slot().is_some()
+    }
+
+    /// A snapshot of the journal's recovery/append/compaction counters,
+    /// or `None` on an unjournaled cache.
+    #[must_use]
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal_slot().as_ref().map(|j| j.stats)
+    }
+
+    /// Forces any unsynced journal batch to disk. No-op (and `Ok`) on an
+    /// unjournaled cache.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `fsync` error, if any.
+    pub fn flush_journal(&self) -> std::io::Result<()> {
+        match self.journal_slot().as_mut() {
+            Some(j) => j.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Rewrites the snapshot from the full in-memory table (atomic
+    /// temp-file + rename) and resets the journal to empty. Call at
+    /// cooperative shutdown so the next open replays nothing. No-op on an
+    /// unjournaled cache — use [`EvalCache::save`] there.
+    ///
+    /// # Errors
+    ///
+    /// A [`CacheFileError`] if the snapshot cannot be written or the
+    /// journal cannot be reset.
+    pub fn checkpoint(&self) -> Result<(), CacheFileError> {
+        let mut slot = self.journal_slot();
+        let Some(j) = slot.as_mut() else {
+            return Ok(());
+        };
+        let snapshot = j.snapshot_path.clone();
+        self.save(&snapshot)?;
+        j.reset().map_err(CacheFileError::Io)?;
+        j.stats.compactions += 1;
+        Ok(())
+    }
 }
 
 /// File magic for the persistent evaluation cache.
@@ -398,14 +554,14 @@ impl std::error::Error for CacheFileError {
     }
 }
 
-fn entry_checksum(key: u64, payload: &[u8]) -> u64 {
+pub(crate) fn entry_checksum(key: u64, payload: &[u8]) -> u64 {
     let mut buf = Vec::with_capacity(8 + payload.len());
     buf.extend_from_slice(&key.to_le_bytes());
     buf.extend_from_slice(payload);
     fnv1a64(&buf)
 }
 
-fn encode_outcome(out: &EvalOutcome) -> Vec<u8> {
+pub(crate) fn encode_outcome(out: &EvalOutcome) -> Vec<u8> {
     match out {
         EvalOutcome::Feasible(m) => {
             let mut b = Vec::with_capacity(1 + 6 * 8);
@@ -431,7 +587,7 @@ fn encode_outcome(out: &EvalOutcome) -> Vec<u8> {
     }
 }
 
-fn decode_outcome(payload: &[u8]) -> Option<EvalOutcome> {
+pub(crate) fn decode_outcome(payload: &[u8]) -> Option<EvalOutcome> {
     let mut r = Reader::new(payload);
     let out = match r.take(1).ok()?[0] {
         0 => {

@@ -38,6 +38,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod journal;
 pub mod pareto;
 pub mod pool;
 pub mod prune;
@@ -46,6 +47,7 @@ pub mod space;
 
 pub use cache::EvalCache;
 pub use engine::{explore, DseConfig};
+pub use journal::{journal_path, JournalConfig, JournalStats};
 pub use pareto::pareto_frontier;
 pub use report::{DseReport, DseStats, EvaluatedPoint, FailedPoint};
 pub use space::{pow2_divisors, Candidate, SearchSpace};

@@ -1,0 +1,340 @@
+//! Crash-recovery tests for the journaled evaluation cache: a kill-matrix
+//! that cuts or corrupts the journal at every byte boundary of the last
+//! record, compaction under concurrent append, and checkpoint semantics.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use pphw_dse::cache::EvalCache;
+use pphw_dse::{journal_path, EvalOutcome, JournalConfig, Measurement};
+use pphw_hw::Area;
+
+/// Bytes of the journal header (magic + version).
+const HEADER: u64 = 12;
+/// Bytes of one journaled `Feasible` record: key u64 + len u32 +
+/// payload (tag byte + 3×u64 + 3×f64-bits = 49) + checksum u64.
+const FEASIBLE_RECORD: u64 = 8 + 4 + 49 + 8;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pphw-journal-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn feasible(cycles: u64) -> EvalOutcome {
+    EvalOutcome::Feasible(Measurement {
+        cycles,
+        dram_words: cycles + 1,
+        on_chip_bytes: cycles + 2,
+        area: Area {
+            logic: 1.0,
+            ff: 2.0,
+            mem: 3.0,
+        },
+    })
+}
+
+/// Every insert on a journaled cache survives a reopen, including
+/// `Infeasible`; `Failed` is never journaled.
+#[test]
+fn journaled_inserts_survive_reopen() {
+    let dir = fresh_dir("reopen");
+    let path = dir.join("evals.pphwc");
+    {
+        let cache = EvalCache::open_journaled(&path).unwrap();
+        assert!(cache.is_journaled());
+        cache.insert(1, feasible(100));
+        cache.insert(2, EvalOutcome::Infeasible("too big".into()));
+        cache.insert(3, EvalOutcome::Failed("transient".into()));
+        // No checkpoint, no cooperative save: the journal alone carries it.
+    }
+    let reopened = EvalCache::open_journaled(&path).unwrap();
+    assert_eq!(reopened.get(1), Some(feasible(100)));
+    assert_eq!(
+        reopened.get(2),
+        Some(EvalOutcome::Infeasible("too big".into()))
+    );
+    assert!(reopened.get(3).is_none(), "Failed must not be journaled");
+    let stats = reopened.journal_stats().unwrap();
+    assert_eq!(stats.recovered_journal, 2);
+    assert_eq!(stats.recovered_snapshot, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The kill-matrix: with N flushed fixed-size records, truncating the
+/// journal at EVERY byte boundary recovers exactly the complete-record
+/// prefix, truncates the torn tail on disk, and accepts new appends.
+#[test]
+fn kill_matrix_truncation_at_every_byte() {
+    let dir = fresh_dir("killmatrix");
+    let path = dir.join("evals.pphwc");
+    const N: u64 = 5;
+    {
+        let cache = EvalCache::open_journaled_with(
+            &path,
+            JournalConfig {
+                sync_every: 1,
+                compact_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        for k in 0..N {
+            cache.insert(k, feasible(1000 + k));
+        }
+    }
+    let full = std::fs::read(journal_path(&path)).unwrap();
+    assert_eq!(full.len() as u64, HEADER + N * FEASIBLE_RECORD);
+
+    for cut in 0..=full.len() {
+        let case = dir.join(format!("cut-{cut}"));
+        std::fs::create_dir_all(&case).unwrap();
+        let snap = case.join("evals.pphwc");
+        std::fs::write(journal_path(&snap), &full[..cut]).unwrap();
+
+        let expected = if (cut as u64) < HEADER {
+            0
+        } else {
+            (cut as u64 - HEADER) / FEASIBLE_RECORD
+        };
+        let cache = EvalCache::open_journaled_with(
+            &snap,
+            JournalConfig {
+                sync_every: 1,
+                compact_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            cache.len() as u64,
+            expected,
+            "cut at byte {cut}: wrong recovery count"
+        );
+        for k in 0..expected {
+            assert_eq!(cache.get(k), Some(feasible(1000 + k)), "cut {cut} key {k}");
+        }
+        // The torn tail is gone from disk: appends resume on a record
+        // boundary and survive the next reopen.
+        cache.insert(900 + cut as u64, feasible(7));
+        drop(cache);
+        let on_disk = std::fs::read(journal_path(&snap)).unwrap();
+        assert_eq!(
+            on_disk.len() as u64,
+            HEADER + (expected + 1) * FEASIBLE_RECORD,
+            "cut {cut}: tail not truncated"
+        );
+        let reopened = EvalCache::open_journaled(&snap).unwrap();
+        assert_eq!(reopened.len() as u64, expected + 1);
+        assert_eq!(reopened.get(900 + cut as u64), Some(feasible(7)));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corrupting any single byte of the LAST record loses only that record:
+/// the intact prefix survives bit-exact.
+#[test]
+fn corrupting_last_record_loses_only_that_record() {
+    let dir = fresh_dir("corrupt-last");
+    let path = dir.join("evals.pphwc");
+    const N: u64 = 4;
+    {
+        let cache = EvalCache::open_journaled_with(
+            &path,
+            JournalConfig {
+                sync_every: 1,
+                compact_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        for k in 0..N {
+            cache.insert(k, feasible(2000 + k));
+        }
+    }
+    let full = std::fs::read(journal_path(&path)).unwrap();
+    let last_start = (HEADER + (N - 1) * FEASIBLE_RECORD) as usize;
+
+    for offset in last_start..full.len() {
+        let case = dir.join(format!("flip-{offset}"));
+        std::fs::create_dir_all(&case).unwrap();
+        let snap = case.join("evals.pphwc");
+        let mut bytes = full.clone();
+        bytes[offset] ^= 0xA5;
+        std::fs::write(journal_path(&snap), &bytes).unwrap();
+
+        let cache = EvalCache::open_journaled(&snap).unwrap();
+        assert_eq!(
+            cache.len() as u64,
+            N - 1,
+            "flip at byte {offset}: prefix lost or corrupt record accepted"
+        );
+        for k in 0..N - 1 {
+            assert_eq!(cache.get(k), Some(feasible(2000 + k)));
+        }
+        let stats = cache.journal_stats().unwrap();
+        assert!(
+            stats.torn_tail_bytes >= FEASIBLE_RECORD,
+            "flip {offset}: torn tail not counted ({stats:?})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A journal that outgrows `compact_bytes` is folded into the snapshot
+/// and reset; nothing is lost across the compactions and the journal file
+/// stays bounded.
+#[test]
+fn compaction_bounds_journal_and_loses_nothing() {
+    let dir = fresh_dir("compaction");
+    let path = dir.join("evals.pphwc");
+    let cfg = JournalConfig {
+        sync_every: 1,
+        // Roughly three Feasible records.
+        compact_bytes: 3 * FEASIBLE_RECORD,
+    };
+    const N: u64 = 20;
+    {
+        let cache = EvalCache::open_journaled_with(&path, cfg).unwrap();
+        for k in 0..N {
+            cache.insert(k, feasible(3000 + k));
+        }
+        let stats = cache.journal_stats().unwrap();
+        assert!(
+            stats.compactions >= 4,
+            "expected many compactions: {stats:?}"
+        );
+        assert_eq!(stats.appended, N);
+    }
+    // The journal never grew past threshold + one record.
+    let jnl = std::fs::read(journal_path(&path)).unwrap();
+    assert!(
+        (jnl.len() as u64) <= cfg.compact_bytes + FEASIBLE_RECORD,
+        "journal not bounded: {} bytes",
+        jnl.len()
+    );
+    // The snapshot now exists and, with the journal tail, covers all N.
+    let reopened = EvalCache::open_journaled_with(&path, cfg).unwrap();
+    assert_eq!(reopened.len() as u64, N);
+    for k in 0..N {
+        assert_eq!(reopened.get(k), Some(feasible(3000 + k)));
+    }
+    let stats = reopened.journal_stats().unwrap();
+    assert!(
+        stats.recovered_snapshot > 0,
+        "compaction never published a snapshot: {stats:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Compaction racing concurrent appenders: every key inserted by any
+/// thread is durable, whether it landed in the snapshot or the journal.
+#[test]
+fn compaction_under_concurrent_append_loses_nothing() {
+    let dir = fresh_dir("concurrent");
+    let path = dir.join("evals.pphwc");
+    let cfg = JournalConfig {
+        sync_every: 2,
+        compact_bytes: 4 * FEASIBLE_RECORD,
+    };
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50;
+    {
+        let cache = EvalCache::open_journaled_with(&path, cfg).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let key = t * 10_000 + i;
+                        cache.insert(key, feasible(key));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len() as u64, THREADS * PER_THREAD);
+    }
+    let reopened = EvalCache::open_journaled_with(&path, cfg).unwrap();
+    assert_eq!(reopened.len() as u64, THREADS * PER_THREAD);
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let key = t * 10_000 + i;
+            assert_eq!(reopened.get(key), Some(feasible(key)), "lost key {key}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `checkpoint` folds everything into the snapshot and empties the
+/// journal, so the next open replays nothing.
+#[test]
+fn checkpoint_empties_journal_and_publishes_snapshot() {
+    let dir = fresh_dir("checkpoint");
+    let path = dir.join("evals.pphwc");
+    let cache = EvalCache::open_journaled(&path).unwrap();
+    for k in 0..6u64 {
+        cache.insert(k, feasible(4000 + k));
+    }
+    cache.checkpoint().unwrap();
+    let jnl = std::fs::read(journal_path(&path)).unwrap();
+    assert_eq!(jnl.len() as u64, HEADER, "checkpoint left journal records");
+    drop(cache);
+
+    let reopened = EvalCache::open_journaled(&path).unwrap();
+    assert_eq!(reopened.len(), 6);
+    let stats = reopened.journal_stats().unwrap();
+    assert_eq!(stats.recovered_snapshot, 6);
+    assert_eq!(stats.recovered_journal, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Journal entries are newer than the snapshot and win on key collision.
+#[test]
+fn journal_replay_wins_over_snapshot() {
+    let dir = fresh_dir("replay-wins");
+    let path = dir.join("evals.pphwc");
+    {
+        let cache = EvalCache::open_journaled(&path).unwrap();
+        cache.insert(1, feasible(111));
+        cache.checkpoint().unwrap(); // snapshot: key 1 -> 111
+        cache.insert(1, feasible(222)); // journal only: key 1 -> 222
+    }
+    let reopened = EvalCache::open_journaled(&path).unwrap();
+    assert_eq!(reopened.get(1), Some(feasible(222)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A foreign or half-written journal header is treated as empty — the
+/// snapshot still loads, nothing panics, and the journal is rebuilt.
+#[test]
+fn foreign_journal_header_degrades_to_snapshot_only() {
+    let dir = fresh_dir("foreign-header");
+    let path = dir.join("evals.pphwc");
+    {
+        let cache = EvalCache::open_journaled(&path).unwrap();
+        cache.insert(1, feasible(10));
+        cache.checkpoint().unwrap();
+    }
+    std::fs::write(journal_path(&path), b"NOTAJRNL").unwrap();
+    let reopened = EvalCache::open_journaled(&path).unwrap();
+    assert_eq!(reopened.get(1), Some(feasible(10)));
+    let stats = reopened.journal_stats().unwrap();
+    assert_eq!(stats.recovered_journal, 0);
+    // And it is usable again.
+    reopened.insert(2, feasible(20));
+    drop(reopened);
+    let again = EvalCache::open_journaled(&path).unwrap();
+    assert_eq!(again.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The journal API is a harmless no-op on an unjournaled cache.
+#[test]
+fn unjournaled_cache_noops() {
+    let cache = EvalCache::new();
+    cache.insert(1, feasible(1));
+    assert!(!cache.is_journaled());
+    assert!(cache.journal_stats().is_none());
+    cache.flush_journal().unwrap();
+    cache.checkpoint().unwrap();
+    assert_eq!(cache.len(), 1);
+}

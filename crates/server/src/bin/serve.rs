@@ -2,8 +2,10 @@
 //!
 //! Usage:
 //! `cargo run --release -p pphw-server --bin serve [--addr HOST:PORT]
-//!  [--threads N] [--dse-threads N] [--cache PATH] [--max-space N]
-//!  [--default-cycle-budget N] [--max-cycle-budget N] [--print-addr]`
+//!  [--threads N] [--dse-threads N] [--cache PATH] [--cache-sync-every N]
+//!  [--cache-compact-bytes N] [--max-space N] [--max-connections N]
+//!  [--max-inflight N] [--default-cycle-budget N] [--max-cycle-budget N]
+//!  [--debug-methods] [--print-addr]`
 //!
 //! - `--addr HOST:PORT`  listen address (default `127.0.0.1:7340`; port
 //!   `0` picks an ephemeral port — combine with `--print-addr`)
@@ -11,22 +13,35 @@
 //! - `--dse-threads N`   worker threads inside one `dse` request
 //!   (default 2 — a serving daemon balances many requests rather than
 //!   racing one sweep)
-//! - `--cache PATH`      persistent measurement cache: loaded at startup
-//!   (cold if missing or damaged), saved at shutdown
+//! - `--cache PATH`      persistent measurement cache, opened
+//!   **journaled**: the snapshot (and any journal tail) is recovered at
+//!   startup, every evaluation is appended to `PATH.jnl` as it lands, and
+//!   a clean shutdown checkpoints the journal into the snapshot. `kill
+//!   -9` loses at most the last unsynced append batch.
+//! - `--cache-sync-every N`  fsync the journal every N appends
+//!   (default 8; `1` = maximum durability, every evaluation)
+//! - `--cache-compact-bytes N`  compact the journal into the snapshot
+//!   once it exceeds N bytes (default 4 MiB)
 //! - `--max-space N`     per-request DSE candidate ceiling
+//! - `--max-connections N` / `--max-inflight N`  overload protection:
+//!   connections beyond the cap get one typed retryable `EOVERLOAD` line;
+//!   work beyond the in-flight budget is shed the same way
 //! - `--default-cycle-budget N` / `--max-cycle-budget N`  watchdog
 //!   defaults and clamp for simulation requests
+//! - `--debug-methods`   expose fault-injection debug methods
+//!   (`__panic`) — test harnesses only, never production
 //! - `--print-addr`      print `listening on ADDR` once bound (scripts
 //!   parse this to find an ephemeral port)
 //!
 //! The daemon runs until a client sends `{"method":"shutdown"}`, then
-//! saves the cache (if `--cache`) and prints the final counters.
+//! checkpoints the cache (if `--cache`) and prints the final counters.
 
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use pphw_dse::cache::EvalCache;
+use pphw_dse::JournalConfig;
 use pphw_server::{Limits, Server, Service};
 
 struct Args {
@@ -34,6 +49,7 @@ struct Args {
     threads: usize,
     dse_threads: usize,
     cache: Option<String>,
+    journal_cfg: JournalConfig,
     limits: Limits,
     print_addr: bool,
 }
@@ -44,6 +60,7 @@ fn parse_args() -> Args {
         threads: 4,
         dse_threads: 2,
         cache: None,
+        journal_cfg: JournalConfig::default(),
         limits: Limits::default(),
         print_addr: false,
     };
@@ -57,8 +74,26 @@ fn parse_args() -> Args {
                 args.dse_threads = val("--dse-threads").parse().expect("--dse-threads N");
             }
             "--cache" => args.cache = Some(val("--cache")),
+            "--cache-sync-every" => {
+                args.journal_cfg.sync_every = val("--cache-sync-every")
+                    .parse()
+                    .expect("--cache-sync-every N");
+            }
+            "--cache-compact-bytes" => {
+                args.journal_cfg.compact_bytes = val("--cache-compact-bytes")
+                    .parse()
+                    .expect("--cache-compact-bytes N");
+            }
             "--max-space" => {
                 args.limits.max_space = val("--max-space").parse().expect("--max-space N");
+            }
+            "--max-connections" => {
+                args.limits.max_connections = val("--max-connections")
+                    .parse()
+                    .expect("--max-connections N");
+            }
+            "--max-inflight" => {
+                args.limits.max_inflight = val("--max-inflight").parse().expect("--max-inflight N");
             }
             "--default-cycle-budget" => {
                 args.limits.default_cycle_budget = val("--default-cycle-budget")
@@ -70,6 +105,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--max-cycle-budget N");
             }
+            "--debug-methods" => args.limits.debug_methods = true,
             "--print-addr" => args.print_addr = true,
             other => panic!("unknown flag {other} (see the module docs)"),
         }
@@ -80,11 +116,28 @@ fn parse_args() -> Args {
 fn main() -> ExitCode {
     let args = parse_args();
     let evals = match &args.cache {
-        Some(p) => {
-            let cache = EvalCache::load_or_cold(Path::new(p));
-            eprintln!("eval cache: {} entries preloaded from {p}", cache.len());
-            cache
-        }
+        Some(p) => match EvalCache::open_journaled_with(Path::new(p), args.journal_cfg) {
+            Ok(cache) => {
+                let js = cache.journal_stats().unwrap_or_default();
+                eprintln!(
+                    "eval cache: {} entries recovered from {p} \
+                     ({} snapshot + {} journal, {} torn byte(s) discarded)",
+                    cache.len(),
+                    js.recovered_snapshot,
+                    js.recovered_journal,
+                    js.torn_tail_bytes
+                );
+                cache
+            }
+            Err(e) => {
+                // Degraded: serve from the snapshot alone, without
+                // crash-safety, rather than refuse to start.
+                eprintln!("eval cache: journal open failed ({e}); running unjournaled");
+                let cache = EvalCache::load_or_cold(Path::new(p));
+                eprintln!("eval cache: {} entries preloaded from {p}", cache.len());
+                cache
+            }
+        },
         None => EvalCache::new(),
     };
     let service = Arc::new(Service::new(args.limits, args.dse_threads, evals));
@@ -111,12 +164,26 @@ fn main() -> ExitCode {
         }
     };
     if let Some(p) = &args.cache {
-        match service.eval_cache().save(Path::new(p)) {
-            Ok(()) => eprintln!(
-                "eval cache: {} entries saved to {p}",
-                service.eval_cache().len()
-            ),
-            Err(e) => eprintln!("eval cache: save failed: {e}"),
+        let cache = service.eval_cache();
+        let result = if cache.is_journaled() {
+            // Fold the journal into the snapshot so the next start
+            // recovers from the snapshot alone.
+            cache.checkpoint().map_err(|e| e.to_string())
+        } else {
+            cache.save(Path::new(p)).map_err(|e| e.to_string())
+        };
+        match result {
+            Ok(()) => eprintln!("eval cache: {} entries saved to {p}", cache.len()),
+            Err(e) => {
+                service.note_save_failure();
+                eprintln!("eval cache: save failed: {e}");
+            }
+        }
+        if let Some(js) = cache.journal_stats() {
+            eprintln!(
+                "eval journal: {} appended, {} sync(s), {} compaction(s), {} io error(s)",
+                js.appended, js.syncs, js.compactions, js.io_errors
+            );
         }
     }
     eprintln!("final stats: {}", stats.to_json());

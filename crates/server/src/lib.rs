@@ -17,8 +17,16 @@
 //! - [`server`] — the TCP front: per-connection handlers, pipelined
 //!   request batching onto the work-stealing pool, and a minimal
 //!   [`server::Client`] for tests and the load harness.
+//! - [`retry`] — a retrying client ([`retry::RetryClient`]) that drives
+//!   every logical request to exactly one typed outcome across transport
+//!   faults and `EOVERLOAD` sheds (used by the chaos harness).
 //!
-//! See the repository README ("Serving") for the protocol by example.
+//! The daemon is hardened against crash, overload, and hostile networks:
+//! the eval cache can be opened journaled (crash-safe), connections and
+//! in-flight work are capped with typed retryable `EOVERLOAD` sheds, and
+//! a panicking handler is contained as a typed `EINTERNAL` without
+//! dropping the connection. See the README ("Serving" and "Failure model
+//! & degraded operation") for the protocol and guarantees by example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +36,11 @@
 
 pub mod json;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod service;
 
 pub use protocol::{codes, ErrorBody, Limits};
+pub use retry::{CallOutcome, RetryClient, RetryConfig, RetryStats};
 pub use server::{Client, Server};
 pub use service::{Service, ServiceStats};

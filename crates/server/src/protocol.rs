@@ -48,6 +48,15 @@ pub mod codes {
     pub const SIM: &str = "ESIM";
     /// Design-space exploration failed (empty space, nothing feasible).
     pub const DSE: &str = "EDSE";
+    /// The server shed this request (or connection) because its in-flight
+    /// work budget or connection cap is full. Always retryable: the error
+    /// object carries `"retryable":true`, nothing was evaluated, and
+    /// nothing was cached.
+    pub const OVERLOAD: &str = "EOVERLOAD";
+    /// The request handler panicked. The connection survives, the panic
+    /// is reported typed, and the response is never memoized (a retry
+    /// re-runs the work).
+    pub const INTERNAL: &str = "EINTERNAL";
 }
 
 /// A typed protocol error: a stable code, a message, and optional extra
@@ -73,6 +82,15 @@ impl ErrorBody {
         }
     }
 
+    /// Whether the error object carries `"retryable":true` — the client
+    /// may safely resend the identical request after a backoff.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        self.extra
+            .iter()
+            .any(|(k, v)| k == "retryable" && v == "true")
+    }
+
     /// Renders the `{"code":…,"message":…}` object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -88,6 +106,34 @@ impl ErrorBody {
         out.push('}');
         out
     }
+}
+
+/// The typed shed error for a full in-flight work budget. Marked
+/// retryable: the server did no work and cached nothing.
+#[must_use]
+pub fn overload_inflight(limit: usize) -> ErrorBody {
+    let mut err = ErrorBody::new(
+        codes::OVERLOAD,
+        format!(
+            "server overloaded: in-flight work budget reached (limit {limit}); retry with backoff"
+        ),
+    );
+    err.extra
+        .push(("retryable".to_string(), "true".to_string()));
+    err
+}
+
+/// The typed shed error for a full connection cap. Marked retryable: the
+/// daemon wrote this one line and closed the connection without reading.
+#[must_use]
+pub fn overload_connections(limit: usize) -> ErrorBody {
+    let mut err = ErrorBody::new(
+        codes::OVERLOAD,
+        format!("server overloaded: connection limit reached (limit {limit}); retry with backoff"),
+    );
+    err.extra
+        .push(("retryable".to_string(), "true".to_string()));
+    err
 }
 
 /// Renders a success response line (no trailing newline).
@@ -131,6 +177,18 @@ pub struct Limits {
     pub max_cycle_budget: u64,
     /// Watchdog cycle budget applied when the request names none.
     pub default_cycle_budget: u64,
+    /// Maximum simultaneously-open connections; an accept beyond the cap
+    /// is answered with one [`codes::OVERLOAD`] line and closed.
+    pub max_connections: usize,
+    /// Maximum work requests (compile / verify / simulate / dse) allowed
+    /// in flight at once; requests beyond the budget get an immediate
+    /// [`codes::OVERLOAD`] instead of queuing without bound. `0` sheds
+    /// every work request (useful for drain mode and tests).
+    pub max_inflight: usize,
+    /// Enables test-only debug methods (currently `__panic`, which
+    /// exercises the panic containment path). Off by default: a
+    /// production daemon answers `__panic` with [`codes::METHOD`].
+    pub debug_methods: bool,
 }
 
 impl Default for Limits {
@@ -143,6 +201,9 @@ impl Default for Limits {
             max_space: 512,
             max_cycle_budget: 1 << 40,
             default_cycle_budget: 1 << 32,
+            max_connections: 256,
+            max_inflight: 64,
+            debug_methods: false,
         }
     }
 }
@@ -227,6 +288,13 @@ pub enum Method {
     Ping,
     /// Cache / dedup / request counters.
     Stats,
+    /// Overload / degradation gauges: in-flight work, open connections,
+    /// shed counts, panics, persistence failures.
+    Health,
+    /// Test-only (gated on [`Limits::debug_methods`]): panics inside the
+    /// work path to prove the daemon contains it as a typed
+    /// [`codes::INTERNAL`] error.
+    TestPanic,
     /// Clean daemon shutdown (responds, then stops accepting).
     Shutdown,
     /// Compile to a design summary (no simulation).
@@ -246,7 +314,11 @@ impl Method {
     pub fn is_work(&self) -> bool {
         matches!(
             self,
-            Method::Compile(_) | Method::Verify(_) | Method::Simulate(_) | Method::Dse(_)
+            Method::Compile(_)
+                | Method::Verify(_)
+                | Method::Simulate(_)
+                | Method::Dse(_)
+                | Method::TestPanic
         )
     }
 }
@@ -514,7 +586,9 @@ impl Request {
         let method = match method {
             "ping" => Method::Ping,
             "stats" => Method::Stats,
+            "health" => Method::Health,
             "shutdown" => Method::Shutdown,
+            "__panic" if limits.debug_methods => Method::TestPanic,
             "compile" => Method::Compile(decode_work(&v, limits).map_err(fail)?),
             "verify" => Method::Verify(decode_work(&v, limits).map_err(fail)?),
             "simulate" => Method::Simulate(decode_work(&v, limits).map_err(fail)?),
@@ -566,7 +640,9 @@ impl Request {
         match &self.method {
             Method::Ping => "ping".to_string(),
             Method::Stats => "stats".to_string(),
+            Method::Health => "health".to_string(),
             Method::Shutdown => "shutdown".to_string(),
+            Method::TestPanic => "__panic".to_string(),
             Method::Compile(w) => work("compile", w),
             Method::Verify(w) => work("verify", w),
             Method::Simulate(w) => work("simulate", w),

@@ -9,9 +9,10 @@
 //! concurrently, while a lock-step client costs no extra threads.
 //!
 //! Shutdown is cooperative: the `shutdown` method flips the service flag,
-//! each handler drains its current batch and closes, and the acceptor is
-//! woken by a loopback connection so `run` can return and the caller can
-//! persist the measurement cache.
+//! each handler drains its current batch and closes (idle handlers notice
+//! within one [`SHUTDOWN_POLL`] interval, so a lingering peer cannot pin
+//! the daemon's exit), and the acceptor is woken by a loopback connection
+//! so `run` can return and the caller can persist the measurement cache.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -26,6 +27,17 @@ use crate::service::{Service, ServiceStats};
 /// How long a connection may sit idle mid-line before the handler gives
 /// up on it (dead peers must not pin handler threads forever).
 const READ_TIMEOUT: Duration = Duration::from_mins(2);
+
+/// The socket-level read timeout. Reads wake at this interval so an idle
+/// handler notices a cooperative shutdown promptly instead of pinning
+/// `run`'s final join for the full [`READ_TIMEOUT`]; the idle budget
+/// itself is enforced by the read loop, not the socket.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(250);
+
+/// How long a response write may block before the handler gives up on the
+/// connection: a stalled reader (full socket buffer, frozen peer) costs
+/// the daemon one closed connection, never a wedged handler thread.
+const WRITE_TIMEOUT: Duration = Duration::from_mins(1);
 
 /// A bound listener plus the shared service it answers from.
 pub struct Server {
@@ -83,6 +95,13 @@ impl Server {
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
                 Err(e) => return Err(e),
             };
+            if !self.service.try_admit_connection() {
+                // Beyond the cap: one typed, retryable refusal line, then
+                // close. No handler thread is spawned, so a connection
+                // flood costs the daemon one bounded write per peer.
+                shed_connection(&stream, self.service.limits().max_connections);
+                continue;
+            }
             let service = Arc::clone(&self.service);
             let live = Arc::clone(&live);
             let threads = self.batch_threads;
@@ -91,6 +110,7 @@ impl Server {
                 // Connection errors only end this peer's session.
                 let was_shutdown = service.is_shutdown();
                 let _ = serve_connection(&service, stream, threads);
+                service.connection_closed();
                 live.fetch_sub(1, Ordering::SeqCst);
                 // The handler that *served* the shutdown request wakes
                 // the acceptor with a loopback connection.
@@ -113,8 +133,20 @@ impl Server {
 /// Serves one connection until EOF or shutdown: reads a batch of pipelined
 /// request lines, evaluates the batch on the pool, writes responses in
 /// request order.
+/// Writes the connection-cap refusal line to a shed peer (best effort,
+/// bounded by the write timeout) and lets the stream drop.
+fn shed_connection(stream: &TcpStream, limit: usize) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let err = crate::protocol::overload_connections(limit);
+    let line = crate::protocol::err_line(&crate::json::Json::Null, &err);
+    let mut stream = stream;
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
 fn serve_connection(service: &Service, stream: TcpStream, threads: usize) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_read_timeout(Some(SHUTDOWN_POLL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     stream.set_nodelay(true)?;
     let writer = stream.try_clone()?;
     let mut writer = io::BufWriter::new(writer);
@@ -123,8 +155,9 @@ fn serve_connection(service: &Service, stream: TcpStream, threads: usize) -> io:
     let mut batch: Vec<String> = Vec::new();
     loop {
         batch.clear();
-        // First line: block (bounded by the read timeout).
-        match read_bounded_line(&mut reader, max_line)? {
+        // First line: block (bounded by the idle budget, waking at the
+        // poll interval so a cooperative shutdown is noticed promptly).
+        match read_bounded_line(&mut reader, max_line, service)? {
             ReadLine::Eof => return Ok(()),
             ReadLine::TooLong => {
                 write_oversize_error(&mut writer, max_line)?;
@@ -135,7 +168,7 @@ fn serve_connection(service: &Service, stream: TcpStream, threads: usize) -> io:
         // Drain every *complete* line already buffered: these were
         // pipelined by the client and can run concurrently.
         while reader.buffer().contains(&b'\n') {
-            match read_bounded_line(&mut reader, max_line)? {
+            match read_bounded_line(&mut reader, max_line, service)? {
                 ReadLine::Eof => break,
                 ReadLine::TooLong => {
                     write_oversize_error(&mut writer, max_line)?;
@@ -169,8 +202,19 @@ enum ReadLine {
 /// Reads one newline-terminated line without ever buffering more than
 /// `max` bytes of it: a peer streaming an endless line gets a bounded
 /// refusal, not an unbounded allocation.
-fn read_bounded_line(reader: &mut BufReader<TcpStream>, max: usize) -> io::Result<ReadLine> {
+///
+/// The socket wakes every [`SHUTDOWN_POLL`]; on each wake-up a shutdown
+/// in progress ends the read as EOF (the daemon is going down, a
+/// half-received request is dropped like any other in-flight network
+/// state), and a peer idle past [`READ_TIMEOUT`] gets its timeout error
+/// surfaced as before.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    service: &Service,
+) -> io::Result<ReadLine> {
     let mut line = Vec::new();
+    let mut last_byte = std::time::Instant::now();
     loop {
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
@@ -185,9 +229,20 @@ fn read_bounded_line(reader: &mut BufReader<TcpStream>, max: usize) -> io::Resul
                 if byte[0] == b'\n' {
                     return Ok(ReadLine::Line(String::from_utf8_lossy(&line).into_owned()));
                 }
+                last_byte = std::time::Instant::now();
                 line.push(byte[0]);
                 if line.len() > max {
                     return Ok(ReadLine::TooLong);
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if service.is_shutdown() {
+                    return Ok(ReadLine::Eof);
+                }
+                if last_byte.elapsed() >= READ_TIMEOUT {
+                    return Err(e);
                 }
             }
             Err(e) => return Err(e),
@@ -266,6 +321,16 @@ impl Client {
         self.send(line)?;
         self.recv()
     }
+
+    /// Bounds how long [`Client::recv`] may block (used by the retrying
+    /// chaos client so a swallowed response becomes a retry, not a hang).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error verbatim.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +378,61 @@ mod tests {
         c.call("{\"id\":99,\"method\":\"shutdown\"}")
             .expect("shutdown");
         handle.join().expect("join");
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_one_typed_line_and_daemon_survives() {
+        let service = Arc::new(Service::new(
+            Limits {
+                max_connections: 1,
+                ..Limits::default()
+            },
+            1,
+            EvalCache::new(),
+        ));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 1).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        // First connection occupies the only slot.
+        let mut first = Client::connect(&addr).expect("connect");
+        let pong = first.call("{\"id\":1,\"method\":\"ping\"}").expect("ping");
+        assert!(pong.contains("\"pong\":true"));
+
+        // Second connection: one EOVERLOAD line, then close.
+        let mut second = Client::connect(&addr).expect("connect");
+        let refusal = second.recv().expect("shed line");
+        let v = parse_json(&refusal).expect("json");
+        let code = v
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(crate::json::Json::as_str);
+        assert_eq!(code, Some(crate::protocol::codes::OVERLOAD));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("retryable"))
+                .and_then(crate::json::Json::as_bool),
+            Some(true)
+        );
+        assert!(second.recv().is_err(), "shed connection must close");
+
+        // Closing the first frees the slot for a third.
+        drop(first);
+        let mut third = loop {
+            // The slot frees when the handler notices the close; retry
+            // briefly rather than racing it.
+            let mut c = Client::connect(&addr).expect("connect");
+            match c.call("{\"id\":2,\"method\":\"ping\"}") {
+                Ok(resp) if resp.contains("\"pong\":true") => break c,
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        third
+            .call("{\"id\":3,\"method\":\"shutdown\"}")
+            .expect("shutdown");
+        let stats = handle.join().expect("join");
+        assert!(stats.shed_connections >= 1);
+        assert!(stats.accepted_connections >= 2);
     }
 
     #[test]

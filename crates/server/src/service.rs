@@ -25,7 +25,7 @@
 //! (appended to the program name), so two clients whose programs share a
 //! name can never poison each other's artifacts.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use pphw::dse::{explore_with_caches, DesignArtifact};
@@ -40,8 +40,8 @@ use pphw_verify::VerifyConfig;
 
 use crate::json::escape;
 use crate::protocol::{
-    codes, err_line, ok_line, DseRequest, ErrorBody, Limits, Method, ProgramRef, Request,
-    WorkRequest,
+    codes, err_line, ok_line, overload_inflight, DseRequest, ErrorBody, Limits, Method, ProgramRef,
+    Request, WorkRequest,
 };
 
 /// Counter snapshot reported by the `stats` method and the daemon's exit
@@ -68,6 +68,18 @@ pub struct ServiceStats {
     pub eval_misses: u64,
     /// Entries currently in the measurement cache.
     pub eval_len: u64,
+    /// Work requests shed with a typed `EOVERLOAD` because the in-flight
+    /// budget was full (never evaluated, never cached).
+    pub shed_requests: u64,
+    /// Connections refused at accept because the connection cap was full.
+    pub shed_connections: u64,
+    /// Connections accepted into a handler thread.
+    pub accepted_connections: u64,
+    /// Request handlers that panicked and were contained as `EINTERNAL`.
+    pub panics: u64,
+    /// Eval-cache save/checkpoint attempts that failed (logged, counted,
+    /// and serving continued).
+    pub save_failures: u64,
 }
 
 impl ServiceStats {
@@ -77,7 +89,9 @@ impl ServiceStats {
         format!(
             "{{\"requests\":{},\"errors\":{},\"dedup_hits\":{},\"dedup_builds\":{},\
              \"design_builds\":{},\"design_reuses\":{},\"eval_hits\":{},\
-             \"eval_misses\":{},\"eval_len\":{}}}",
+             \"eval_misses\":{},\"eval_len\":{},\"shed_requests\":{},\
+             \"shed_connections\":{},\"accepted_connections\":{},\"panics\":{},\
+             \"save_failures\":{}}}",
             self.requests,
             self.errors,
             self.dedup_hits,
@@ -86,7 +100,12 @@ impl ServiceStats {
             self.design_reuses,
             self.eval_hits,
             self.eval_misses,
-            self.eval_len
+            self.eval_len,
+            self.shed_requests,
+            self.shed_connections,
+            self.accepted_connections,
+            self.panics,
+            self.save_failures
         )
     }
 }
@@ -106,6 +125,26 @@ pub struct Service {
     requests: AtomicU64,
     errors: AtomicU64,
     shutdown: AtomicBool,
+    /// Work requests currently evaluating (gauge, bounded by
+    /// `limits.max_inflight`).
+    inflight: AtomicUsize,
+    /// Open connections (gauge, maintained by the TCP front).
+    connections: AtomicUsize,
+    shed_requests: AtomicU64,
+    shed_connections: AtomicU64,
+    accepted_connections: AtomicU64,
+    panics: AtomicU64,
+    save_failures: AtomicU64,
+}
+
+/// RAII slot in the in-flight work budget: acquired before a work request
+/// evaluates, released (even across panics) when the request finishes.
+struct WorkGuard<'s>(&'s AtomicUsize);
+
+impl Drop for WorkGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Service {
@@ -122,6 +161,13 @@ impl Service {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            shed_requests: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            accepted_connections: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            save_failures: AtomicU64::new(0),
         }
     }
 
@@ -148,6 +194,66 @@ impl Service {
         &self.evals
     }
 
+    /// Records a failed eval-cache save/checkpoint (the satellite fix:
+    /// persistence failures are logged *and* counted, never silent).
+    pub fn note_save_failure(&self) {
+        self.save_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tries to admit one connection under the connection cap. On `true`
+    /// the caller owns a slot and must pair it with
+    /// [`Service::connection_closed`]; on `false` the connection was
+    /// counted shed and must be refused.
+    #[must_use]
+    pub fn try_admit_connection(&self) -> bool {
+        let prev = self.connections.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.limits.max_connections {
+            self.connections.fetch_sub(1, Ordering::SeqCst);
+            self.shed_connections.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.accepted_connections.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Releases a connection slot taken by [`Service::try_admit_connection`].
+    pub fn connection_closed(&self) {
+        self.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Tries to reserve one slot of the in-flight work budget.
+    fn try_acquire_work(&self) -> Option<WorkGuard<'_>> {
+        let prev = self.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.limits.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.shed_requests.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(WorkGuard(&self.inflight))
+    }
+
+    /// The `health` result object: liveness plus every overload and
+    /// degradation gauge a load balancer or operator needs.
+    #[must_use]
+    pub fn health_json(&self) -> String {
+        format!(
+            "{{\"healthy\":true,\"inflight\":{},\"max_inflight\":{},\
+             \"connections\":{},\"max_connections\":{},\"shed_requests\":{},\
+             \"shed_connections\":{},\"panics\":{},\"save_failures\":{},\
+             \"eval_len\":{},\"journaled\":{}}}",
+            self.inflight.load(Ordering::SeqCst),
+            self.limits.max_inflight,
+            self.connections.load(Ordering::SeqCst),
+            self.limits.max_connections,
+            self.shed_requests.load(Ordering::Relaxed),
+            self.shed_connections.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
+            self.save_failures.load(Ordering::Relaxed),
+            self.evals.len(),
+            self.evals.is_journaled()
+        )
+    }
+
     /// Current counter snapshot.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
@@ -161,6 +267,11 @@ impl Service {
             eval_hits: self.evals.hits(),
             eval_misses: self.evals.misses(),
             eval_len: self.evals.len() as u64,
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            accepted_connections: self.accepted_connections.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            save_failures: self.save_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -182,16 +293,46 @@ impl Service {
         };
         let id = req.id.clone();
         let (ok, body) = if req.method.is_work() {
-            // Exactly-once evaluation per fingerprint: concurrent
-            // duplicates block on the slot, later repeats hit the memo.
-            let outcome = self
-                .memo
-                .get_or_compute(req.fingerprint(), || self.run_work(&req.method));
-            (*outcome).clone()
+            match self.try_acquire_work() {
+                // Budget full: shed with a typed, retryable refusal.
+                // Nothing was evaluated and nothing entered the memo, so
+                // a retry after backoff gets a full evaluation.
+                None => (false, overload_inflight(self.limits.max_inflight).to_json()),
+                Some(_guard) => {
+                    // Exactly-once evaluation per fingerprint: concurrent
+                    // duplicates block on the slot, later repeats hit the
+                    // memo. A panicking handler unwinds out of
+                    // `get_or_compute` leaving the slot uninitialized
+                    // (std's `OnceLock` does not poison), so the panic is
+                    // contained as a typed `EINTERNAL` that is never
+                    // memoized — a retry re-runs the work — and the
+                    // connection survives.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.memo
+                            .get_or_compute(req.fingerprint(), || self.run_work(&req.method))
+                    }));
+                    match outcome {
+                        Ok(memoized) => (*memoized).clone(),
+                        Err(payload) => {
+                            self.panics.fetch_add(1, Ordering::Relaxed);
+                            let what = panic_message(payload.as_ref());
+                            (
+                                false,
+                                ErrorBody::new(
+                                    codes::INTERNAL,
+                                    format!("request handler panicked: {what}"),
+                                )
+                                .to_json(),
+                            )
+                        }
+                    }
+                }
+            }
         } else {
             match &req.method {
                 Method::Ping => (true, "{\"pong\":true}".to_string()),
                 Method::Stats => (true, self.stats().to_json()),
+                Method::Health => (true, self.health_json()),
                 Method::Shutdown => {
                     self.request_shutdown();
                     (true, "{\"shutting_down\":true}".to_string())
@@ -220,7 +361,10 @@ impl Service {
             Method::Verify(w) => self.verify_method(w),
             Method::Simulate(w) => self.simulate_method(w),
             Method::Dse(d) => self.dse_method(d),
-            // is_work() gates this path to the four above.
+            // Deliberate crash to prove containment (decoded only when
+            // `Limits::debug_methods` is on).
+            Method::TestPanic => panic!("injected panic (__panic debug method)"),
+            // is_work() gates this path to the five above.
             _ => Err(ErrorBody::new(codes::METHOD, "not a work method")),
         };
         match out {
@@ -574,6 +718,18 @@ impl Resolved {
     }
 }
 
+/// Best-effort text of a caught panic payload (`panic!` with a string or
+/// formatted message; anything else renders as a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 fn opt_name(opt: OptLevel) -> String {
     match opt {
         OptLevel::Baseline => "baseline".to_string(),
@@ -822,6 +978,139 @@ mod tests {
         let svc = service();
         let resp = call(&svc, "{\"id\":1,\"method\":\"compile\",\"bench\":\"nope\"}");
         assert_eq!(get(&resp, &["error", "code"]).as_str(), Some(codes::BENCH));
+    }
+
+    #[test]
+    fn zero_inflight_budget_sheds_work_with_typed_retryable_overload() {
+        let svc = Service::new(
+            Limits {
+                max_inflight: 0,
+                ..Limits::default()
+            },
+            1,
+            EvalCache::new(),
+        );
+        // Work requests are shed...
+        let resp = call(
+            &svc,
+            "{\"id\":1,\"method\":\"simulate\",\"bench\":\"gemm\"}",
+        );
+        assert_eq!(get(&resp, &["ok"]).as_bool(), Some(false));
+        assert_eq!(
+            get(&resp, &["error", "code"]).as_str(),
+            Some(codes::OVERLOAD)
+        );
+        assert_eq!(
+            get(&resp, &["error", "retryable"]).as_bool(),
+            Some(true),
+            "sheds must be marked retryable"
+        );
+        // ...and nothing was evaluated or memoized.
+        let s = svc.stats();
+        assert_eq!(s.shed_requests, 1);
+        assert_eq!(s.dedup_builds, 0);
+        assert_eq!(s.design_builds, 0);
+        // Control methods still answer.
+        let pong = call(&svc, "{\"id\":2,\"method\":\"ping\"}");
+        assert_eq!(get(&pong, &["result", "pong"]).as_bool(), Some(true));
+        let health = call(&svc, "{\"id\":3,\"method\":\"health\"}");
+        assert_eq!(get(&health, &["result", "shed_requests"]).as_u64(), Some(1));
+        assert_eq!(get(&health, &["result", "inflight"]).as_u64(), Some(0));
+    }
+
+    #[test]
+    fn admitted_work_releases_its_inflight_slot() {
+        let svc = Service::new(
+            Limits {
+                max_inflight: 1,
+                ..Limits::default()
+            },
+            1,
+            EvalCache::new(),
+        );
+        // Sequential requests each fit the budget of one.
+        for id in 0..3 {
+            let resp = call(
+                &svc,
+                &format!("{{\"id\":{id},\"method\":\"simulate\",\"bench\":\"sumrows\"}}"),
+            );
+            assert_eq!(get(&resp, &["ok"]).as_bool(), Some(true), "{resp:?}");
+        }
+        assert_eq!(svc.stats().shed_requests, 0);
+    }
+
+    #[test]
+    fn panicking_handler_is_contained_as_einternal_and_not_memoized() {
+        let svc = Service::new(
+            Limits {
+                debug_methods: true,
+                ..Limits::default()
+            },
+            1,
+            EvalCache::new(),
+        );
+        for round in 0..2 {
+            let resp = call(&svc, "{\"id\":1,\"method\":\"__panic\"}");
+            assert_eq!(get(&resp, &["ok"]).as_bool(), Some(false));
+            assert_eq!(
+                get(&resp, &["error", "code"]).as_str(),
+                Some(codes::INTERNAL),
+                "round {round}"
+            );
+            assert!(get(&resp, &["error", "message"])
+                .as_str()
+                .unwrap()
+                .contains("injected panic"));
+            assert!(
+                get(&resp, &["error"]).get("retryable").is_none(),
+                "EINTERNAL is final, not retryable"
+            );
+        }
+        let s = svc.stats();
+        // Both rounds actually ran: the panic response is never memoized.
+        assert_eq!(s.panics, 2);
+        assert_eq!(s.dedup_hits, 0);
+        // The dispatcher survived: normal work still runs afterwards.
+        let ok = call(&svc, "{\"id\":2,\"method\":\"ping\"}");
+        assert_eq!(get(&ok, &["result", "pong"]).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn panic_method_is_unknown_without_debug_methods() {
+        let svc = service();
+        let resp = call(&svc, "{\"id\":1,\"method\":\"__panic\"}");
+        assert_eq!(get(&resp, &["error", "code"]).as_str(), Some(codes::METHOD));
+        assert_eq!(svc.stats().panics, 0);
+    }
+
+    #[test]
+    fn connection_accounting_caps_and_releases() {
+        let svc = Service::new(
+            Limits {
+                max_connections: 2,
+                ..Limits::default()
+            },
+            1,
+            EvalCache::new(),
+        );
+        assert!(svc.try_admit_connection());
+        assert!(svc.try_admit_connection());
+        assert!(!svc.try_admit_connection(), "third connection must shed");
+        svc.connection_closed();
+        assert!(svc.try_admit_connection(), "slot freed by close");
+        let s = svc.stats();
+        assert_eq!(s.accepted_connections, 3);
+        assert_eq!(s.shed_connections, 1);
+    }
+
+    #[test]
+    fn save_failures_are_counted() {
+        let svc = service();
+        assert_eq!(svc.stats().save_failures, 0);
+        svc.note_save_failure();
+        let health = call(&svc, "{\"id\":1,\"method\":\"health\"}");
+        assert_eq!(get(&health, &["result", "save_failures"]).as_u64(), Some(1));
+        assert_eq!(svc.stats().save_failures, 1);
     }
 
     #[test]

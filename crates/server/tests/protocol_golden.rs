@@ -87,3 +87,98 @@ fn wire_protocol_failures_are_golden_and_never_drop_the_connection() {
         failures.join("\n\n")
     );
 }
+
+/// The degraded-operation catalogue: `tests/corpus-chaos/*.req` pins the
+/// wire shapes of the hardening error codes. Files prefixed `overload-`
+/// run against a daemon with a **zero in-flight budget** (every work
+/// request sheds as retryable `EOVERLOAD`; decode-time failures still
+/// answer with their own codes); files prefixed `panic-` run against a
+/// daemon with debug methods enabled, whose injected handler panic must
+/// come back as `EINTERNAL` on a connection that stays up.
+#[test]
+fn chaos_error_wire_shapes_are_golden_and_survivable() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus-chaos");
+    let update = std::env::var_os("PPHW_UPDATE_GOLDEN").is_some();
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {dir:?}: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "req"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "chaos wire corpus shrank to {} files",
+        files.len()
+    );
+
+    let spawn = |limits: Limits| {
+        let service = Arc::new(Service::new(limits, 1, EvalCache::new()));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 1).expect("bind");
+        let addr = server.local_addr().expect("local_addr");
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        let client = Client::connect(&addr).expect("connect");
+        (client, handle)
+    };
+    let (mut shed_client, shed_handle) = spawn(Limits {
+        max_inflight: 0,
+        ..Limits::default()
+    });
+    let (mut panic_client, panic_handle) = spawn(Limits {
+        debug_methods: true,
+        ..Limits::default()
+    });
+
+    let mut failures = Vec::new();
+    for req_path in &files {
+        let name = req_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let client = if name.starts_with("panic-") {
+            &mut panic_client
+        } else {
+            &mut shed_client
+        };
+        let req = fs::read_to_string(req_path).unwrap_or_else(|e| panic!("read {req_path:?}: {e}"));
+        let req = req.trim_end_matches('\n');
+        let got = client
+            .call(req)
+            .unwrap_or_else(|e| panic!("{req_path:?}: connection died: {e}"));
+        let expected_path = req_path.with_extension("expected");
+        if update {
+            fs::write(&expected_path, format!("{got}\n"))
+                .unwrap_or_else(|e| panic!("write {expected_path:?}: {e}"));
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("missing golden {expected_path:?}: {e}"));
+        if got != want.trim_end_matches('\n') {
+            failures.push(format!(
+                "== {}\n-- expected --\n{}\n-- got --\n{got}",
+                req_path.display(),
+                want.trim_end()
+            ));
+        }
+    }
+    // Both daemons survived their catalogue — sheds and contained panics
+    // never cost the connection.
+    for (label, client) in [("shed", &mut shed_client), ("panic", &mut panic_client)] {
+        let pong = client
+            .call("{\"id\":\"alive\",\"method\":\"ping\"}")
+            .unwrap_or_else(|e| panic!("{label} daemon dead after catalogue: {e}"));
+        assert!(
+            pong.contains("\"pong\":true"),
+            "{label} daemon: unexpected ping reply: {pong}"
+        );
+        client
+            .call("{\"id\":\"bye\",\"method\":\"shutdown\"}")
+            .unwrap_or_else(|e| panic!("{label} shutdown: {e}"));
+    }
+    shed_handle.join().expect("join shed");
+    panic_handle.join().expect("join panic");
+    assert!(
+        failures.is_empty(),
+        "golden chaos wire responses diverged:\n{}",
+        failures.join("\n\n")
+    );
+}

@@ -12,13 +12,19 @@
 //!   replacement for `harness = false` bench targets);
 //! * [`differential`] — the interpreter ↔ tiling ↔ simulator differential
 //!   harness that executes the paper's "tiling preserves semantics" claim
-//!   (§4) as a randomized cross-check over seeded size/tile sweeps.
+//!   (§4) as a randomized cross-check over seeded size/tile sweeps;
+//! * [`chaos`] — a deterministic fault-injecting TCP proxy (seeded
+//!   delays, trickle writes, torn bytes, duplicated chunks, mid-stream
+//!   disconnects) for hardening the serving stack against hostile
+//!   networks.
 
 pub mod bench;
+pub mod chaos;
 pub mod differential;
 pub mod prop;
 pub mod rng;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, Fault, FaultSchedule};
 pub use differential::{run_case, run_differential, DiffCase, DiffError, DiffOptions, DiffReport};
 pub use prop::Check;
 pub use rng::Rng;
