@@ -32,6 +32,37 @@ PPHW_VERIFY=1 cargo test -q --offline --test verify deep_verifier_runs_after_eve
 echo "== dse smoke (tiny space, 2 threads)"
 cargo run --release --offline -p pphw-bench --bin dse -- --quick --threads 2
 
+echo "== dse guided smoke (model-guided slice, <= 30% of the space simulated)"
+cargo run --release --offline -p pphw-bench --bin dse -- \
+  --bench sumrows --threads 2 --strategy guided \
+  --sample 8 --top-k 8 --explore 2 --max-simulated-frac 0.3
+
+echo "== dse shard-merge gate (3 shards, merged cache, bit-identical reports)"
+rm -f target/ci-shard*.pphwc* target/ci-merged.pphwc* \
+      target/ci-dse-merged*.json target/ci-dse-unsharded*.json
+for i in 0 1 2; do
+  cargo run --release --offline -p pphw-bench --bin dse -- \
+    --quick --threads 2 --shard "$i/3" --cache "target/ci-shard$i.pphwc"
+done
+cargo run --release --offline -p pphw-bench --bin dse -- \
+  --cache target/ci-merged.pphwc \
+  --merge-cache target/ci-shard0.pphwc target/ci-shard1.pphwc target/ci-shard2.pphwc
+cargo run --release --offline -p pphw-bench --bin dse -- \
+  --quick --threads 2 --cache target/ci-merged.pphwc \
+  --json target/ci-dse-merged.json | tee target/ci-dse-merged.log
+grep -q "eval hits / 0 misses" target/ci-dse-merged.log \
+  || { echo "shard-merge gate: merged cache had misses — shards did not cover the space"; exit 1; }
+cargo run --release --offline -p pphw-bench --bin dse -- \
+  --quick --threads 2 --json target/ci-dse-unsharded.json
+for f in target/ci-dse-merged*.json; do
+  u="${f/ci-dse-merged/ci-dse-unsharded}"
+  # Cache hit/miss counters legitimately differ (merged cache vs cold);
+  # everything else — winners, rankings, stats — must be bit-identical.
+  mask='s/"cache_hits":[0-9]*,"cache_misses":[0-9]*/"cache_hits":0,"cache_misses":0/'
+  diff <(sed "$mask" "$f") <(sed "$mask" "$u") \
+    || { echo "shard-merge gate: $f differs from unsharded $u"; exit 1; }
+done
+
 echo "== perf smoke (two-level cache: second run must be warm and compile-free)"
 rm -f target/perf-eval-cache.pphwc BENCH_dse.json
 cargo run --release --offline -p pphw-bench --bin perf -- --quick

@@ -6,7 +6,11 @@
 //!
 //! Usage:
 //! `cargo run --release -p pphw-bench --bin dse [--bench NAME] [--threads N]
-//!  [--quick] [--budget BYTES] [--area-frac F] [--json PATH] [--csv PATH]`
+//!  [--quick] [--budget BYTES] [--area-frac F] [--json PATH] [--csv PATH]
+//!  [--cache PATH] [--strategy exhaustive|guided] [--sample N] [--top-k N]
+//!  [--explore N] [--seed N] [--objective min-cycles|cycles-area|area-cap]
+//!  [--area-cap F] [--shard I/N] [--max-simulated-frac F]
+//!  [--merge-cache SRC...]`
 //!
 //! - `--bench NAME`   restrict to one benchmark (default: all six)
 //! - `--threads N`    worker threads (0 = one per core; results are
@@ -23,8 +27,27 @@
 //! - `--cache PATH`   persistent evaluation cache: load it (cold if the
 //!   file is missing or damaged) before the sweep, save it after, and
 //!   report hit rates. Reports are bit-identical with or without it.
+//! - `--strategy guided` fit the analytic cost model to a seeded
+//!   calibration sample and simulate only the model's top slice plus an
+//!   exploration band (`--sample`, `--top-k`, `--explore`, `--seed`
+//!   tune it; defaults are [`pphw_dse::GuidedConfig::default`])
+//! - `--objective`    what "best" means: `min-cycles`, `cycles-area`
+//!   (the default lexicographic order), or `area-cap` (fastest design
+//!   with `area_score <= --area-cap F`)
+//! - `--shard I/N`    measure only the survivors shard `I` of `N` owns
+//!   (by stable candidate fingerprint); run all `N` shards with separate
+//!   `--cache` files, then `--merge-cache` them — a rerun over the
+//!   merged cache is bit-identical to an unsharded run
+//! - `--max-simulated-frac F` assert the sweep simulated at most this
+//!   fraction of the enumerated space (CI teeth for guided runs)
+//! - `--merge-cache SRC...` merge mode: no sweep runs; every following
+//!   path is loaded (journal included) and merged into the `--cache`
+//!   target, which is then saved. Identical keys must compare equal
+//!   byte-for-byte; a divergent entry aborts the merge and leaves the
+//!   target untouched.
 
 use std::path::Path;
+use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,7 +55,7 @@ use pphw::dse::explore_with_caches;
 use pphw_apps::all_benchmarks;
 use pphw_bench::sweep::{sweep_base_options, sweep_sim_variants, sweep_space};
 use pphw_dse::cache::{DesignCache, EvalCache};
-use pphw_dse::{DseConfig, DseReport};
+use pphw_dse::{DseConfig, DseError, DseReport, GuidedConfig, Objective, Shard, Strategy};
 use pphw_hw::AreaBudget;
 
 struct Args {
@@ -44,6 +67,16 @@ struct Args {
     json: Option<String>,
     csv: Option<String>,
     cache: Option<String>,
+    guided: bool,
+    sample: Option<usize>,
+    top_k: Option<usize>,
+    explore: Option<usize>,
+    seed: Option<u64>,
+    objective: Option<String>,
+    area_cap: Option<f64>,
+    shard: Option<Shard>,
+    max_simulated_frac: Option<f64>,
+    merge_sources: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,23 +89,150 @@ fn parse_args() -> Args {
         json: None,
         csv: None,
         cache: None,
+        guided: false,
+        sample: None,
+        top_k: None,
+        explore: None,
+        seed: None,
+        objective: None,
+        area_cap: None,
+        shard: None,
+        max_simulated_frac: None,
+        merge_sources: Vec::new(),
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut val = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
-        match a.as_str() {
-            "--bench" => args.bench = Some(val("--bench")),
-            "--threads" => args.threads = val("--threads").parse().expect("--threads N"),
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let val = |argv: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--bench" => args.bench = Some(val(&argv, &mut i, "--bench")),
+            "--threads" => {
+                args.threads = val(&argv, &mut i, "--threads")
+                    .parse()
+                    .expect("--threads N");
+            }
             "--quick" => args.quick = true,
-            "--budget" => args.budget = val("--budget").parse().expect("--budget BYTES"),
-            "--area-frac" => args.area_frac = val("--area-frac").parse().expect("--area-frac F"),
-            "--json" => args.json = Some(val("--json")),
-            "--csv" => args.csv = Some(val("--csv")),
-            "--cache" => args.cache = Some(val("--cache")),
+            "--budget" => {
+                args.budget = val(&argv, &mut i, "--budget")
+                    .parse()
+                    .expect("--budget BYTES");
+            }
+            "--area-frac" => {
+                args.area_frac = val(&argv, &mut i, "--area-frac")
+                    .parse()
+                    .expect("--area-frac F");
+            }
+            "--json" => args.json = Some(val(&argv, &mut i, "--json")),
+            "--csv" => args.csv = Some(val(&argv, &mut i, "--csv")),
+            "--cache" => args.cache = Some(val(&argv, &mut i, "--cache")),
+            "--strategy" => match val(&argv, &mut i, "--strategy").as_str() {
+                "exhaustive" => args.guided = false,
+                "guided" => args.guided = true,
+                other => panic!("--strategy must be `exhaustive` or `guided`, got `{other}`"),
+            },
+            "--sample" => {
+                args.sample = Some(val(&argv, &mut i, "--sample").parse().expect("--sample N"));
+            }
+            "--top-k" => {
+                args.top_k = Some(val(&argv, &mut i, "--top-k").parse().expect("--top-k N"));
+            }
+            "--explore" => {
+                args.explore = Some(
+                    val(&argv, &mut i, "--explore")
+                        .parse()
+                        .expect("--explore N"),
+                );
+            }
+            "--seed" => args.seed = Some(val(&argv, &mut i, "--seed").parse().expect("--seed N")),
+            "--objective" => args.objective = Some(val(&argv, &mut i, "--objective")),
+            "--area-cap" => {
+                args.area_cap = Some(
+                    val(&argv, &mut i, "--area-cap")
+                        .parse()
+                        .expect("--area-cap F"),
+                );
+            }
+            "--shard" => {
+                let spec = val(&argv, &mut i, "--shard");
+                args.shard = Some(
+                    Shard::parse(&spec).unwrap_or_else(|| panic!("--shard I/N, got `{spec}`")),
+                );
+            }
+            "--max-simulated-frac" => {
+                args.max_simulated_frac = Some(
+                    val(&argv, &mut i, "--max-simulated-frac")
+                        .parse()
+                        .expect("--max-simulated-frac F"),
+                );
+            }
+            "--merge-cache" => {
+                // Greedy: every following non-flag argument is a source.
+                while i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    i += 1;
+                    args.merge_sources.push(argv[i].clone());
+                }
+                assert!(
+                    !args.merge_sources.is_empty(),
+                    "--merge-cache needs at least one source path"
+                );
+            }
             other => panic!("unknown flag {other} (see the module docs)"),
         }
+        i += 1;
     }
     args
+}
+
+/// The ranking objective the flags describe. `--area-cap F` alone
+/// implies `--objective area-cap`.
+fn objective_from(args: &Args) -> Objective {
+    match args.objective.as_deref() {
+        Some("min-cycles") => Objective::MinCycles,
+        Some("cycles-area") | None if args.area_cap.is_none() => Objective::CyclesThenArea,
+        Some("cycles-area") => {
+            panic!("--area-cap only makes sense with --objective area-cap")
+        }
+        Some("area-cap") | None => Objective::FastestUnderAreaCap {
+            area_cap: args
+                .area_cap
+                .unwrap_or_else(|| panic!("--objective area-cap needs --area-cap F")),
+        },
+        Some(other) => {
+            panic!("--objective must be `min-cycles`, `cycles-area`, or `area-cap`, got `{other}`")
+        }
+    }
+}
+
+/// Merge mode: union every source cache (journals included) into the
+/// `--cache` target and save it. No sweep runs.
+fn merge_caches(target_path: &str, sources: &[String]) {
+    let target = EvalCache::load_or_cold(Path::new(target_path));
+    let preloaded = target.len();
+    for src in sources {
+        let other = EvalCache::load_including_journal(Path::new(src));
+        match target.merge_from(&other) {
+            Ok(stats) => println!(
+                "merge: {src}: {} inserted, {} identical, {} failed skipped",
+                stats.inserted, stats.identical, stats.failed_skipped
+            ),
+            Err(e) => {
+                eprintln!("merge: {src}: {e}; target left untouched");
+                exit(1);
+            }
+        }
+    }
+    target
+        .save(Path::new(target_path))
+        .unwrap_or_else(|e| panic!("saving {target_path}: {e}"));
+    println!(
+        "merge: saved {} entries to {target_path} ({preloaded} preloaded)",
+        target.len()
+    );
 }
 
 fn export(path: &str, name: &str, multi: bool, contents: &str) {
@@ -94,12 +254,33 @@ fn export(path: &str, name: &str, multi: bool, contents: &str) {
 
 fn main() {
     let args = parse_args();
+    if !args.merge_sources.is_empty() {
+        let target = args
+            .cache
+            .as_deref()
+            .unwrap_or_else(|| panic!("--merge-cache needs --cache TARGET"));
+        merge_caches(target, &args.merge_sources);
+        return;
+    }
     let specs: Vec<_> = all_benchmarks()
         .into_iter()
         .filter(|s| args.bench.as_deref().is_none_or(|b| b == s.name))
         .collect();
     assert!(!specs.is_empty(), "no benchmark named {:?}", args.bench);
     let multi = specs.len() > 1;
+
+    let strategy = if args.guided {
+        let d = GuidedConfig::default();
+        Strategy::Guided(GuidedConfig {
+            sample: args.sample.unwrap_or(d.sample),
+            top_k: args.top_k.unwrap_or(d.top_k),
+            explore: args.explore.unwrap_or(d.explore),
+            seed: args.seed.unwrap_or(d.seed),
+        })
+    } else {
+        Strategy::Exhaustive
+    };
+    let objective = objective_from(&args);
 
     let sim_variants = sweep_sim_variants(args.quick);
 
@@ -128,19 +309,48 @@ fn main() {
             threads: args.threads,
             on_chip_budget_bytes: args.budget,
             area_budget: AreaBudget::device_fraction(args.area_frac),
+            strategy,
+            objective,
+            shard: args.shard,
             ..DseConfig::default()
         };
         let t0 = Instant::now();
-        let report = explore_with_caches(
+        let report = match explore_with_caches(
             &(spec.program)(),
             &base,
             &space,
             &cfg,
             &eval_cache,
             Arc::clone(&designs),
-        )
-        .unwrap_or_else(|e| panic!("{}: search failed: {e}", spec.name));
+        ) {
+            Ok(r) => r,
+            // A shard can legitimately own no feasible survivor of a tiny
+            // space; its measurements are already in the cache, which is
+            // the artifact a sharded run exists to produce.
+            Err(DseError::NoFeasibleConfig) if args.shard.is_some() => {
+                println!(
+                    "{}: shard {} owns no feasible survivors (cache still updated)\n",
+                    spec.name,
+                    args.shard.map(|s| s.to_string()).unwrap_or_default()
+                );
+                continue;
+            }
+            Err(e) => panic!("{}: search failed: {e}", spec.name),
+        };
         let secs = t0.elapsed().as_secs_f64();
+
+        if let Some(cap) = args.max_simulated_frac {
+            #[allow(clippy::cast_precision_loss)]
+            let frac = report.stats.simulated as f64 / report.stats.exhaustive.max(1) as f64;
+            assert!(
+                frac <= cap,
+                "{}: simulated {:.1}% of the {}-point space (cap {:.0}%)",
+                spec.name,
+                frac * 100.0,
+                report.stats.exhaustive,
+                cap * 100.0
+            );
+        }
 
         print!("{}", report.summary());
         println!("  search wall-clock: {secs:.2}s (threads={})", args.threads);

@@ -6,9 +6,18 @@
 //!
 //! 1. `cold_t1`       — fresh caches, one worker thread
 //! 2. `warm_mem_t1`   — same in-memory caches again (every eval hits)
-//! 3. `cold_tN`       — fresh caches, N worker threads
+//! 3. `cold_tN`       — fresh caches, N worker threads (N defaults to
+//!    `max(2, cores)` so the row is genuinely multi-threaded even on a
+//!    single-core box; the JSON records the width that actually ran, and
+//!    every counter must match `cold_t1` exactly)
 //! 4. `persistent_t1` — evaluation cache loaded from `--cache` (cold on
 //!    the first invocation, warm on the next), then saved back
+//!
+//! Plus one guided-vs-exhaustive comparison over the dense synthetic
+//! space ([`pphw_bench::sweep::big_space`], >= 10^5 candidates in full
+//! mode): both strategies run on fresh caches, must agree on the winner,
+//! and the guided run must simulate <= 10% of the space (30% on the tiny
+//! quick space) and finish >= 5x faster in full mode.
 //!
 //! Results go to `--out` as JSON (default `BENCH_dse.json`), including
 //! hit/build counters CI asserts on: a second `--quick` invocation must
@@ -25,9 +34,9 @@ use std::time::Instant;
 
 use pphw::dse::explore_with_caches;
 use pphw_apps::all_benchmarks;
-use pphw_bench::sweep::{sweep_base_options, sweep_sim_variants, sweep_space};
+use pphw_bench::sweep::{big_space, sweep_base_options, sweep_sim_variants, sweep_space};
 use pphw_dse::cache::{DesignCache, EvalCache};
-use pphw_dse::DseConfig;
+use pphw_dse::{DseConfig, DseReport, GuidedConfig, Strategy};
 use pphw_hw::AreaBudget;
 
 /// The driver's default on-chip budget (256 KiB): tight enough that the
@@ -36,7 +45,7 @@ const BUDGET: u64 = 256 * 1024;
 
 struct Args {
     quick: bool,
-    threads: usize,
+    threads: Option<usize>,
     cache: String,
     out: String,
 }
@@ -44,7 +53,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        threads: None,
         cache: "target/perf-eval-cache.pphwc".to_string(),
         out: "BENCH_dse.json".to_string(),
     };
@@ -53,13 +62,25 @@ fn parse_args() -> Args {
         let mut val = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match a.as_str() {
             "--quick" => args.quick = true,
-            "--threads" => args.threads = val("--threads").parse().expect("--threads N"),
+            "--threads" => args.threads = Some(val("--threads").parse().expect("--threads N")),
             "--cache" => args.cache = val("--cache"),
             "--out" => args.out = val("--out"),
             other => panic!("unknown flag {other} (see the module docs)"),
         }
     }
     args
+}
+
+/// Pool width for the multi-threaded row. On a single-core box
+/// `available_parallelism` is 1, which would silently turn `cold_tN`
+/// into a second copy of `cold_t1` — so the default is floored at 2 and
+/// whatever width actually ran is what the JSON records.
+fn multi_thread_width(requested: Option<usize>) -> usize {
+    requested.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map_or(2, |n| n.get())
+            .max(2)
+    })
 }
 
 /// Counters and wall-clock for one timed sweep configuration.
@@ -148,8 +169,41 @@ fn run_sweep(
     (t0.elapsed().as_secs_f64(), reports)
 }
 
+/// Times one strategy over the dense synthetic [`big_space`] on fresh
+/// caches (so neither row inherits the other's measurements) and returns
+/// (wall seconds, report).
+fn run_big(quick: bool, threads: usize, strategy: Strategy) -> (f64, DseReport) {
+    let spec = all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "sumrows")
+        .unwrap_or_else(|| panic!("sumrows benchmark exists"));
+    let base = sweep_base_options(&spec, BUDGET);
+    let space = big_space(&spec, quick);
+    let cfg = DseConfig {
+        threads,
+        on_chip_budget_bytes: BUDGET,
+        area_budget: AreaBudget::device_fraction(1.0),
+        strategy,
+        ..DseConfig::default()
+    };
+    let eval_cache = EvalCache::new();
+    let designs: Arc<DesignCache<pphw::dse::DesignArtifact>> = Arc::new(DesignCache::new());
+    let t0 = Instant::now();
+    let report = explore_with_caches(
+        &(spec.program)(),
+        &base,
+        &space,
+        &cfg,
+        &eval_cache,
+        Arc::clone(&designs),
+    )
+    .unwrap_or_else(|e| panic!("big-space search failed: {e}"));
+    (t0.elapsed().as_secs_f64(), report)
+}
+
 fn main() {
     let args = parse_args();
+    let threads_n = multi_thread_width(args.threads);
     let mut runs: Vec<Run> = Vec::new();
 
     // 1 + 2: cold then in-memory warm, single-threaded, shared caches.
@@ -184,13 +238,25 @@ fn main() {
         preloaded: eval_mem.len(),
     });
 
-    // 3: cold, N threads, fresh caches.
+    // 3: cold, N threads, fresh caches. Same sweep, same cold caches —
+    // so every counter must land exactly where the single-threaded cold
+    // run put it; only the wall-clock may differ.
     let eval_mt = EvalCache::new();
     let designs_mt = Arc::new(DesignCache::new());
-    let (mt_secs, mt_reports) = run_sweep(args.quick, args.threads, &eval_mt, &designs_mt);
+    let (mt_secs, mt_reports) = run_sweep(args.quick, threads_n, &eval_mt, &designs_mt);
+    assert_eq!(
+        (
+            eval_mt.hits(),
+            eval_mt.misses(),
+            designs_mt.builds(),
+            designs_mt.hits()
+        ),
+        (h0, m0, b0, r0),
+        "cold_tN counters diverged from cold_t1"
+    );
     runs.push(Run {
         name: "cold_tN",
-        threads: args.threads,
+        threads: threads_n,
         secs: mt_secs,
         eval_hits: eval_mt.hits(),
         eval_misses: eval_mt.misses(),
@@ -232,20 +298,83 @@ fn main() {
         "cached/threaded sweep reports diverged from cold run"
     );
 
+    // 5 + 6: guided vs exhaustive over the dense synthetic space, fresh
+    // caches per row so the wall-clocks are honest. The guided run must
+    // agree with exhaustive on the winner while simulating a sliver of
+    // the space; in full mode (>= 10^5 candidates) it must also be at
+    // least 5x faster end to end.
+    let guided = if args.quick {
+        GuidedConfig {
+            sample: 12,
+            top_k: 12,
+            explore: 4,
+            ..GuidedConfig::default()
+        }
+    } else {
+        GuidedConfig {
+            sample: 64,
+            top_k: 192,
+            explore: 16,
+            ..GuidedConfig::default()
+        }
+    };
+    let (ex_secs, ex_report) = run_big(args.quick, 1, Strategy::Exhaustive);
+    let (g_secs, g_report) = run_big(args.quick, 1, Strategy::Guided(guided));
+    let space_points = ex_report.stats.exhaustive.max(1);
+    #[allow(clippy::cast_precision_loss)]
+    let simulated_frac = g_report.stats.simulated as f64 / space_points as f64;
+    let big_speedup = ex_secs / g_secs.max(1e-9);
+    let winners_agree = ex_report.best.label == g_report.best.label
+        && ex_report.best.cycles == g_report.best.cycles;
+    assert!(
+        winners_agree,
+        "guided winner {} ({} cycles) != exhaustive winner {} ({} cycles)",
+        g_report.best.label, g_report.best.cycles, ex_report.best.label, ex_report.best.cycles
+    );
+    let frac_cap = if args.quick { 0.30 } else { 0.10 };
+    assert!(
+        simulated_frac <= frac_cap,
+        "guided simulated {:.1}% of the {space_points}-point space (cap {:.0}%)",
+        simulated_frac * 100.0,
+        frac_cap * 100.0
+    );
+    if !args.quick {
+        assert!(
+            big_speedup >= 5.0,
+            "guided was only {big_speedup:.1}x faster than exhaustive \
+             ({g_secs:.2}s vs {ex_secs:.2}s)"
+        );
+    }
+
     let warm_speedup = cold_secs / warm_secs.max(1e-9);
     let persistent_speedup = cold_secs / disk_secs.max(1e-9);
     let run_lines: Vec<String> = runs.iter().map(Run::to_json).collect();
     let json = format!(
         "{{\n  \"quick\": {},\n  \"threads\": {},\n  \"cache_file\": \"{}\",\n  \
          \"runs\": [\n{}\n  ],\n  \"warm_mem_speedup\": {:.2},\n  \
-         \"persistent_speedup\": {:.2},\n  \"reports_bit_identical\": {}\n}}\n",
+         \"persistent_speedup\": {:.2},\n  \"reports_bit_identical\": {},\n  \
+         \"guided_vs_exhaustive\": {{\"bench\": \"sumrows\", \"space\": {}, \
+         \"exhaustive_secs\": {:.6}, \"exhaustive_simulated\": {}, \
+         \"guided_secs\": {:.6}, \"guided_simulated\": {}, \"guided_sampled\": {}, \
+         \"simulated_frac\": {:.6}, \"speedup\": {:.2}, \
+         \"winner\": \"{}\", \"winners_agree\": {}}}\n}}\n",
         args.quick,
-        args.threads,
+        threads_n,
         args.cache,
         run_lines.join(",\n"),
         warm_speedup,
         persistent_speedup,
-        identical
+        identical,
+        space_points,
+        ex_secs,
+        ex_report.stats.simulated,
+        g_secs,
+        g_report.stats.simulated,
+        g_report.stats.sampled,
+        simulated_frac,
+        big_speedup,
+        g_report.best.label,
+        winners_agree
     );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
 
@@ -262,6 +391,12 @@ fn main() {
     println!(
         "warm in-memory speedup: {warm_speedup:.1}x; persistent-cache run: \
          {persistent_speedup:.1}x vs cold ({preloaded} entries preloaded)"
+    );
+    println!(
+        "guided vs exhaustive on {space_points} candidates: {g_secs:.2}s vs {ex_secs:.2}s \
+         ({big_speedup:.1}x), simulated {:.2}% of the space, winner `{}` agrees",
+        simulated_frac * 100.0,
+        g_report.best.label
     );
     println!("wrote {}", args.out);
 }

@@ -78,6 +78,100 @@ pub fn sweep_space(
     space.with_inner_pars(&pars).with_sim_variants(&variants)
 }
 
+/// Dense DRAM-substrate grid for the guided-vs-exhaustive rows: the
+/// cross product of clock, bandwidth, latency, burst size, and
+/// synchronization gap — every knob the analytic cost model claims to
+/// understand. Full mode enumerates 4^4 x 4 = 1024 variants; quick mode
+/// a representative 16. Labels are canonical (`c150g38l64b64s8`) so
+/// cache keys and reports stay stable.
+pub fn big_sim_grid(quick: bool) -> Vec<(String, SimConfig)> {
+    struct Grid {
+        clocks: Vec<f64>,
+        gbps: Vec<f64>,
+        lats: Vec<u64>,
+        bursts: Vec<u64>,
+        gaps: Vec<u64>,
+    }
+    let Grid {
+        clocks,
+        gbps,
+        lats,
+        bursts,
+        gaps,
+    } = if quick {
+        Grid {
+            clocks: vec![150.0, 250.0],
+            gbps: vec![38.4, 153.6],
+            lats: vec![64, 256],
+            bursts: vec![64],
+            gaps: vec![0, 8],
+        }
+    } else {
+        Grid {
+            clocks: vec![100.0, 150.0, 200.0, 250.0],
+            gbps: vec![19.2, 38.4, 76.8, 153.6],
+            lats: vec![32, 64, 128, 256],
+            bursts: vec![32, 64, 128, 256],
+            gaps: vec![0, 4, 8, 16],
+        }
+    };
+    let mut out = Vec::new();
+    for &c in &clocks {
+        for &g in &gbps {
+            for &l in &lats {
+                for &b in &bursts {
+                    for &s in &gaps {
+                        let mut cfg = SimConfig::default()
+                            .with_clock_mhz(c)
+                            .with_dram_gbps(g)
+                            .with_dram_latency(l)
+                            .with_burst_bytes(b);
+                        cfg.sync_gap = s;
+                        out.push((format!("c{c:.0}g{g:.0}l{l}b{b}s{s}"), cfg));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A dense synthetic space for the guided-vs-exhaustive benchmark rows:
+/// the smallest power-of-two tiles per tuned dimension (so the on-chip
+/// prefilter keeps essentially everything and the exhaustive sweep
+/// really pays for the whole space) x a wide parallelism ladder x the
+/// [`big_sim_grid`]. On `sumrows` this enumerates 16 x 8 x 1024 =
+/// 131072 candidates in full mode and a few hundred in quick mode.
+///
+/// # Panics
+///
+/// Panics if a tuned tile dimension has no declared size.
+pub fn big_space(spec: &BenchSpec, quick: bool) -> SearchSpace {
+    let sizes = (spec.sizes)();
+    let mut space = SearchSpace::new(&sizes);
+    let per_dim = if quick { 3 } else { 4 };
+    for (dim, _) in (spec.tiles)() {
+        let n = sizes
+            .iter()
+            .find(|(k, _)| *k == dim)
+            .map(|(_, v)| *v)
+            .expect("tile dim has a size");
+        let mut cands = pphw_dse::pow2_divisors(n);
+        let keep = cands.len().saturating_sub(per_dim);
+        cands.drain(..keep);
+        space = space.with_tile_candidates(dim, &cands);
+    }
+    let pars: Vec<u32> = if quick {
+        vec![16, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64, 128]
+    };
+    let grid = big_sim_grid(quick);
+    let variants: Vec<(&str, SimConfig)> =
+        grid.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    space.with_inner_pars(&pars).with_sim_variants(&variants)
+}
+
 /// Base compile options for a swept benchmark under an explicit on-chip
 /// budget.
 pub fn sweep_base_options(spec: &BenchSpec, budget: u64) -> CompileOptions {

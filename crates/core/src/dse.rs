@@ -165,6 +165,18 @@ impl Evaluate for CompileEvaluator<'_> {
             self.base.opt, self.base.interchange, self.base.on_chip_budget_bytes
         )
     }
+
+    fn area_hint(&self, c: &Candidate) -> Option<pphw_hw::Area> {
+        // Compile-only: the design (and its area) is independent of the
+        // candidate's substrate, so this shares the same cached artifact
+        // the full evaluation would build — never a simulation.
+        let key = design_key(&self.prog.name, &self.base.sizes, &self.cache_salt(), c);
+        let artifact = self.designs.get_or_compute(key, || self.build_artifact(c));
+        match &*artifact {
+            DesignArtifact::Ready { compiled, .. } => Some(compiled.area()),
+            DesignArtifact::Infeasible(_) => None,
+        }
+    }
 }
 
 /// One-call exploration: builds a [`CompileEvaluator`] and a fresh cache

@@ -477,7 +477,127 @@ impl EvalCache {
         j.stats.compactions += 1;
         Ok(())
     }
+
+    /// Folds another cache's entries into this one — the primitive behind
+    /// `dse --merge-cache`, which unifies the per-shard caches of a
+    /// sharded search back into one file.
+    ///
+    /// The conflict policy is strict: evaluation is a pure function of the
+    /// configuration key, so two caches holding the *same* key must hold
+    /// byte-identical outcomes (compared on the canonical entry encoding).
+    /// Any divergence aborts the merge *before* anything is inserted —
+    /// self is untouched on error — because a divergent entry means a
+    /// salt/version mismatch and neither value can be trusted.
+    /// [`EvalOutcome::Failed`] entries in `other` are never merged (same
+    /// rule as persistence: a failure should be retried, not replayed);
+    /// `Failed` entries in `self` are overwritten by a feasible result
+    /// from `other`, which is exactly the retry succeeding elsewhere.
+    ///
+    /// Entries land through [`EvalCache::insert`], so merging into a
+    /// journaled cache is itself crash-safe.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheMergeError::Divergent`] naming the first conflicting key (in
+    /// ascending key order, deterministically).
+    pub fn merge_from(&self, other: &EvalCache) -> Result<MergeStats, CacheMergeError> {
+        let mut incoming: Vec<(u64, EvalOutcome)> = {
+            let table = other.table();
+            table.iter().map(|(&k, v)| (k, v.clone())).collect()
+        };
+        incoming.sort_by_key(|(k, _)| *k);
+        let mut stats = MergeStats::default();
+        // Validate every key first so a divergence leaves self untouched.
+        {
+            let table = self.table();
+            for (key, theirs) in &incoming {
+                if matches!(theirs, EvalOutcome::Failed(_)) {
+                    continue;
+                }
+                match table.get(key) {
+                    Some(EvalOutcome::Failed(_)) | None => {}
+                    Some(ours) => {
+                        if encode_outcome(ours) != encode_outcome(theirs) {
+                            return Err(CacheMergeError::Divergent { key: *key });
+                        }
+                    }
+                }
+            }
+        }
+        for (key, theirs) in incoming {
+            if matches!(theirs, EvalOutcome::Failed(_)) {
+                stats.failed_skipped += 1;
+                continue;
+            }
+            let existing = self.table().get(&key).cloned();
+            match existing {
+                Some(EvalOutcome::Failed(_)) | None => {
+                    self.insert(key, theirs);
+                    stats.inserted += 1;
+                }
+                Some(_) => stats.identical += 1,
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Loads the snapshot at `path` *plus* the intact prefix of its
+    /// sibling journal, without arming the journal for appends — the
+    /// read-only open used for `--merge-cache` sources, so a shard killed
+    /// before its final checkpoint still contributes every durable entry.
+    /// Any irregularity in either file degrades to fewer entries, never an
+    /// error.
+    #[must_use]
+    pub fn load_including_journal(path: &Path) -> EvalCache {
+        let cache = EvalCache::load_or_cold(path);
+        if let Ok(bytes) = std::fs::read(crate::journal::journal_path(path)) {
+            let (entries, _) = crate::journal::replay(&bytes);
+            let mut table = cache.table();
+            for (key, outcome) in entries {
+                table.insert(key, outcome);
+            }
+        }
+        cache
+    }
 }
+
+/// What [`EvalCache::merge_from`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Entries newly inserted from the other cache.
+    pub inserted: u64,
+    /// Entries present in both caches and byte-identical (kept as-is).
+    pub identical: u64,
+    /// [`EvalOutcome::Failed`] entries in the source, skipped by policy.
+    pub failed_skipped: u64,
+}
+
+/// Why [`EvalCache::merge_from`] refused to merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMergeError {
+    /// Both caches hold this key with byte-different outcomes. Evaluation
+    /// is pure per key, so this means the caches were produced by
+    /// incompatible evaluators (differing salt, version, or substrate) and
+    /// neither entry can be trusted over the other.
+    Divergent {
+        /// The conflicting configuration key.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for CacheMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheMergeError::Divergent { key } => write!(
+                f,
+                "cache merge conflict: key {key:#018x} has divergent outcomes \
+                 (caches were produced by incompatible evaluators)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheMergeError {}
 
 /// File magic for the persistent evaluation cache.
 pub const CACHE_MAGIC: [u8; 8] = *b"PPHWEVC\0";
@@ -866,6 +986,115 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
             .collect();
         assert!(leftovers.is_empty(), "orphaned temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_unions_disjoint_caches_and_counts_identicals() {
+        let a = EvalCache::new();
+        a.insert(1, outcome(100));
+        a.insert(2, EvalOutcome::Infeasible("budget".into()));
+        let b = EvalCache::new();
+        b.insert(2, EvalOutcome::Infeasible("budget".into()));
+        b.insert(3, outcome(300));
+        let stats = a.merge_from(&b).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                inserted: 1,
+                identical: 1,
+                failed_skipped: 0
+            }
+        );
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(3), Some(outcome(300)));
+        // Merging again is idempotent.
+        let stats = a.merge_from(&b).unwrap();
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(stats.identical, 2);
+    }
+
+    #[test]
+    fn merge_rejects_divergent_keys_without_mutating() {
+        let a = EvalCache::new();
+        a.insert(1, outcome(100));
+        a.insert(7, outcome(700));
+        let b = EvalCache::new();
+        b.insert(7, outcome(701));
+        b.insert(9, outcome(900));
+        let err = a.merge_from(&b).unwrap_err();
+        assert_eq!(err, CacheMergeError::Divergent { key: 7 });
+        assert!(err.to_string().contains("divergent"), "{err}");
+        // Nothing from b landed, not even the non-conflicting key 9.
+        assert_eq!(a.len(), 2);
+        assert!(a.table().get(&9).is_none());
+        assert_eq!(a.get(7), Some(outcome(700)));
+    }
+
+    #[test]
+    fn merge_never_imports_failed_and_lets_success_replace_failed() {
+        let a = EvalCache::new();
+        a.insert(5, EvalOutcome::Failed("transient here".into()));
+        let b = EvalCache::new();
+        b.insert(5, outcome(555));
+        b.insert(6, EvalOutcome::Failed("transient there".into()));
+        let stats = a.merge_from(&b).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                inserted: 1,
+                identical: 0,
+                failed_skipped: 1
+            }
+        );
+        assert_eq!(a.get(5), Some(outcome(555)), "retry success wins");
+        assert!(a.get(6).is_none(), "Failed entries never merge");
+    }
+
+    #[test]
+    fn merge_from_a_journaled_source_sees_unsnapshotted_entries() {
+        let dir = std::env::temp_dir().join("pphw-cache-merge-journaled");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.pphwc");
+        {
+            // A journaled shard that dies before any checkpoint: entries
+            // exist only in the write-ahead journal, not the snapshot.
+            let shard = EvalCache::open_journaled_with(
+                &path,
+                JournalConfig {
+                    sync_every: 1,
+                    compact_bytes: u64::MAX,
+                },
+            )
+            .unwrap();
+            shard.insert(11, outcome(1100));
+            shard.insert(12, EvalOutcome::Infeasible("no fit".into()));
+            shard.insert(13, EvalOutcome::Failed("panic".into()));
+            // No checkpoint, no save: simulate the crash by dropping.
+        }
+        assert!(
+            EvalCache::load_or_cold(&path).is_empty(),
+            "no snapshot was ever published"
+        );
+        let source = EvalCache::load_including_journal(&path);
+        assert_eq!(source.len(), 2, "journal replayed, Failed never durable");
+
+        let target = EvalCache::new();
+        target.insert(11, outcome(1100));
+        let stats = target.merge_from(&source).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                inserted: 1,
+                identical: 1,
+                failed_skipped: 0
+            }
+        );
+        assert_eq!(
+            target.get(12),
+            Some(EvalOutcome::Infeasible("no fit".into()))
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,15 +1,112 @@
-//! The exploration engine: prefilter, memoized parallel evaluation,
-//! deterministic ranking.
+//! The exploration engine: prefilter, model-guided candidate selection,
+//! memoized parallel evaluation, deterministic ranking.
+
+use std::cmp::Ordering;
 
 use pphw_hw::{area_objective, AreaBudget};
 use pphw_ir::program::Program;
 
 use crate::cache::{config_key, EvalCache};
+use crate::model::{pick_sample, CostModel, FeatureExtractor};
 use crate::pareto::{compare_points, pareto_frontier};
-use crate::prune::{prefilter, PruneDecision};
+use crate::prune::{area_lower_bound, prefilter, PruneDecision};
 use crate::report::{DseReport, DseStats, EvaluatedPoint, FailedPoint};
+use crate::shard::{fingerprint, Shard};
 use crate::space::{Candidate, SearchSpace};
 use crate::{DseError, EvalOutcome, Evaluate};
+
+/// Default seed for guided calibration sampling (`b"pphw-dse"` as a
+/// little-endian word): fixed so two guided runs of the same space agree
+/// without coordination.
+pub const DEFAULT_GUIDED_SEED: u64 = u64::from_le_bytes(*b"pphw-dse");
+
+/// Tuning for [`Strategy::Guided`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuidedConfig {
+    /// Calibration sample size: how many survivors are measured to fit
+    /// the cost model. The sample is chosen by stable fingerprint, so it
+    /// is identical across thread counts and shards (every shard of a
+    /// sharded guided run replicates it — that is what lets all shards
+    /// fit the same model and agree on the top slice).
+    pub sample: usize,
+    /// How many of the model's top-ranked survivors to actually measure.
+    pub top_k: usize,
+    /// Exploration band: additionally measure this many survivors spread
+    /// evenly across the rest of the ranking, so a systematically wrong
+    /// model is visible in the report's prediction-error columns instead
+    /// of silently steering the search.
+    pub explore: usize,
+    /// Seed for the deterministic calibration sample.
+    pub seed: u64,
+}
+
+impl Default for GuidedConfig {
+    fn default() -> Self {
+        GuidedConfig {
+            sample: 32,
+            top_k: 64,
+            explore: 8,
+            seed: DEFAULT_GUIDED_SEED,
+        }
+    }
+}
+
+/// How the engine spends its simulation budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Measure every prefilter survivor (the classic sweep).
+    #[default]
+    Exhaustive,
+    /// Measure a seeded calibration sample, fit the analytic cost model
+    /// to it, rank every survivor by predicted objective, and measure
+    /// only the top slice plus an exploration band.
+    Guided(GuidedConfig),
+}
+
+/// What "best" means.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Objective {
+    /// Fewest simulated cycles (labels break ties).
+    MinCycles,
+    /// Fewest cycles, then smallest area, then label — the engine's
+    /// historical total order.
+    #[default]
+    CyclesThenArea,
+    /// Fewest cycles among points whose area objective fits under the
+    /// cap; [`DseError::NoFeasibleConfig`] if nothing fits.
+    FastestUnderAreaCap {
+        /// Maximum admissible area objective (device utilization
+        /// fraction, same scale as [`EvaluatedPoint::area_score`]).
+        area_cap: f64,
+    },
+}
+
+impl Objective {
+    /// The total order this objective ranks feasible points with.
+    #[must_use]
+    pub fn cmp_points(&self, a: &EvaluatedPoint, b: &EvaluatedPoint) -> Ordering {
+        match self {
+            Objective::MinCycles => a.cycles.cmp(&b.cycles).then_with(|| a.label.cmp(&b.label)),
+            Objective::CyclesThenArea => compare_points(a, b),
+            Objective::FastestUnderAreaCap { area_cap } => {
+                let a_fits = a.area_score <= *area_cap;
+                let b_fits = b.area_score <= *area_cap;
+                // Points under the cap sort strictly before points over it.
+                b_fits.cmp(&a_fits).then_with(|| compare_points(a, b))
+            }
+        }
+    }
+
+    /// Whether a point satisfies the objective's hard constraint (always
+    /// true except under an area cap).
+    #[must_use]
+    pub fn admits(&self, p: &EvaluatedPoint) -> bool {
+        match self {
+            Objective::FastestUnderAreaCap { area_cap } => p.area_score <= *area_cap,
+            _ => true,
+        }
+    }
+}
 
 /// Engine knobs.
 #[derive(Debug, Clone)]
@@ -32,6 +129,15 @@ pub struct DseConfig {
     /// retry). A candidate that fails every attempt is recorded as a
     /// [`EvalOutcome::Failed`] in the report; the sweep always completes.
     pub eval_attempts: usize,
+    /// Exhaustive or model-guided measurement.
+    pub strategy: Strategy,
+    /// What "best" means when ranking feasible points.
+    pub objective: Objective,
+    /// When `Some`, this invocation measures only the survivors its shard
+    /// owns (by stable fingerprint); see [`crate::shard`]. Guided runs
+    /// additionally replicate the calibration sample on every shard so
+    /// all shards select the same top slice.
+    pub shard: Option<Shard>,
 }
 
 impl Default for DseConfig {
@@ -43,6 +149,9 @@ impl Default for DseConfig {
             prefilter: true,
             max_evals: usize::MAX,
             eval_attempts: 2,
+            strategy: Strategy::Exhaustive,
+            objective: Objective::CyclesThenArea,
+            shard: None,
         }
     }
 }
@@ -59,20 +168,31 @@ impl DseConfig {
     }
 }
 
-/// Explores the space: analytic prefilter, then memoized parallel
-/// evaluation of the survivors, then deterministic ranking into the best
-/// point and the cycles-vs-area Pareto frontier.
+/// Explores the space: analytic prefilter, then measurement of the
+/// survivors — all of them ([`Strategy::Exhaustive`]) or a model-selected
+/// slice ([`Strategy::Guided`]) — then deterministic ranking under the
+/// configured [`Objective`] into the best point and the cycles-vs-area
+/// Pareto frontier.
 ///
 /// Determinism: the returned report is a pure function of (program,
-/// space, evaluator, pre-existing cache contents) — thread count and
-/// scheduling cannot change it. Candidates are enumerated and pruned in
-/// canonical order, results are merged by candidate index, and ranking
-/// uses a total order.
+/// space, evaluator, pre-existing cache contents, config) — thread count
+/// and scheduling cannot change it. Candidates are enumerated and pruned
+/// in canonical order, the guided sample and ranking derive from stable
+/// fingerprints and deterministic arithmetic, results are merged by
+/// candidate index, and ranking uses a total order.
+///
+/// Sharding: with [`DseConfig::shard`] set, only the survivors this shard
+/// owns are measured (plus, under [`Strategy::Guided`], the calibration
+/// sample, which every shard replicates so all shards fit the same model
+/// and agree on the top slice). The union of all shards' measurements
+/// equals the unsharded run's, so merging the shards' caches and
+/// re-running unsharded reproduces the unsharded report bit-for-bit.
 ///
 /// # Errors
 ///
 /// [`DseError::EmptySpace`] if the space enumerates to nothing;
-/// [`DseError::NoFeasibleConfig`] if every point is pruned or infeasible.
+/// [`DseError::NoFeasibleConfig`] if every point is pruned, infeasible,
+/// owned by another shard, or (under an area cap) over the cap.
 pub fn explore(
     prog: &Program,
     space: &SearchSpace,
@@ -126,44 +246,187 @@ pub fn explore(
     };
     let mut survivors = survivors;
     survivors.truncate(cfg.max_evals);
-    stats.evaluated = survivors.len();
+    let n = survivors.len();
 
-    // Memoized evaluation on the work-stealing pool. The bool records
-    // whether the measurement came from the cache; counted after the
-    // parallel section so the tallies are scheduling-independent. Each
-    // job runs under panic isolation with bounded retry, so one crashing
-    // candidate is a recorded failure, not a lost sweep. Failed outcomes
-    // (panics, simulation budget overruns) are never cached: a later
-    // sweep should retry them, not replay the failure.
+    // Stable identity per survivor: drives both sharding and the guided
+    // calibration sample, so neither depends on enumeration position.
+    let fps: Vec<u64> = survivors
+        .iter()
+        .map(|c| fingerprint(&prog.name, c))
+        .collect();
+    let owned = |i: usize| cfg.shard.is_none_or(|s| s.owns(fps[i]));
+
+    // Memoized evaluation of an index subset on the work-stealing pool.
+    // The bool records whether the measurement came from the cache;
+    // counted after the parallel section so the tallies are
+    // scheduling-independent. Each job runs under panic isolation with
+    // bounded retry, so one crashing candidate is a recorded failure, not
+    // a lost sweep. Failed outcomes (panics, simulation budget overruns)
+    // are never cached: a later sweep should retry them, not replay the
+    // failure.
     let salt = evaluator.cache_salt();
-    let outcomes: Vec<Result<(EvalOutcome, bool), String>> = crate::pool::run_indexed_isolated(
-        cfg.resolved_threads(),
-        &survivors,
-        cfg.eval_attempts.max(1),
-        |_, c| {
-            let key = config_key(&prog.name, space.sizes(), &salt, c);
-            if let Some(hit) = cache.get(key) {
-                (hit, true)
-            } else {
-                let out = evaluator.evaluate(c);
-                if !matches!(out, EvalOutcome::Failed(_)) {
-                    cache.insert(key, out.clone());
+    let measure = |indices: &[usize]| -> Vec<(usize, EvalOutcome, bool)> {
+        let subset: Vec<Candidate> = indices.iter().map(|&i| survivors[i].clone()).collect();
+        let outcomes: Vec<Result<(EvalOutcome, bool), String>> = crate::pool::run_indexed_isolated(
+            cfg.resolved_threads(),
+            &subset,
+            cfg.eval_attempts.max(1),
+            |_, c| {
+                let key = config_key(&prog.name, space.sizes(), &salt, c);
+                if let Some(hit) = cache.get(key) {
+                    (hit, true)
+                } else {
+                    let out = evaluator.evaluate(c);
+                    if !matches!(out, EvalOutcome::Failed(_)) {
+                        cache.insert(key, out.clone());
+                    }
+                    (out, false)
                 }
-                (out, false)
-            }
-        },
-    );
+            },
+        );
+        indices
+            .iter()
+            .zip(outcomes)
+            .map(|(&i, result)| match result {
+                Ok((outcome, from_cache)) => (i, outcome, from_cache),
+                Err(msg) => (
+                    i,
+                    EvalOutcome::Failed(format!("evaluator panicked: {msg}")),
+                    false,
+                ),
+            })
+            .collect()
+    };
 
-    let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(survivors.len());
+    // Decide which survivors to measure.
+    let mut predictions: Vec<Option<f64>> = vec![None; n];
+    let mut measured: Vec<(usize, EvalOutcome, bool)> = match &cfg.strategy {
+        Strategy::Exhaustive => {
+            let idx: Vec<usize> = (0..n).filter(|&i| owned(i)).collect();
+            stats.shard_skipped = n - idx.len();
+            measure(&idx)
+        }
+        Strategy::Guided(g) => {
+            // 1. Calibration: measure a seeded sample chosen by stable
+            //    fingerprint. Every shard replicates it (the evaluator is
+            //    pure, so the replicated cache entries are byte-identical
+            //    and merge cleanly) — that is what makes the fitted model,
+            //    and therefore the selected slice, shard-independent.
+            let sample_idx = pick_sample(&fps, g.sample.max(1), g.seed);
+            let in_sample = {
+                let mut flags = vec![false; n];
+                for &i in &sample_idx {
+                    flags[i] = true;
+                }
+                flags
+            };
+            let mut measured = measure(&sample_idx);
+
+            // 2. Fit the cost model on the feasible sample measurements.
+            let mut fx = FeatureExtractor::new(prog, space.sizes(), cfg.on_chip_budget_bytes);
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for (i, outcome, _) in &measured {
+                if let EvalOutcome::Feasible(m) = outcome {
+                    if let Some(f) = fx.features(&survivors[*i]) {
+                        xs.push(f);
+                        ys.push(m.cycles as f64);
+                    }
+                }
+            }
+            match CostModel::fit(&xs, &ys) {
+                None => {
+                    // Nothing feasible to calibrate on: degenerate to
+                    // exhaustive over the remaining (owned) survivors
+                    // rather than skip points on an unfit model's word.
+                    let rest: Vec<usize> = (0..n).filter(|&i| !in_sample[i] && owned(i)).collect();
+                    stats.shard_skipped = (0..n).filter(|&i| !in_sample[i] && !owned(i)).count();
+                    measured.extend(measure(&rest));
+                }
+                Some(model) => {
+                    stats.sampled = sample_idx.len();
+                    stats.ranked = n;
+                    // 3. Predict every survivor and rank the unsampled
+                    //    ones by predicted objective. Under an area cap,
+                    //    a candidate that cannot fit ranks last: exactly,
+                    //    when the evaluator can compile (not simulate)
+                    //    the design and report its true area — area is a
+                    //    function of the design alone, so substrate
+                    //    siblings share one compile — or conservatively
+                    //    by the analytic area lower bound otherwise
+                    //    (real designs are at least that large). Without
+                    //    the exact check, fast-but-oversized points
+                    //    flood the top slice only to be rejected after
+                    //    measurement, squeezing out the true winner. A
+                    //    survivor the feature extractor cannot analyze
+                    //    ranks first: measuring it is the only safe
+                    //    option.
+                    let mut keys = Vec::with_capacity(n);
+                    for (i, c) in survivors.iter().enumerate() {
+                        predictions[i] = fx.features(c).map(|f| model.predict(&f));
+                        let key = match predictions[i] {
+                            None => f64::NEG_INFINITY,
+                            Some(pred) => {
+                                let capped = match cfg.objective {
+                                    Objective::FastestUnderAreaCap { area_cap } => {
+                                        match evaluator.area_hint(c) {
+                                            Some(area) => area_objective(area) > area_cap,
+                                            None => fx.traffic(c).is_some_and(|t| {
+                                                let bytes = t.on_chip_bytes(c.sim.word_bytes);
+                                                area_objective(area_lower_bound(c.inner_par, bytes))
+                                                    > area_cap
+                                            }),
+                                        }
+                                    }
+                                    _ => false,
+                                };
+                                if capped {
+                                    f64::INFINITY
+                                } else {
+                                    pred
+                                }
+                            }
+                        };
+                        keys.push(key);
+                    }
+                    let mut rest: Vec<usize> = (0..n).filter(|&i| !in_sample[i]).collect();
+                    rest.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
+
+                    // 4. Select the top slice plus an exploration band
+                    //    spread evenly over the rest of the ranking.
+                    let top_end = g.top_k.min(rest.len());
+                    let mut selected: Vec<usize> = rest[..top_end].to_vec();
+                    let tail = &rest[top_end..];
+                    let picks = g.explore.min(tail.len());
+                    for k in 0..picks {
+                        selected.push(tail[k * tail.len() / picks]);
+                    }
+                    selected.sort_unstable();
+                    selected.dedup();
+                    stats.skipped_model = rest.len() - selected.len();
+
+                    // 5. Measure the selected slice — this shard's share
+                    //    of it, when sharded.
+                    let to_measure: Vec<usize> =
+                        selected.iter().copied().filter(|&i| owned(i)).collect();
+                    stats.shard_skipped = selected.len() - to_measure.len();
+                    measured.extend(measure(&to_measure));
+                }
+            }
+            measured
+        }
+    };
+    stats.evaluated = measured.len();
+    stats.simulated = measured.len();
+
+    // Merge in candidate-index order so downstream processing (failure
+    // lists, tallies) is independent of measurement pass structure.
+    measured.sort_by_key(|(i, _, _)| *i);
+
+    let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(measured.len());
     let mut failures: Vec<FailedPoint> = Vec::new();
-    for (c, result) in survivors.iter().zip(&outcomes) {
-        let (outcome, from_cache) = match result {
-            Ok((outcome, from_cache)) => (outcome.clone(), *from_cache),
-            Err(msg) => (
-                EvalOutcome::Failed(format!("evaluator panicked: {msg}")),
-                false,
-            ),
-        };
+    for (i, outcome, from_cache) in measured {
+        let c = &survivors[i];
         if from_cache {
             stats.cache_hits += 1;
         } else {
@@ -180,6 +443,7 @@ pub fn explore(
                 on_chip_bytes: m.on_chip_bytes,
                 area: m.area,
                 area_score: area_objective(m.area),
+                predicted_cycles: predictions[i],
             }),
             EvalOutcome::Infeasible(_) => stats.infeasible += 1,
             EvalOutcome::Failed(error) => {
@@ -192,8 +456,11 @@ pub fn explore(
         }
     }
 
-    points.sort_by(compare_points);
+    points.sort_by(|a, b| cfg.objective.cmp_points(a, b));
     let best = points.first().cloned().ok_or(DseError::NoFeasibleConfig)?;
+    if !cfg.objective.admits(&best) {
+        return Err(DseError::NoFeasibleConfig);
+    }
     let frontier = pareto_frontier(&points);
     Ok(DseReport {
         name: prog.name.clone(),
@@ -262,6 +529,16 @@ mod tests {
 
         fn cache_salt(&self) -> String {
             "synthetic".into()
+        }
+
+        fn area_hint(&self, c: &Candidate) -> Option<Area> {
+            // Exact, simulation-free: mirrors the area `evaluate` reports,
+            // the way a compile-only pass does for the real evaluator.
+            Some(Area {
+                logic: c.inner_par as f64 * 320.0,
+                ff: c.inner_par as f64 * 480.0,
+                mem: 4.0,
+            })
         }
     }
 
@@ -465,5 +742,301 @@ mod tests {
         let report = explore(&program(), &space(), &eval, &EvalCache::new(), &cfg).unwrap();
         assert_eq!(report.stats.evaluated, 3);
         assert_eq!(eval.calls.load(Ordering::SeqCst), 3);
+    }
+
+    /// A wider space (96 points) so guided search has something to skip.
+    fn wide_space() -> SearchSpace {
+        SearchSpace::new(&[("m", 64), ("n", 64)])
+            .tune_dim("m")
+            .unwrap()
+            .tune_dim("n")
+            .unwrap()
+            .with_inner_pars(&[1, 2, 4, 8, 16, 32])
+    }
+
+    fn guided_cfg(threads: usize) -> DseConfig {
+        DseConfig {
+            threads,
+            strategy: Strategy::Guided(GuidedConfig {
+                sample: 16,
+                top_k: 8,
+                explore: 4,
+                seed: DEFAULT_GUIDED_SEED,
+            }),
+            ..DseConfig::default()
+        }
+    }
+
+    #[test]
+    fn guided_finds_the_exhaustive_optimum_while_skipping_most_points() {
+        let exhaustive = explore(
+            &program(),
+            &wide_space(),
+            &Synthetic::new(),
+            &EvalCache::new(),
+            &DseConfig::default(),
+        )
+        .unwrap();
+        let eval = Synthetic::new();
+        let guided = explore(
+            &program(),
+            &wide_space(),
+            &eval,
+            &EvalCache::new(),
+            &guided_cfg(1),
+        )
+        .unwrap();
+        assert_eq!(guided.best.label, exhaustive.best.label);
+        assert_eq!(guided.best.cycles, exhaustive.best.cycles);
+        let s = guided.stats;
+        assert_eq!(s.sampled, 16);
+        assert_eq!(s.ranked, 96, "every survivor ranked");
+        assert!(
+            s.simulated < s.ranked / 2,
+            "guided must skip most points: simulated {} of {}",
+            s.simulated,
+            s.ranked
+        );
+        assert_eq!(s.simulated, s.evaluated);
+        assert_eq!(
+            s.sampled + s.skipped_model + (s.simulated - s.sampled),
+            s.ranked
+        );
+        assert_eq!(eval.calls.load(Ordering::SeqCst) as usize, s.simulated);
+        assert!(
+            guided.best.predicted_cycles.is_some(),
+            "guided points carry model predictions"
+        );
+    }
+
+    #[test]
+    fn guided_reports_are_identical_across_thread_counts() {
+        let mut reference: Option<DseReport> = None;
+        for threads in [1usize, 4] {
+            let report = explore(
+                &program(),
+                &wide_space(),
+                &Synthetic::new(),
+                &EvalCache::new(),
+                &guided_cfg(threads),
+            )
+            .unwrap();
+            if let Some(r) = &reference {
+                assert_eq!(r.best.label, report.best.label);
+                assert_eq!(r.stats, report.stats);
+                let ra: Vec<_> = r.evaluated.iter().map(|p| &p.label).collect();
+                let rb: Vec<_> = report.evaluated.iter().map(|p| &p.label).collect();
+                assert_eq!(ra, rb, "threads={threads}");
+                for (a, b) in r.evaluated.iter().zip(&report.evaluated) {
+                    assert_eq!(
+                        a.predicted_cycles.map(f64::to_bits),
+                        b.predicted_cycles.map(f64::to_bits)
+                    );
+                }
+            }
+            reference = Some(report);
+        }
+    }
+
+    #[test]
+    fn objectives_select_different_winners() {
+        // Synthetic: cycles fall with lanes, area grows with lanes, so
+        // min-cycles picks the widest design and an area cap forces a
+        // narrower one.
+        let run = |objective: Objective| {
+            explore(
+                &program(),
+                &wide_space(),
+                &Synthetic::new(),
+                &EvalCache::new(),
+                &DseConfig {
+                    objective,
+                    ..DseConfig::default()
+                },
+            )
+        };
+        let min_cycles = run(Objective::MinCycles).unwrap();
+        let lex = run(Objective::CyclesThenArea).unwrap();
+        assert_eq!(
+            min_cycles.best.cycles, lex.best.cycles,
+            "same fastest cycle count either way"
+        );
+        assert!(min_cycles.best.label.contains("par=32"));
+
+        // Cap below the 32-lane design's area: the winner must fit and
+        // be the fastest point that fits.
+        let wide_area = min_cycles.best.area_score;
+        let cap = wide_area * 0.9;
+        let capped = run(Objective::FastestUnderAreaCap { area_cap: cap }).unwrap();
+        assert!(capped.best.area_score <= cap);
+        assert!(capped.best.cycles >= min_cycles.best.cycles);
+        let fastest_fitting = lex
+            .evaluated
+            .iter()
+            .filter(|p| p.area_score <= cap)
+            .map(|p| p.cycles)
+            .min()
+            .unwrap();
+        assert_eq!(capped.best.cycles, fastest_fitting);
+
+        // A cap below every point is NoFeasibleConfig, not a silent
+        // over-cap winner.
+        let err = run(Objective::FastestUnderAreaCap { area_cap: 0.0 }).unwrap_err();
+        assert_eq!(err, DseError::NoFeasibleConfig);
+    }
+
+    #[test]
+    fn guided_respects_the_objective_under_an_area_cap() {
+        let cap_source = explore(
+            &program(),
+            &wide_space(),
+            &Synthetic::new(),
+            &EvalCache::new(),
+            &DseConfig {
+                objective: Objective::MinCycles,
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        let cap = cap_source.best.area_score * 0.9;
+        let objective = Objective::FastestUnderAreaCap { area_cap: cap };
+        let exhaustive = explore(
+            &program(),
+            &wide_space(),
+            &Synthetic::new(),
+            &EvalCache::new(),
+            &DseConfig {
+                objective,
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        let guided = explore(
+            &program(),
+            &wide_space(),
+            &Synthetic::new(),
+            &EvalCache::new(),
+            &DseConfig {
+                objective,
+                ..guided_cfg(1)
+            },
+        )
+        .unwrap();
+        assert_eq!(guided.best.label, exhaustive.best.label);
+        assert!(guided.best.area_score <= cap);
+    }
+
+    #[test]
+    fn exhaustive_shards_partition_the_work_and_merge_losslessly() {
+        // Unsharded reference on a fresh cache.
+        let reference = explore(
+            &program(),
+            &wide_space(),
+            &Synthetic::new(),
+            &EvalCache::new(),
+            &DseConfig::default(),
+        )
+        .unwrap();
+
+        let merged = EvalCache::new();
+        let mut measured_total = 0usize;
+        for index in 0..3u64 {
+            let shard_cache = EvalCache::new();
+            let cfg = DseConfig {
+                shard: Some(crate::shard::Shard { index, count: 3 }),
+                ..DseConfig::default()
+            };
+            // A shard may own zero feasible points; that is not an error
+            // for the merged result.
+            match explore(
+                &program(),
+                &wide_space(),
+                &Synthetic::new(),
+                &shard_cache,
+                &cfg,
+            ) {
+                Ok(r) => {
+                    assert_eq!(
+                        r.stats.evaluated + r.stats.shard_skipped,
+                        reference.stats.evaluated,
+                        "shard sees the same survivor set"
+                    );
+                    measured_total += r.stats.evaluated;
+                }
+                Err(DseError::NoFeasibleConfig) => {}
+                Err(e) => panic!("unexpected shard error: {e}"),
+            }
+            merged.merge_from(&shard_cache).unwrap();
+        }
+        assert_eq!(
+            measured_total, reference.stats.evaluated,
+            "shards partition the survivors exactly"
+        );
+
+        // Re-running unsharded against the merged cache is all-hits and
+        // reproduces the reference report (modulo cache tallies).
+        let rerun = explore(
+            &program(),
+            &wide_space(),
+            &Synthetic::new(),
+            &merged,
+            &DseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rerun.stats.cache_misses, 0, "merged cache covers the space");
+        assert_eq!(rerun.best.label, reference.best.label);
+        let ra: Vec<_> = reference.evaluated.iter().map(|p| &p.label).collect();
+        let rb: Vec<_> = rerun.evaluated.iter().map(|p| &p.label).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn guided_shards_agree_on_the_winner_for_every_shard_count() {
+        let unsharded = explore(
+            &program(),
+            &wide_space(),
+            &Synthetic::new(),
+            &EvalCache::new(),
+            &guided_cfg(1),
+        )
+        .unwrap();
+        for count in [1u64, 3, 7] {
+            let merged = EvalCache::new();
+            for index in 0..count {
+                let shard_cache = EvalCache::new();
+                let cfg = DseConfig {
+                    shard: Some(crate::shard::Shard { index, count }),
+                    ..guided_cfg(1)
+                };
+                match explore(
+                    &program(),
+                    &wide_space(),
+                    &Synthetic::new(),
+                    &shard_cache,
+                    &cfg,
+                ) {
+                    Ok(_) | Err(DseError::NoFeasibleConfig) => {}
+                    Err(e) => panic!("unexpected shard error: {e}"),
+                }
+                merged.merge_from(&shard_cache).unwrap();
+            }
+            let rerun = explore(
+                &program(),
+                &wide_space(),
+                &Synthetic::new(),
+                &merged,
+                &guided_cfg(1),
+            )
+            .unwrap();
+            assert_eq!(
+                rerun.stats.cache_misses, 0,
+                "count={count}: merged shard caches cover the guided slice"
+            );
+            assert_eq!(rerun.best.label, unsharded.best.label, "count={count}");
+            assert_eq!(rerun.best.cycles, unsharded.best.cycles);
+            let ra: Vec<_> = unsharded.evaluated.iter().map(|p| &p.label).collect();
+            let rb: Vec<_> = rerun.evaluated.iter().map(|p| &p.label).collect();
+            assert_eq!(ra, rb, "count={count}: full ranking identical after merge");
+        }
     }
 }

@@ -39,17 +39,21 @@
 pub mod cache;
 pub mod engine;
 pub mod journal;
+pub mod model;
 pub mod pareto;
 pub mod pool;
 pub mod prune;
 pub mod report;
+pub mod shard;
 pub mod space;
 
-pub use cache::EvalCache;
-pub use engine::{explore, DseConfig};
+pub use cache::{CacheMergeError, EvalCache, MergeStats};
+pub use engine::{explore, DseConfig, GuidedConfig, Objective, Strategy};
 pub use journal::{journal_path, JournalConfig, JournalStats};
+pub use model::CostModel;
 pub use pareto::pareto_frontier;
 pub use report::{DseReport, DseStats, EvaluatedPoint, FailedPoint};
+pub use shard::Shard;
 pub use space::{pow2_divisors, Candidate, SearchSpace};
 
 use pphw_hw::Area;
@@ -122,5 +126,20 @@ pub trait Evaluate: Sync {
     /// equal outcomes for equal candidates.
     fn cache_salt(&self) -> String {
         String::new()
+    }
+
+    /// The exact area of the design this candidate maps to, when it can
+    /// be obtained without running a simulation — e.g. by a compile-only
+    /// pass through a shared design cache. Area is a function of the
+    /// design alone, so every substrate variant of one tile/parallelism
+    /// point shares the answer and one compile serves them all.
+    ///
+    /// The guided engine uses this under an area-cap objective to rank
+    /// candidates that genuinely exceed the cap last instead of wasting
+    /// its measurement slice on fast-but-oversized points. `None` (the
+    /// default) means "unknown": the engine falls back to the analytic
+    /// area lower bound, which is safe but loose.
+    fn area_hint(&self, _candidate: &Candidate) -> Option<Area> {
+        None
     }
 }

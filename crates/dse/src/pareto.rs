@@ -55,6 +55,7 @@ mod tests {
             on_chip_bytes: 0,
             area: Area::default(),
             area_score,
+            predicted_cycles: None,
         }
     }
 

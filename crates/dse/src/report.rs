@@ -25,6 +25,25 @@ pub struct EvaluatedPoint {
     pub area: Area,
     /// Scalar area objective (worst-case device utilization fraction).
     pub area_score: f64,
+    /// The calibrated cost model's cycle prediction for this point, when
+    /// the search ran guided (`None` under exhaustive search). Reported
+    /// next to the measured cycles so model quality is auditable from the
+    /// report alone.
+    pub predicted_cycles: Option<f64>,
+}
+
+impl EvaluatedPoint {
+    /// Relative error of the model's prediction against the measurement:
+    /// `(predicted - actual) / actual`. `None` when there is no
+    /// prediction or the measurement is zero cycles.
+    #[must_use]
+    pub fn prediction_error(&self) -> Option<f64> {
+        let predicted = self.predicted_cycles?;
+        if self.cycles == 0 {
+            return None;
+        }
+        Some((predicted - self.cycles as f64) / self.cycles as f64)
+    }
 }
 
 /// A candidate whose evaluation failed outright (evaluator panic caught
@@ -63,6 +82,21 @@ pub struct DseStats {
     /// Evaluated points whose evaluation failed outright (panic even after
     /// retries, simulation budget overrun).
     pub failed: usize,
+    /// Guided search: survivors measured for model calibration (the
+    /// deterministic seeded sample). Zero under exhaustive search.
+    pub sampled: usize,
+    /// Guided search: survivors ranked by the calibrated model's
+    /// predicted objective. Zero under exhaustive search.
+    pub ranked: usize,
+    /// Survivors this search actually measured (simulated or served from
+    /// the cache). Equals `evaluated`; reported separately so guided
+    /// reports state their simulation budget explicitly.
+    pub simulated: usize,
+    /// Guided search: survivors the model ranked unpromising and the
+    /// search therefore never measured.
+    pub skipped_model: usize,
+    /// Survivors owned by other shards of a `--shard i/N` run.
+    pub shard_skipped: usize,
     /// Measurements served from the memoization cache.
     pub cache_hits: u64,
     /// Measurements that actually ran the compile+simulate path.
@@ -105,10 +139,19 @@ fn point_json(p: &EvaluatedPoint) -> String {
         .map(|(k, v)| format!("{{\"dim\":\"{}\",\"tile\":{v}}}", json_escape(k)))
         .collect::<Vec<_>>()
         .join(",");
+    let predicted = match p.predicted_cycles {
+        Some(v) => format!("{v:.1}"),
+        None => "null".to_string(),
+    };
+    let pred_err = match p.prediction_error() {
+        Some(v) => format!("{v:.4}"),
+        None => "null".to_string(),
+    };
     format!(
         "{{\"label\":\"{}\",\"tiles\":[{tiles}],\"inner_par\":{},\"sim\":\"{}\",\
          \"cycles\":{},\"dram_words\":{},\"on_chip_bytes\":{},\
-         \"area\":{{\"logic\":{},\"ff\":{},\"mem\":{}}},\"area_score\":{}}}",
+         \"area\":{{\"logic\":{},\"ff\":{},\"mem\":{}}},\"area_score\":{},\
+         \"predicted_cycles\":{predicted},\"prediction_error\":{pred_err}}}",
         json_escape(&p.label),
         p.inner_par,
         json_escape(&p.sim_label),
@@ -151,12 +194,17 @@ impl DseReport {
             .collect::<Vec<_>>()
             .join(",");
         let s = &self.stats;
+        // `cache_hits`/`cache_misses` must stay the last two stats keys:
+        // the perf harness masks the counters from `"cache_hits"` to the
+        // object's closing brace when comparing warm and cold reports.
         format!(
             "{{\"name\":\"{}\",\"best\":{},\"frontier\":[{frontier}],\
              \"evaluated\":[{evaluated}],\"failures\":[{failures}],\
              \"stats\":{{\"exhaustive\":{},\
              \"pruned_tile\":{},\"pruned_verify\":{},\"pruned_budget\":{},\"pruned_area\":{},\
              \"evaluated\":{},\"infeasible\":{},\"failed\":{},\
+             \"sampled\":{},\"ranked\":{},\"simulated\":{},\
+             \"skipped_model\":{},\"shard_skipped\":{},\
              \"cache_hits\":{},\"cache_misses\":{}}}}}",
             json_escape(&self.name),
             point_json(&self.best),
@@ -168,6 +216,11 @@ impl DseReport {
             s.evaluated,
             s.infeasible,
             s.failed,
+            s.sampled,
+            s.ranked,
+            s.simulated,
+            s.skipped_model,
+            s.shard_skipped,
             s.cache_hits,
             s.cache_misses
         )
@@ -179,7 +232,7 @@ impl DseReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "program,label,tiles,inner_par,sim,cycles,dram_words,on_chip_bytes,\
-             logic,ff,mem,area_score,on_frontier\n",
+             logic,ff,mem,area_score,predicted_cycles,prediction_error,on_frontier\n",
         );
         for p in &self.evaluated {
             let tiles = p
@@ -189,8 +242,14 @@ impl DseReport {
                 .collect::<Vec<_>>()
                 .join(" ");
             let on_frontier = self.frontier.iter().any(|f| f.label == p.label);
+            let predicted = p
+                .predicted_cycles
+                .map_or(String::new(), |v| format!("{v:.1}"));
+            let pred_err = p
+                .prediction_error()
+                .map_or(String::new(), |v| format!("{v:.4}"));
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{:.0},{:.0},{:.1},{:.6},{}\n",
+                "{},{},{},{},{},{},{},{},{:.0},{:.0},{:.1},{:.6},{},{},{}\n",
                 self.name,
                 p.label,
                 tiles,
@@ -203,6 +262,8 @@ impl DseReport {
                 p.area.ff,
                 p.area.mem,
                 p.area_score,
+                predicted,
+                pred_err,
                 on_frontier
             ));
         }
@@ -230,6 +291,19 @@ impl DseReport {
             s.infeasible,
             s.failed
         );
+        if s.ranked > 0 {
+            out.push_str(&format!(
+                "  guided: {} calibration samples, {} ranked by model, \
+                 {} simulated, {} skipped by model\n",
+                s.sampled, s.ranked, s.simulated, s.skipped_model
+            ));
+        }
+        if s.shard_skipped > 0 {
+            out.push_str(&format!(
+                "  shard: {} survivors owned by other shards\n",
+                s.shard_skipped
+            ));
+        }
         for f in &self.failures {
             out.push_str(&format!("  FAILED {}: {}\n", f.label, f.error));
         }
@@ -272,6 +346,7 @@ mod tests {
                 mem: 3.0,
             },
             area_score: 0.25,
+            predicted_cycles: None,
         }
     }
 
@@ -337,5 +412,45 @@ mod tests {
         let s = report().summary();
         assert!(s.contains("1 failed"));
         assert!(s.contains("FAILED c: evaluator panicked: boom"));
+    }
+
+    #[test]
+    fn prediction_columns_are_null_when_exhaustive_and_audited_when_guided() {
+        let exhaustive = report();
+        let j = exhaustive.to_json();
+        assert!(j.contains("\"predicted_cycles\":null"), "{j}");
+        assert!(j.contains("\"prediction_error\":null"), "{j}");
+        let csv = exhaustive.to_csv();
+        assert!(csv.lines().next().unwrap().contains("predicted_cycles"));
+        assert!(csv.lines().next().unwrap().contains("prediction_error"));
+
+        let mut guided = report();
+        // Predicted 11 against measured 10: +10% relative error.
+        for p in guided
+            .evaluated
+            .iter_mut()
+            .chain(guided.frontier.iter_mut())
+            .chain(std::iter::once(&mut guided.best))
+        {
+            p.predicted_cycles = Some(11.0);
+        }
+        guided.stats.sampled = 1;
+        guided.stats.ranked = 3;
+        guided.stats.simulated = 2;
+        guided.stats.skipped_model = 1;
+        assert_eq!(guided.best.prediction_error(), Some(0.1));
+        let j = guided.to_json();
+        assert!(j.contains("\"predicted_cycles\":11.0"), "{j}");
+        assert!(j.contains("\"prediction_error\":0.1000"), "{j}");
+        assert!(j.contains("\"sampled\":1"), "{j}");
+        assert!(j.contains("\"skipped_model\":1"), "{j}");
+        let csv = guided.to_csv();
+        assert!(csv.contains(",11.0,"), "{csv}");
+        // New stats keys must precede the cache counters so the perf
+        // harness's counter masking cannot swallow them.
+        let stats_tail = j.split("\"sampled\"").nth(1).unwrap();
+        assert!(stats_tail.contains("\"cache_hits\""));
+        let s = guided.summary();
+        assert!(s.contains("guided: 1 calibration samples"), "{s}");
     }
 }

@@ -21,6 +21,7 @@
 use crate::json::{escape, parse_json, to_string, Json};
 use pphw::OptLevel;
 use pphw_dse::cache::fnv1a64;
+use pphw_dse::{GuidedConfig, Objective, Strategy};
 use pphw_sim::SimConfig;
 
 /// Stable wire-protocol error codes.
@@ -270,6 +271,13 @@ pub struct DseRequest {
     pub inner_pars: Vec<u32>,
     /// Named substrate variants swept (defaults to `["max4"]`).
     pub sims: Vec<String>,
+    /// Exhaustive (the default) or model-guided measurement
+    /// (`"strategy":"guided"` plus optional `sample`/`top_k`/`explore`/
+    /// `seed` tuning fields).
+    pub strategy: Strategy,
+    /// Ranking objective (`"objective":"min-cycles" | "cycles-area" |
+    /// "area-cap"`; `area_cap` alone implies the capped objective).
+    pub objective: Objective,
 }
 
 /// A decoded request: the echoed id plus the method payload.
@@ -548,12 +556,104 @@ fn decode_dse(obj: &Json, limits: &Limits) -> Result<DseRequest, ErrorBody> {
             out
         }
     };
+    let strategy = decode_strategy(obj)?;
+    let objective = decode_objective(obj)?;
     Ok(DseRequest {
         base,
         tile_candidates,
         inner_pars,
         sims,
+        strategy,
+        objective,
     })
+}
+
+/// Decodes the optional `strategy` field and its guided tuning knobs.
+fn decode_strategy(obj: &Json) -> Result<Strategy, ErrorBody> {
+    let tuning_present = ["sample", "top_k", "explore", "seed"]
+        .iter()
+        .any(|k| obj.get(k).is_some());
+    let strategy = match obj.get("strategy") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| proto("`strategy` must be a string"))?,
+        ),
+    };
+    match strategy {
+        None | Some("exhaustive") => {
+            if tuning_present {
+                return Err(proto(
+                    "`sample`/`top_k`/`explore`/`seed` need \"strategy\":\"guided\"",
+                ));
+            }
+            Ok(Strategy::Exhaustive)
+        }
+        Some("guided") => {
+            let d = GuidedConfig::default();
+            let count = |name: &str, dflt: usize| -> Result<usize, ErrorBody> {
+                match obj.get(name) {
+                    None => Ok(dflt),
+                    Some(v) => v
+                        .as_u64()
+                        .filter(|n| *n >= 1 && *n <= 1_000_000)
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| {
+                            proto(format!("`{name}` must be an integer in 1..=1000000"))
+                        }),
+                }
+            };
+            let seed = match obj.get("seed") {
+                None => d.seed,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| proto("`seed` must be an unsigned integer"))?,
+            };
+            Ok(Strategy::Guided(GuidedConfig {
+                sample: count("sample", d.sample)?,
+                top_k: count("top_k", d.top_k)?,
+                explore: count("explore", d.explore)?,
+                seed,
+            }))
+        }
+        Some(other) => Err(proto(format!(
+            "unknown strategy `{other}`; known: exhaustive, guided"
+        ))),
+    }
+}
+
+/// Decodes the optional `objective` / `area_cap` fields. `area_cap`
+/// alone implies the capped objective, mirroring the `dse` binary.
+fn decode_objective(obj: &Json) -> Result<Objective, ErrorBody> {
+    let area_cap = match obj.get("area_cap") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|f| f.is_finite() && *f > 0.0)
+                .ok_or_else(|| proto("`area_cap` must be a positive finite number"))?,
+        ),
+    };
+    let objective = match obj.get("objective") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| proto("`objective` must be a string"))?,
+        ),
+    };
+    match (objective, area_cap) {
+        (None | Some("cycles-area"), None) => Ok(Objective::CyclesThenArea),
+        (Some("min-cycles"), None) => Ok(Objective::MinCycles),
+        (Some("area-cap") | None, Some(area_cap)) => {
+            Ok(Objective::FastestUnderAreaCap { area_cap })
+        }
+        (Some("area-cap"), None) => Err(proto("\"objective\":\"area-cap\" needs `area_cap`")),
+        (Some("min-cycles" | "cycles-area"), Some(_)) => Err(proto(
+            "`area_cap` only makes sense with \"objective\":\"area-cap\"",
+        )),
+        (Some(other), _) => Err(proto(format!(
+            "unknown objective `{other}`; known: min-cycles, cycles-area, area-cap"
+        ))),
+    }
 }
 
 impl Request {
@@ -654,11 +754,13 @@ impl Request {
                     .collect();
                 tiles.sort();
                 format!(
-                    "dse|{}|cands={}|pars={:?}|sims={:?}",
+                    "dse|{}|cands={}|pars={:?}|sims={:?}|strat={:?}|obj={:?}",
                     work("base", &d.base),
                     tiles.join(","),
                     d.inner_pars,
-                    d.sims
+                    d.sims,
+                    d.strategy,
+                    d.objective
                 )
             }
         }
@@ -765,6 +867,73 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn dse_strategy_and_objective_decode_with_defaults_and_overrides() {
+        let d = Request::decode("{\"method\":\"dse\",\"bench\":\"sumrows\"}", &lim()).unwrap();
+        let Method::Dse(req) = &d.method else {
+            panic!("not a dse request")
+        };
+        assert_eq!(req.strategy, Strategy::Exhaustive);
+        assert_eq!(req.objective, Objective::CyclesThenArea);
+
+        let g = Request::decode(
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"strategy\":\"guided\",\
+             \"sample\":5,\"top_k\":7,\"seed\":9,\"objective\":\"min-cycles\"}",
+            &lim(),
+        )
+        .unwrap();
+        let Method::Dse(req) = &g.method else {
+            panic!("not a dse request")
+        };
+        assert_eq!(
+            req.strategy,
+            Strategy::Guided(GuidedConfig {
+                sample: 5,
+                top_k: 7,
+                explore: GuidedConfig::default().explore,
+                seed: 9,
+            })
+        );
+        assert_eq!(req.objective, Objective::MinCycles);
+
+        // `area_cap` alone implies the capped objective.
+        let c = Request::decode(
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"area_cap\":0.5}",
+            &lim(),
+        )
+        .unwrap();
+        let Method::Dse(req) = &c.method else {
+            panic!("not a dse request")
+        };
+        assert_eq!(
+            req.objective,
+            Objective::FastestUnderAreaCap { area_cap: 0.5 }
+        );
+
+        // Requests that differ only in strategy or objective must not
+        // dedup onto each other.
+        assert_ne!(d.fingerprint(), g.fingerprint());
+        assert_ne!(d.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn dse_strategy_and_objective_schema_violations_are_typed() {
+        let cases = [
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"strategy\":\"random\"}",
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"strategy\":7}",
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"sample\":4}",
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"strategy\":\"guided\",\"sample\":0}",
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"objective\":\"best\"}",
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"objective\":\"area-cap\"}",
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"objective\":\"min-cycles\",\"area_cap\":0.5}",
+            "{\"method\":\"dse\",\"bench\":\"sumrows\",\"area_cap\":-1.0}",
+        ];
+        for line in cases {
+            let (_, err) = Request::decode(line, &lim()).unwrap_err();
+            assert_eq!(err.code, codes::PROTO, "line {line}");
+        }
     }
 
     #[test]

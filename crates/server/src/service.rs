@@ -611,6 +611,8 @@ impl Service {
         let base_opts = r.base_options();
         let cfg = DseConfig {
             threads: self.dse_threads,
+            strategy: d.strategy,
+            objective: d.objective,
             ..DseConfig::default()
         };
         let report = explore_with_caches(
@@ -626,7 +628,7 @@ impl Service {
         Ok(format!(
             "{{\"program\":{},\"best\":{{\"label\":{},\"cycles\":{},\"area_score\":{}}},\
              \"space\":{},\"evaluated\":{},\"frontier\":{},\"failures\":{},\
-             \"pruned\":{}}}",
+             \"pruned\":{},\"simulated\":{},\"sampled\":{},\"skipped_model\":{}}}",
             escape(&r.display_name),
             escape(&report.best.label),
             report.best.cycles,
@@ -635,7 +637,10 @@ impl Service {
             report.evaluated.len(),
             report.frontier.len(),
             report.failures.len(),
-            s.pruned_total()
+            s.pruned_total(),
+            s.simulated,
+            s.sampled,
+            s.skipped_model
         ))
     }
 
@@ -971,6 +976,55 @@ mod tests {
         );
         assert_eq!(get(&over, &["ok"]).as_bool(), Some(false));
         assert_eq!(get(&over, &["error", "code"]).as_str(), Some(codes::LIMIT));
+    }
+
+    #[test]
+    fn dse_method_honors_strategy_and_objective() {
+        let svc = service();
+        // Guided run over a 12-point space: the calibration sample plus
+        // the top slice must land under the full space size.
+        let resp = call(
+            &svc,
+            "{\"id\":1,\"method\":\"dse\",\"bench\":\"sumrows\",\
+             \"tile_candidates\":{\"m\":[4,8,16],\"n\":[4,8]},\"inner_pars\":[4,16],\
+             \"strategy\":\"guided\",\"sample\":4,\"top_k\":2,\"explore\":1}",
+        );
+        assert_eq!(get(&resp, &["ok"]).as_bool(), Some(true), "{resp:?}");
+        assert_eq!(get(&resp, &["result", "space"]).as_u64(), Some(12));
+        let simulated = get(&resp, &["result", "simulated"]).as_u64().unwrap();
+        let sampled = get(&resp, &["result", "sampled"]).as_u64().unwrap();
+        assert!(sampled >= 1, "{resp:?}");
+        assert!(simulated < 12, "guided should skip some points: {resp:?}");
+
+        // The same space under min-cycles must report a best at least as
+        // fast as the default lexicographic objective's.
+        let full = call(
+            &svc,
+            "{\"id\":2,\"method\":\"dse\",\"bench\":\"sumrows\",\
+             \"tile_candidates\":{\"m\":[4,8,16],\"n\":[4,8]},\"inner_pars\":[4,16]}",
+        );
+        let fastest = call(
+            &svc,
+            "{\"id\":3,\"method\":\"dse\",\"bench\":\"sumrows\",\
+             \"tile_candidates\":{\"m\":[4,8,16],\"n\":[4,8]},\"inner_pars\":[4,16],\
+             \"objective\":\"min-cycles\"}",
+        );
+        assert_eq!(get(&fastest, &["ok"]).as_bool(), Some(true), "{fastest:?}");
+        let default_cycles = get(&full, &["result", "best", "cycles"]).as_u64().unwrap();
+        let min_cycles = get(&fastest, &["result", "best", "cycles"])
+            .as_u64()
+            .unwrap();
+        assert!(min_cycles <= default_cycles, "{fastest:?} vs {full:?}");
+
+        // An impossible cap degrades to the typed DSE error.
+        let capped = call(
+            &svc,
+            "{\"id\":4,\"method\":\"dse\",\"bench\":\"sumrows\",\
+             \"tile_candidates\":{\"m\":[4,8]},\"inner_pars\":[4],\
+             \"area_cap\":0.000001}",
+        );
+        assert_eq!(get(&capped, &["ok"]).as_bool(), Some(false), "{capped:?}");
+        assert_eq!(get(&capped, &["error", "code"]).as_str(), Some(codes::DSE));
     }
 
     #[test]
