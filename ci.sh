@@ -11,19 +11,38 @@ echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
 echo "== static-analysis lint gate (all six benchmarks, every stage, zero diagnostics)"
-cargo run --release --offline -p pphw-bench --bin verify
-cargo run --release --offline -p pphw-bench --bin verify -- --json > target/verify-report.json
+cargo run --release --offline -p pphw-bench --bin verify -- --max-severity none
+cargo run --release --offline -p pphw-bench --bin verify -- --flow --json > target/verify-report.json
 python3 - <<'EOF'
 import json
 with open("target/verify-report.json") as f:
     report = json.load(f)
 assert report["error_count"] == 0, f"verify gate found diagnostics: {report}"
+assert report["warning_count"] == 0, f"verify gate found warnings: {report}"
 runs = report["runs"]
 benches = {r["bench"] for r in runs}
 assert len(benches) == 6, f"expected six benchmarks, saw {sorted(benches)}"
 assert all(r["report"]["error_count"] == 0 for r in runs), report
-print(f"verify gate OK: {len(runs)} stages across {len(benches)} benchmarks, 0 diagnostics")
+# Flow gate: every compiled design exposes a predicted bottleneck, every
+# channel holds the two slots full overlap needs, and capacity inference
+# is the identity (the generator already sizes minimally).
+flows = [r for r in runs if "flow" in r]
+assert flows, "no flow views in the report"
+for r in flows:
+    f = r["flow"]
+    assert f["inferred"] == [], f"{r['bench']} [{r['stage']}]: non-minimal depths: {f}"
+    for c in f["channels"]:
+        assert c["slots"] >= 2, f"{r['bench']} [{r['stage']}]: undersized channel: {c}"
+    if f["channels"]:
+        assert f["bottleneck"], f"{r['bench']} [{r['stage']}]: no bottleneck: {f}"
+print(f"verify gate OK: {len(runs)} stages across {len(benches)} benchmarks, "
+      f"0 diagnostics, {len(flows)} flow-clean designs")
 EOF
+
+echo "== flow mutant gate (seeded undersized channels must raise PPHW04x and stall)"
+cargo test -q --offline --test verify flow_family_mutants_raise_their_stable_codes
+cargo test -q --offline --test flow_crosscheck \
+  undersized_channels_are_flagged_statically_and_stall_dynamically
 
 echo "== differential sweep with the per-pass verifier forced on"
 PPHW_VERIFY=1 cargo test -q --offline --test differential gemm_differential
@@ -220,7 +239,10 @@ assert injected > 0, f"chaos gate: no faults injected, the run proved nothing: {
 with open("BENCH_chaos_recovery.json") as f:
     rec = json.load(f)
 assert rec["eval_misses"] == 0, f"recovery gate: journal lost evaluations: {rec}"
-assert rec["design_builds"] == 0, f"recovery gate: designs recompiled: {rec}"
+# verify requests compile their design-level analysis target once per
+# daemon life (<= 3 distinct benches in the chaos population); simulate
+# replays must stay compile-free.
+assert rec["design_builds"] <= 3, f"recovery gate: designs recompiled: {rec}"
 assert rec["eval_hits"] > 0, rec
 print(f"chaos smoke OK: {o['ok']} ok / {o['typed_error']} typed errors / 0 untyped "
       f"through {injected} injected faults; after kill -9: {rec['eval_hits']} hits, "

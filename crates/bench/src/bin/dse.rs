@@ -10,6 +10,7 @@
 //!  [--cache PATH] [--strategy exhaustive|guided] [--sample N] [--top-k N]
 //!  [--explore N] [--seed N] [--objective min-cycles|cycles-area|area-cap]
 //!  [--area-cap F] [--shard I/N] [--max-simulated-frac F]
+//!  [--cap-permilles N,N,...] [--capacity-mode as-generated|inferred]
 //!  [--merge-cache SRC...]`
 //!
 //! - `--bench NAME`   restrict to one benchmark (default: all six)
@@ -40,6 +41,14 @@
 //!   merged cache is bit-identical to an unsharded run
 //! - `--max-simulated-frac F` assert the sweep simulated at most this
 //!   fraction of the enumerated space (CI teeth for guided runs)
+//! - `--cap-permilles N,N,...` additionally sweep channel-capacity
+//!   scales (permille of the generated depth; `1000` = as generated).
+//!   Scales below 500 statically deadlock every exact-token channel and
+//!   are rejected by the flow prefilter before any compile — the run
+//!   reports them as `pruned_flow`
+//! - `--capacity-mode inferred` rewrite every channel to the flow
+//!   analyzer's minimal safe depth before measuring (default
+//!   `as-generated` keeps the generator's depths)
 //! - `--merge-cache SRC...` merge mode: no sweep runs; every following
 //!   path is loaded (journal included) and merged into the `--cache`
 //!   target, which is then saved. Identical keys must compare equal
@@ -55,7 +64,9 @@ use pphw::dse::explore_with_caches;
 use pphw_apps::all_benchmarks;
 use pphw_bench::sweep::{sweep_base_options, sweep_sim_variants, sweep_space};
 use pphw_dse::cache::{DesignCache, EvalCache};
-use pphw_dse::{DseConfig, DseError, DseReport, GuidedConfig, Objective, Shard, Strategy};
+use pphw_dse::{
+    CapacityMode, DseConfig, DseError, DseReport, GuidedConfig, Objective, Shard, Strategy,
+};
 use pphw_hw::AreaBudget;
 
 struct Args {
@@ -76,6 +87,8 @@ struct Args {
     area_cap: Option<f64>,
     shard: Option<Shard>,
     max_simulated_frac: Option<f64>,
+    cap_permilles: Option<Vec<u32>>,
+    capacity_mode: CapacityMode,
     merge_sources: Vec<String>,
 }
 
@@ -98,6 +111,8 @@ fn parse_args() -> Args {
         area_cap: None,
         shard: None,
         max_simulated_frac: None,
+        cap_permilles: None,
+        capacity_mode: CapacityMode::AsGenerated,
         merge_sources: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -170,6 +185,25 @@ fn parse_args() -> Args {
                         .expect("--max-simulated-frac F"),
                 );
             }
+            "--cap-permilles" => {
+                let list = val(&argv, &mut i, "--cap-permilles");
+                args.cap_permilles = Some(
+                    list.split(',')
+                        .map(|p| {
+                            p.trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("--cap-permilles N,N,... got `{p}`"))
+                        })
+                        .collect(),
+                );
+            }
+            "--capacity-mode" => match val(&argv, &mut i, "--capacity-mode").as_str() {
+                "as-generated" => args.capacity_mode = CapacityMode::AsGenerated,
+                "inferred" => args.capacity_mode = CapacityMode::InferredMinimal,
+                other => {
+                    panic!("--capacity-mode must be `as-generated` or `inferred`, got `{other}`")
+                }
+            },
             "--merge-cache" => {
                 // Greedy: every following non-flag argument is a source.
                 while i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
@@ -303,13 +337,17 @@ fn main() {
     let mut table: Vec<(String, DseReport, f64)> = Vec::new();
     for spec in &specs {
         let base = sweep_base_options(spec, args.budget);
-        let space = sweep_space(spec, args.quick, &sim_variants);
+        let mut space = sweep_space(spec, args.quick, &sim_variants);
+        if let Some(caps) = &args.cap_permilles {
+            space = space.with_cap_permilles(caps);
+        }
 
         let cfg = DseConfig {
             threads: args.threads,
             on_chip_budget_bytes: args.budget,
             area_budget: AreaBudget::device_fraction(args.area_frac),
             strategy,
+            capacity_mode: args.capacity_mode,
             objective,
             shard: args.shard,
             ..DseConfig::default()

@@ -41,7 +41,8 @@
 //! clean population, guaranteeing every key is evaluated and journaled
 //! before the harness returns. A later `--warm-check` run — typically
 //! against a daemon restarted after `kill -9` — then proves the journal
-//! recovered everything: zero eval misses, zero design builds.
+//! recovered everything: zero eval misses, and design builds only for
+//! the verify requests' design-level flow analysis.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -168,8 +169,10 @@ fn request_line(client: usize, i: usize, sources: &[(String, String)]) -> String
 /// The chaos population: deterministic ping / simulate / verify lines.
 /// Restricted to methods whose replay is exactly reproducible from the
 /// eval-cache journal (simulate short-circuits on a cache hit *before*
-/// touching the design cache; ping and verify build nothing), so the
-/// post-crash `--warm-check` can assert zero misses and zero builds.
+/// touching the design cache; ping builds nothing; verify compiles only
+/// its design-level analysis target, once per distinct design), so the
+/// post-crash `--warm-check` can assert zero misses and a design-build
+/// count bounded by [`chaos_verify_designs`].
 fn chaos_request_line(client: usize, i: usize) -> String {
     let id = client * 10_000 + i;
     let benches = ["sumrows", "outerprod", "gemm"];
@@ -505,9 +508,24 @@ fn run_chaos(args: &Args) {
     println!("wrote {out}");
 }
 
+/// Distinct designs the chaos population's `verify` requests reference:
+/// each compiles once per daemon life for design-level flow analysis
+/// (the design cache is in-memory, so a restarted daemon rebuilds them),
+/// bounding the recovery gate's design-build budget.
+fn chaos_verify_designs(clients: usize, requests: usize) -> usize {
+    let mut benches = std::collections::BTreeSet::new();
+    for c in 0..clients {
+        for i in (0..requests).filter(|i| i % 4 == 3) {
+            benches.insert((c + i) % 3);
+        }
+    }
+    benches.len()
+}
+
 /// The `--warm-check` mode: replay the chaos population directly against
 /// a (typically freshly restarted) daemon and assert the eval-cache
-/// journal recovered everything — zero eval misses, zero design builds.
+/// journal recovered everything — zero eval misses, and design builds
+/// only for the verify requests' design-level analysis.
 fn run_warm_check(args: &Args) {
     let addr: std::net::SocketAddr = args
         .addr
@@ -544,11 +562,14 @@ fn run_warm_check(args: &Args) {
         "recovery gate: warm replay re-evaluated {} key(s) the journal should have recovered",
         d.eval_misses
     );
-    assert_eq!(
-        d.design_builds, 0,
-        "recovery gate: warm replay rebuilt {} design(s) — eval-cache hits must \
-         short-circuit before the design cache",
-        d.design_builds
+    let verify_budget = chaos_verify_designs(args.clients, args.requests) as u64;
+    assert!(
+        d.design_builds <= verify_budget,
+        "recovery gate: warm replay rebuilt {} design(s), more than the {} the \
+         verify requests' design-level analysis accounts for — eval-cache hits \
+         must short-circuit simulate before the design cache",
+        d.design_builds,
+        verify_budget
     );
 
     shutdown_daemon(&addr, None, args.shutdown);

@@ -1,23 +1,126 @@
 //! Lints all six benchmarks with the `pphw-verify` static analyzer: the
 //! untiled source program, then the transformed program and generated
 //! design at every optimization level. Exits nonzero if any benchmark
-//! produces an error-severity diagnostic, so CI can gate on it.
+//! produces a gating diagnostic, so CI can gate on it.
 //!
-//! Usage: `cargo run --release -p pphw-bench --bin verify [--json]`
+//! Usage: `cargo run --release -p pphw-bench --bin verify
+//!   [--json] [--flow] [--warn-ok] [--max-severity LEVEL]`
+//!
+//! - `--json`  machine-readable report
+//! - `--flow`  per-design dataflow view: every metapipeline channel with
+//!   its token grain and slot count, the statically predicted bottleneck
+//!   stage, and the depth diff `pphw_verify::flow::infer_capacities`
+//!   would apply (empty when the generator already sized minimally)
+//! - `--max-severity LEVEL` the highest severity tolerated without a
+//!   nonzero exit: `none` (any diagnostic gates), `warning` (warnings
+//!   pass, errors gate — the default), `error` (report only, never gate)
+//! - `--warn-ok`  alias for `--max-severity warning`: warning-level
+//!   diagnostics (e.g. `PPHW044` over-provisioned channels) never force
+//!   a nonzero exit
 
 use pphw::{compile, OptLevel};
 use pphw_apps::all_benchmarks;
 use pphw_bench::options_for;
+use pphw_hw::channel::{channels, Channel};
+use pphw_verify::flow::{infer_capacities, predict_bottleneck, CapacityChange, FlowTiming};
 use pphw_verify::{verify_program, VerifyConfig, VerifyReport};
+
+/// The highest severity the run tolerates without exiting nonzero.
+#[derive(Clone, Copy, PartialEq)]
+enum Gate {
+    /// Any diagnostic gates (strictest: `--max-severity none`).
+    None,
+    /// Warnings pass, errors gate (default / `--warn-ok`).
+    Warning,
+    /// Report only, never gate (`--max-severity error`).
+    Error,
+}
+
+/// The `--flow` view of one compiled design.
+struct FlowInfo {
+    channels: Vec<Channel>,
+    bottleneck: Option<String>,
+    inferred: Vec<CapacityChange>,
+}
 
 struct Row {
     bench: &'static str,
     stage: String,
     report: VerifyReport,
+    flow: Option<FlowInfo>,
+}
+
+fn flow_json(f: &FlowInfo) -> String {
+    let chans = f
+        .channels
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"ctrl\":\"{}\",\"buffer\":\"{}\",\"producer\":\"{}\",\
+                 \"consumer\":\"{}\",\"token_words\":{},\"capacity_words\":{},\
+                 \"slots\":{},\"backward\":{}}}",
+                c.ctrl,
+                c.buf_name,
+                c.producer_name,
+                c.consumer_name,
+                c.token_words,
+                c.capacity_words,
+                c.slots(),
+                c.is_backward()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let inferred = f
+        .inferred
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"buffer\":\"{}\",\"old_words\":{},\"new_words\":{}}}",
+                c.name, c.old_words, c.new_words
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let bottleneck = match &f.bottleneck {
+        Some(b) => format!("\"{b}\""),
+        None => "null".to_string(),
+    };
+    format!("{{\"bottleneck\":{bottleneck},\"channels\":[{chans}],\"inferred\":[{inferred}]}}")
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = argv.iter().any(|a| a == "--json");
+    let flow = argv.iter().any(|a| a == "--flow");
+    let mut gate = Gate::Warning;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--warn-ok" => gate = Gate::Warning,
+            "--max-severity" => {
+                i += 1;
+                gate = match argv.get(i).map(String::as_str) {
+                    Some("none") => Gate::None,
+                    Some("warning") => Gate::Warning,
+                    Some("error") => Gate::Error,
+                    other => {
+                        eprintln!(
+                            "verify: --max-severity must be none|warning|error, got {other:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--json" | "--flow" => {}
+            other => {
+                eprintln!("verify: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
     let mut rows: Vec<Row> = Vec::new();
     for spec in all_benchmarks() {
         let base = options_for(&spec);
@@ -30,6 +133,7 @@ fn main() {
             bench: spec.name,
             stage: "source".into(),
             report: verify_program(&(spec.program)(), &cfg),
+            flow: None,
         });
         for level in OptLevel::all() {
             let opts = base.clone().opt(level);
@@ -37,6 +141,17 @@ fn main() {
                 Ok(compiled) => rows.push(Row {
                     bench: spec.name,
                     stage: level.to_string(),
+                    flow: flow.then(|| {
+                        let mut sized = compiled.design.clone();
+                        FlowInfo {
+                            channels: channels(&compiled.design),
+                            bottleneck: predict_bottleneck(
+                                &compiled.design,
+                                &FlowTiming::default(),
+                            ),
+                            inferred: infer_capacities(&mut sized),
+                        }
+                    }),
                     report: compiled.verify(),
                 }),
                 Err(e) => {
@@ -50,12 +165,17 @@ fn main() {
     }
 
     let error_count: usize = rows.iter().map(|r| r.report.error_count()).sum();
+    let warning_count: usize = rows.iter().map(|r| r.report.warning_count()).sum();
     if json {
         let body = rows
             .iter()
             .map(|r| {
+                let flow = match &r.flow {
+                    Some(f) => format!(",\"flow\":{}", flow_json(f)),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"bench\":\"{}\",\"stage\":\"{}\",\"report\":{}}}",
+                    "{{\"bench\":\"{}\",\"stage\":\"{}\",\"report\":{}{flow}}}",
                     r.bench,
                     r.stage,
                     r.report.to_json()
@@ -63,7 +183,10 @@ fn main() {
             })
             .collect::<Vec<_>>()
             .join(",");
-        println!("{{\"error_count\":{error_count},\"runs\":[{body}]}}");
+        println!(
+            "{{\"error_count\":{error_count},\"warning_count\":{warning_count},\
+             \"runs\":[{body}]}}"
+        );
     } else {
         for r in &rows {
             let verdict = if r.report.is_clean() {
@@ -75,10 +198,48 @@ fn main() {
             for d in &r.report.diagnostics {
                 println!("    {d}");
             }
+            if let Some(f) = &r.flow {
+                for c in &f.channels {
+                    println!(
+                        "    flow {}/{}: {} -> {} token={}w cap={}w slots={}{}",
+                        c.ctrl,
+                        c.buf_name,
+                        c.producer_name,
+                        c.consumer_name,
+                        c.token_words,
+                        c.capacity_words,
+                        c.slots(),
+                        if c.is_backward() { " (backward)" } else { "" }
+                    );
+                }
+                if let Some(b) = &f.bottleneck {
+                    println!("    flow bottleneck: {b}");
+                }
+                if f.inferred.is_empty() {
+                    if !f.channels.is_empty() {
+                        println!("    flow inferred depths: as generated (already minimal)");
+                    }
+                } else {
+                    for c in &f.inferred {
+                        println!(
+                            "    flow inferred depth: {} {}w -> {}w",
+                            c.name, c.old_words, c.new_words
+                        );
+                    }
+                }
+            }
         }
-        println!("verify: {} runs, {error_count} error(s) total", rows.len());
+        println!(
+            "verify: {} runs, {error_count} error(s), {warning_count} warning(s) total",
+            rows.len()
+        );
     }
-    if error_count > 0 {
+    let gating = match gate {
+        Gate::None => error_count + warning_count,
+        Gate::Warning => error_count,
+        Gate::Error => 0,
+    };
+    if gating > 0 {
         std::process::exit(1);
     }
 }

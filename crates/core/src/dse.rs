@@ -27,7 +27,10 @@ use pphw_dse::cache::{design_key, DesignCache, EvalCache};
 use pphw_dse::report::DseReport;
 use pphw_dse::space::{Candidate, SearchSpace};
 use pphw_dse::{DseConfig, DseError, EvalOutcome, Evaluate, Measurement};
+
+pub use pphw_dse::CapacityMode;
 use pphw_ir::program::Program;
+use pphw_verify::flow;
 
 use crate::{compile, CompileOptions, Compiled};
 
@@ -68,6 +71,7 @@ pub struct CompileEvaluator<'a> {
     prog: &'a Program,
     base: CompileOptions,
     designs: Arc<DesignCache<DesignArtifact>>,
+    capacity_mode: CapacityMode,
 }
 
 impl<'a> CompileEvaluator<'a> {
@@ -91,7 +95,16 @@ impl<'a> CompileEvaluator<'a> {
             prog,
             base: base.clone(),
             designs,
+            capacity_mode: CapacityMode::default(),
         }
+    }
+
+    /// Sets how generated channel capacities are sized before measuring
+    /// (see [`CapacityMode`]).
+    #[must_use]
+    pub fn with_capacity_mode(mut self, mode: CapacityMode) -> CompileEvaluator<'a> {
+        self.capacity_mode = mode;
+        self
     }
 
     /// The compile-artifact cache this evaluator consults.
@@ -112,10 +125,21 @@ impl<'a> CompileEvaluator<'a> {
     /// this from below but cannot see double buffering or banking).
     fn build_artifact(&self, c: &Candidate) -> DesignArtifact {
         let opts = self.options_for(c);
-        let compiled = match compile(self.prog, &opts) {
+        let mut compiled = match compile(self.prog, &opts) {
             Ok(compiled) => compiled,
             Err(e) => return DesignArtifact::Infeasible(e.to_string()),
         };
+        // Resize channels per the candidate's swept scale, then (when
+        // requested) normalize to the flow analyzer's minimal safe
+        // depths. Both happen before the budget check and the area model,
+        // so capacity decisions flow into cost exactly like generated
+        // depths do.
+        if c.cap_permille != 1000 {
+            flow::scale_capacities(&mut compiled.design, c.cap_permille);
+        }
+        if self.capacity_mode == CapacityMode::InferredMinimal {
+            flow::infer_capacities(&mut compiled.design);
+        }
         let on_chip_bytes = compiled.design.on_chip_bytes();
         if on_chip_bytes > opts.on_chip_budget_bytes {
             return DesignArtifact::Infeasible(format!(
@@ -160,8 +184,14 @@ impl Evaluate for CompileEvaluator<'_> {
     fn cache_salt(&self) -> String {
         // inner_par and meta_inner_par are intentionally absent: the
         // candidate overrides both, so they cannot influence a measurement.
+        // The capacity mode only joins the salt off its default, so every
+        // pre-existing cache entry keeps its key.
+        let capmode = match self.capacity_mode {
+            CapacityMode::AsGenerated => "",
+            CapacityMode::InferredMinimal => ";capmode=inferred",
+        };
         format!(
-            "opt={:?};interchange={};budget={}",
+            "opt={:?};interchange={};budget={}{capmode}",
             self.base.opt, self.base.interchange, self.base.on_chip_budget_bytes
         )
     }
@@ -233,6 +263,7 @@ pub fn explore_with_caches(
     // The prefilter runs the tiling transform before any compile; install
     // the per-pass verifier first so even pruned candidates are checked.
     crate::install_verifier();
-    let evaluator = CompileEvaluator::with_design_cache(prog, base, designs);
+    let evaluator = CompileEvaluator::with_design_cache(prog, base, designs)
+        .with_capacity_mode(cfg.capacity_mode);
     pphw_dse::engine::explore(prog, space, &evaluator, cache, cfg)
 }

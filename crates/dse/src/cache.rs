@@ -59,13 +59,25 @@ pub fn config_key(program: &str, sizes: &[(String, i64)], salt: &str, c: &Candid
     let mut sorted_tiles: Vec<_> = c.tiles.iter().collect();
     sorted_tiles.sort();
     let canon = format!(
-        "prog={program}|sizes={:?}|tiles={:?}|par={}|sim={}|salt={salt}",
+        "prog={program}|sizes={:?}|tiles={:?}|par={}|sim={}|salt={salt}{}",
         sorted_sizes,
         sorted_tiles,
         c.inner_par,
-        c.sim.canonical_key()
+        c.sim.canonical_key(),
+        cap_suffix(c)
     );
     fnv1a64(canon.as_bytes())
+}
+
+/// Key suffix for a swept channel-capacity scale. Empty at the default
+/// scale so every pre-existing cache entry (and on-disk cache file) keeps
+/// its key.
+fn cap_suffix(c: &Candidate) -> String {
+    if c.cap_permille == 1000 {
+        String::new()
+    } else {
+        format!("|cap={}", c.cap_permille)
+    }
 }
 
 /// The design identity of a candidate: the canonical configuration hash
@@ -79,8 +91,9 @@ pub fn design_key(program: &str, sizes: &[(String, i64)], salt: &str, c: &Candid
     let mut sorted_tiles: Vec<_> = c.tiles.iter().collect();
     sorted_tiles.sort();
     let canon = format!(
-        "prog={program}|sizes={sorted_sizes:?}|tiles={sorted_tiles:?}|par={}|salt={salt}",
-        c.inner_par
+        "prog={program}|sizes={sorted_sizes:?}|tiles={sorted_tiles:?}|par={}|salt={salt}{}",
+        c.inner_par,
+        cap_suffix(c)
     );
     fnv1a64(canon.as_bytes())
 }
@@ -791,6 +804,7 @@ mod tests {
             inner_par: par,
             sim_label: "max4".into(),
             sim: SimConfig::default(),
+            cap_permille: 1000,
         }
     }
 
@@ -830,6 +844,15 @@ mod tests {
         assert_ne!(
             base,
             config_key("p", &sizes(&[("m", 128)]), "", &cand(&[("m", 8)], 16))
+        );
+        // A swept capacity scale is a different design; both key levels
+        // must see it.
+        let mut scaled = cand(&[("m", 8)], 16);
+        scaled.cap_permille = 500;
+        assert_ne!(base, config_key("p", &s, "", &scaled));
+        assert_ne!(
+            design_key("p", &s, "", &cand(&[("m", 8)], 16)),
+            design_key("p", &s, "", &scaled)
         );
     }
 

@@ -51,6 +51,21 @@ impl Default for GuidedConfig {
     }
 }
 
+/// How the evaluator sizes the channels (FIFOs, double buffers) of each
+/// candidate's generated design before measuring it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapacityMode {
+    /// Keep the depths the hardware generator chose (scaled by the
+    /// candidate's `cap_permille` when swept).
+    #[default]
+    AsGenerated,
+    /// Rewrite every channel-carrying memory to the minimal safe depth
+    /// the flow analyzer computes (`pphw_verify::flow::infer_capacities`),
+    /// after any `cap_permille` scaling — the area-lean end of the
+    /// throughput/area trade-off.
+    InferredMinimal,
+}
+
 /// How the engine spends its simulation budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
@@ -131,6 +146,10 @@ pub struct DseConfig {
     pub eval_attempts: usize,
     /// Exhaustive or model-guided measurement.
     pub strategy: Strategy,
+    /// How the evaluator sizes each candidate's channels (honored by
+    /// evaluators that compile real designs; synthetic test evaluators
+    /// ignore it).
+    pub capacity_mode: CapacityMode,
     /// What "best" means when ranking feasible points.
     pub objective: Objective,
     /// When `Some`, this invocation measures only the survivors its shard
@@ -150,6 +169,7 @@ impl Default for DseConfig {
             max_evals: usize::MAX,
             eval_attempts: 2,
             strategy: Strategy::Exhaustive,
+            capacity_mode: CapacityMode::default(),
             objective: Objective::CyclesThenArea,
             shard: None,
         }
@@ -229,6 +249,10 @@ pub fn explore(
                 }
                 PruneDecision::Illegal(_) => {
                     stats.pruned_verify += 1;
+                    None
+                }
+                PruneDecision::Flow(_) => {
+                    stats.pruned_flow += 1;
                     None
                 }
                 PruneDecision::Budget { .. } => {

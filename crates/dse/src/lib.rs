@@ -48,7 +48,7 @@ pub mod shard;
 pub mod space;
 
 pub use cache::{CacheMergeError, EvalCache, MergeStats};
-pub use engine::{explore, DseConfig, GuidedConfig, Objective, Strategy};
+pub use engine::{explore, CapacityMode, DseConfig, GuidedConfig, Objective, Strategy};
 pub use journal::{journal_path, JournalConfig, JournalStats};
 pub use model::CostModel;
 pub use pareto::pareto_frontier;

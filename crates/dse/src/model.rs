@@ -395,6 +395,7 @@ mod tests {
             inner_par: 16,
             sim_label: "max4".into(),
             sim: SimConfig::default(),
+            cap_permille: 1000,
         };
         let f0 = candidate_features(&traffic, &sizes, &base);
         assert_eq!(f0.terms[0], 1.0);

@@ -69,6 +69,10 @@ pub struct DseStats {
     /// program illegal (IR-verifier errors, or a combine the candidate's
     /// parallelism would race).
     pub pruned_verify: usize,
+    /// Rejected by the prefilter: the dataflow-balance analyzer found the
+    /// candidate's channel-capacity scale statically deadlocking
+    /// (zero-slot channels, `PPHW041`) — never compiled.
+    pub pruned_flow: usize,
     /// Rejected by the prefilter: predicted on-chip footprint over budget.
     pub pruned_budget: usize,
     /// Rejected by the prefilter: area lower bound over budget.
@@ -107,7 +111,11 @@ impl DseStats {
     /// Total points removed by the analytic prefilter.
     #[must_use]
     pub fn pruned_total(&self) -> usize {
-        self.pruned_tile + self.pruned_verify + self.pruned_budget + self.pruned_area
+        self.pruned_tile
+            + self.pruned_verify
+            + self.pruned_flow
+            + self.pruned_budget
+            + self.pruned_area
     }
 }
 
@@ -201,7 +209,8 @@ impl DseReport {
             "{{\"name\":\"{}\",\"best\":{},\"frontier\":[{frontier}],\
              \"evaluated\":[{evaluated}],\"failures\":[{failures}],\
              \"stats\":{{\"exhaustive\":{},\
-             \"pruned_tile\":{},\"pruned_verify\":{},\"pruned_budget\":{},\"pruned_area\":{},\
+             \"pruned_tile\":{},\"pruned_verify\":{},\"pruned_flow\":{},\
+             \"pruned_budget\":{},\"pruned_area\":{},\
              \"evaluated\":{},\"infeasible\":{},\"failed\":{},\
              \"sampled\":{},\"ranked\":{},\"simulated\":{},\
              \"skipped_model\":{},\"shard_skipped\":{},\
@@ -211,6 +220,7 @@ impl DseReport {
             s.exhaustive,
             s.pruned_tile,
             s.pruned_verify,
+            s.pruned_flow,
             s.pruned_budget,
             s.pruned_area,
             s.evaluated,
@@ -276,13 +286,14 @@ impl DseReport {
         let s = &self.stats;
         let mut out = format!(
             "dse `{}`: {} points enumerated, {} pruned analytically \
-             (tile {}, verify {}, budget {}, area {}), {} evaluated \
+             (tile {}, verify {}, flow {}, budget {}, area {}), {} evaluated \
              ({} compiled, {} from cache), {} infeasible, {} failed\n",
             self.name,
             s.exhaustive,
             s.pruned_total(),
             s.pruned_tile,
             s.pruned_verify,
+            s.pruned_flow,
             s.pruned_budget,
             s.pruned_area,
             s.evaluated,
@@ -361,8 +372,9 @@ mod tests {
                 error: "evaluator panicked: boom".into(),
             }],
             stats: DseStats {
-                exhaustive: 5,
+                exhaustive: 6,
                 pruned_budget: 2,
+                pruned_flow: 1,
                 evaluated: 3,
                 failed: 1,
                 cache_misses: 3,
@@ -379,8 +391,9 @@ mod tests {
             "\"best\":",
             "\"frontier\":[",
             "\"evaluated\":[",
-            "\"exhaustive\":5",
+            "\"exhaustive\":6",
             "\"pruned_budget\":2",
+            "\"pruned_flow\":1",
             "\"cycles\":10",
             "\"failures\":[{\"label\":\"c\"",
             "\"failed\":1",
@@ -402,8 +415,9 @@ mod tests {
     #[test]
     fn summary_reports_prune_savings() {
         let s = report().summary();
-        assert!(s.contains("5 points enumerated"));
-        assert!(s.contains("2 pruned analytically"));
+        assert!(s.contains("6 points enumerated"));
+        assert!(s.contains("3 pruned analytically"));
+        assert!(s.contains("flow 1"));
         assert!(s.contains("best: a"));
     }
 

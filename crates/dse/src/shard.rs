@@ -75,6 +75,7 @@ mod tests {
             inner_par: par,
             sim_label: "max4".into(),
             sim: SimConfig::default(),
+            cap_permille: 1000,
         }
     }
 

@@ -33,10 +33,19 @@ pub struct Candidate {
     pub sim_label: String,
     /// The simulation substrate.
     pub sim: SimConfig,
+    /// Channel-capacity scale in permille of the generated depth (1000 =
+    /// as generated). Applied by the evaluator to every FIFO/double
+    /// buffer that carries a metapipeline channel; scales below 500
+    /// statically deadlock exact-token channels and are rejected by the
+    /// prefilter before any compile.
+    pub cap_permille: u32,
 }
 
 impl Candidate {
-    /// Human-readable identity, e.g. `m=32,n=16 par=64 sim=max4`.
+    /// Human-readable identity, e.g. `m=32,n=16 par=64 sim=max4` (with a
+    /// ` cap=0.5` suffix only when the capacity scale is swept off its
+    /// default, so pre-existing labels — and the fingerprints and cache
+    /// keys derived from them — are unchanged).
     #[must_use]
     pub fn label(&self) -> String {
         let tiles = if self.tiles.is_empty() {
@@ -48,7 +57,12 @@ impl Candidate {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        format!("{tiles} par={} sim={}", self.inner_par, self.sim_label)
+        let cap = if self.cap_permille == 1000 {
+            String::new()
+        } else {
+            format!(" cap={}", self.cap_permille as f64 / 1000.0)
+        };
+        format!("{tiles} par={} sim={}{cap}", self.inner_par, self.sim_label)
     }
 
     /// Tile sizes as borrowed pairs, for `TileConfig`/`CompileOptions`.
@@ -59,18 +73,20 @@ impl Candidate {
 }
 
 /// The joint search space: tile candidates per tuned dimension ×
-/// parallelism factors × simulation substrate variants.
+/// parallelism factors × simulation substrate variants × channel-capacity
+/// scales.
 ///
 /// Enumeration order is deterministic — dimensions in the order they were
 /// added, tile candidates in their given order, then parallelism factors,
-/// then substrate variants — and independent of how the engine later
-/// schedules evaluation.
+/// then substrate variants, then capacity scales — and independent of how
+/// the engine later schedules evaluation.
 #[derive(Debug, Clone)]
 pub struct SearchSpace {
     sizes: Vec<(String, i64)>,
     dims: Vec<(String, Vec<i64>)>,
     inner_pars: Vec<u32>,
     sim_variants: Vec<(String, SimConfig)>,
+    cap_permilles: Vec<u32>,
 }
 
 impl SearchSpace {
@@ -84,6 +100,7 @@ impl SearchSpace {
             dims: Vec::new(),
             inner_pars: vec![64],
             sim_variants: vec![("max4".to_string(), SimConfig::default())],
+            cap_permilles: vec![1000],
         }
     }
 
@@ -132,6 +149,15 @@ impl SearchSpace {
         self
     }
 
+    /// Sets the channel-capacity scales (permille of the generated
+    /// depth) to sweep. The default single `1000` leaves capacities as
+    /// generated.
+    #[must_use]
+    pub fn with_cap_permilles(mut self, permilles: &[u32]) -> SearchSpace {
+        self.cap_permilles = permilles.to_vec();
+        self
+    }
+
     /// The concrete sizes the space was built over.
     #[must_use]
     pub fn sizes(&self) -> &[(String, i64)] {
@@ -148,7 +174,7 @@ impl SearchSpace {
     #[must_use]
     pub fn len(&self) -> usize {
         let tiles: usize = self.dims.iter().map(|(_, c)| c.len()).product();
-        tiles * self.inner_pars.len() * self.sim_variants.len()
+        tiles * self.inner_pars.len() * self.sim_variants.len() * self.cap_permilles.len()
     }
 
     /// Whether the space enumerates to nothing.
@@ -176,12 +202,15 @@ impl SearchSpace {
         for tiles in &tile_cfgs {
             for par in &self.inner_pars {
                 for (label, sim) in &self.sim_variants {
-                    out.push(Candidate {
-                        tiles: tiles.clone(),
-                        inner_par: *par,
-                        sim_label: label.clone(),
-                        sim: sim.clone(),
-                    });
+                    for cap in &self.cap_permilles {
+                        out.push(Candidate {
+                            tiles: tiles.clone(),
+                            inner_par: *par,
+                            sim_label: label.clone(),
+                            sim: sim.clone(),
+                            cap_permille: *cap,
+                        });
+                    }
                 }
             }
         }
@@ -235,12 +264,32 @@ mod tests {
 
     #[test]
     fn labels_are_stable_identities() {
-        let c = Candidate {
+        let mut c = Candidate {
             tiles: vec![("m".into(), 8)],
             inner_par: 32,
             sim_label: "max4".into(),
             sim: SimConfig::default(),
+            cap_permille: 1000,
         };
         assert_eq!(c.label(), "m=8 par=32 sim=max4");
+        // A swept capacity scale is visible; the default leaves the
+        // legacy label (and everything keyed off it) untouched.
+        c.cap_permille = 500;
+        assert_eq!(c.label(), "m=8 par=32 sim=max4 cap=0.5");
+    }
+
+    #[test]
+    fn capacity_scales_sweep_innermost() {
+        let space = SearchSpace::new(&[("m", 16)])
+            .tune_dim("m")
+            .unwrap()
+            .with_cap_permilles(&[1000, 500]);
+        assert_eq!(space.len(), 4);
+        let cands = space.candidates();
+        assert_eq!(cands.len(), 4);
+        assert_eq!(cands[0].cap_permille, 1000);
+        assert_eq!(cands[1].cap_permille, 500);
+        assert_eq!(cands[0].tiles, cands[1].tiles);
+        assert_ne!(cands[0].label(), cands[1].label());
     }
 }

@@ -1,0 +1,350 @@
+//! Producer→consumer channel graph over a design's metapipelines.
+//!
+//! A *channel* is a FIFO or double buffer written by one metapipeline
+//! stage and read by another. The graph is the shared substrate for two
+//! consumers: the static dataflow-balance analyzer in `pphw-verify::flow`
+//! (rate equations, deadlock/stall detection, minimal capacity
+//! inference) and the simulator's capacity model (a channel with a
+//! single slot serializes its producer behind its consumer; a channel
+//! with zero slots can never make progress).
+//!
+//! Capacities are expressed in *slots*: how many producer tokens the
+//! memory can hold at once. A double buffer of `words` words holds two
+//! tokens of `words` words each (ping + pong); a FIFO of `words` words
+//! holds `words / token` tokens.
+
+use crate::design::{BufId, Buffer, BufferKind, Ctrl, CtrlKind, Design, Node};
+
+/// A stage-to-stage communication channel inside one metapipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    /// Name of the metapipeline controller owning both endpoints.
+    pub ctrl: String,
+    /// The memory carrying the tokens.
+    pub buf: BufId,
+    /// Display name of the memory.
+    pub buf_name: String,
+    /// Memory template kind (`Fifo` or `DoubleBuffer`).
+    pub kind: BufferKind,
+    /// Producer stage index within the controller.
+    pub producer: usize,
+    /// Consumer stage index within the controller.
+    pub consumer: usize,
+    /// Display name of the producer stage.
+    pub producer_name: String,
+    /// Display name of the consumer stage.
+    pub consumer_name: String,
+    /// Raw words written by the producer stage per controller iteration
+    /// (accumulator stages rewrite the same footprint many times, so this
+    /// can exceed the communicated tile). Always non-zero.
+    pub producer_words: u64,
+    /// Raw words read by the consumer stage per controller iteration
+    /// (compute stages re-read operand tiles, so this can exceed the
+    /// communicated tile too). Always non-zero.
+    pub consumer_words: u64,
+    /// The communicated token grain in words:
+    /// `min(producer_words, consumer_words)`. A producer that rewrites
+    /// its footprint hands over only the final tile; a consumer that
+    /// re-reads still consumes only one tile — the token is bounded by
+    /// both, and unlike the raw volumes it is invariant under capacity
+    /// mutation, so undersized channels stay detectable.
+    pub token_words: u64,
+    /// Usable capacity in words: `2 x words` for a double buffer
+    /// (ping + pong), `words` for a FIFO.
+    pub capacity_words: u64,
+    /// Iteration count of the owning controller.
+    pub iters: u64,
+}
+
+impl Channel {
+    /// How many producer tokens fit in the memory at once.
+    ///
+    /// `0` means the producer can never complete a single token (a
+    /// statically-guaranteed deadlock); `1` means the producer must wait
+    /// for the consumer to drain each token before starting the next
+    /// (full serialization, no overlap); `2` is the classic double
+    /// buffer; more than `2` is extra slack.
+    #[must_use]
+    pub fn slots(&self) -> u64 {
+        self.capacity_words / self.token_words.max(1)
+    }
+
+    /// Whether the channel runs against stage order (consumer stage
+    /// precedes the producer in the pipeline) — a loop-carried path
+    /// whose serialization is inherent in the wavefront schedule.
+    #[must_use]
+    pub fn is_backward(&self) -> bool {
+        self.consumer < self.producer
+    }
+}
+
+/// Words moved per one invocation of `node` to (`writes`) or from
+/// (`!writes`) buffer `buf`, summed over everything nested below it.
+fn volume(node: &Node, buf: BufId, writes: bool) -> u64 {
+    match node {
+        Node::Unit(u) => {
+            let list = if writes { &u.writes } else { &u.reads };
+            if list.contains(&buf) {
+                u.elems
+            } else {
+                0
+            }
+        }
+        Node::Ctrl(c) => {
+            let per_iter = c
+                .stages
+                .iter()
+                .map(|s| volume(s, buf, writes))
+                .fold(0u64, u64::saturating_add);
+            c.iters.max(1).saturating_mul(per_iter)
+        }
+    }
+}
+
+/// The channels of a single metapipeline controller: for every FIFO or
+/// double buffer, every (producer stage, consumer stage) pair where one
+/// stage writes the memory and a *different* stage reads it.
+///
+/// Returns an empty vector for non-metapipeline controllers. Order is
+/// deterministic: by buffer id, then producer stage, then consumer
+/// stage.
+#[must_use]
+pub fn metapipeline_channels(c: &Ctrl, buffers: &[Buffer]) -> Vec<Channel> {
+    if c.kind != CtrlKind::Metapipeline {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for b in buffers {
+        if !matches!(b.kind, BufferKind::Fifo | BufferKind::DoubleBuffer) {
+            continue;
+        }
+        let capacity_words = match b.kind {
+            BufferKind::DoubleBuffer => b.words.saturating_mul(2),
+            _ => b.words,
+        };
+        let written: Vec<u64> = c.stages.iter().map(|s| volume(s, b.id, true)).collect();
+        let read: Vec<u64> = c.stages.iter().map(|s| volume(s, b.id, false)).collect();
+        for (i, &producer_words) in written.iter().enumerate() {
+            if producer_words == 0 {
+                continue;
+            }
+            for (j, &consumer_words) in read.iter().enumerate() {
+                if consumer_words == 0 || i == j {
+                    continue;
+                }
+                out.push(Channel {
+                    ctrl: c.name.clone(),
+                    buf: b.id,
+                    buf_name: b.name.clone(),
+                    kind: b.kind,
+                    producer: i,
+                    consumer: j,
+                    producer_name: c.stages[i].name().to_string(),
+                    consumer_name: c.stages[j].name().to_string(),
+                    producer_words,
+                    consumer_words,
+                    token_words: producer_words.min(consumer_words),
+                    capacity_words,
+                    iters: c.iters,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All channels in the design: [`metapipeline_channels`] over every
+/// controller in the tree, in tree order.
+#[must_use]
+pub fn channels(design: &Design) -> Vec<Channel> {
+    let mut out = Vec::new();
+    design.root.visit_ctrls(&mut |c| {
+        out.extend(metapipeline_channels(c, &design.buffers));
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::design::{DesignStyle, Unit, UnitKind};
+
+    fn buffer(id: usize, name: &str, words: u64, kind: BufferKind) -> Buffer {
+        Buffer {
+            id: BufId(id),
+            name: name.into(),
+            words,
+            word_bytes: 4,
+            kind,
+            banks: 1,
+            readers: 1,
+            writers: 1,
+        }
+    }
+
+    fn unit(name: &str, elems: u64, reads: Vec<BufId>, writes: Vec<BufId>) -> Node {
+        Node::Unit(Unit {
+            name: name.into(),
+            kind: UnitKind::Vector { lanes: 1 },
+            elems,
+            ops_per_elem: 1,
+            depth: 1,
+            streams: vec![],
+            reads,
+            writes,
+        })
+    }
+
+    fn pipe(buffers: Vec<Buffer>, stages: Vec<Node>, iters: u64) -> Design {
+        Design {
+            name: "t".into(),
+            style: DesignStyle::Metapipelined,
+            root: Node::Ctrl(Ctrl {
+                name: "top".into(),
+                kind: CtrlKind::Metapipeline,
+                iters,
+                stages,
+            }),
+            buffers,
+        }
+    }
+
+    #[test]
+    fn double_buffer_counts_two_slots() {
+        let d = pipe(
+            vec![buffer(0, "tile", 64, BufferKind::DoubleBuffer)],
+            vec![
+                unit("prod", 64, vec![], vec![BufId(0)]),
+                unit("cons", 64, vec![BufId(0)], vec![]),
+            ],
+            8,
+        );
+        let chans = channels(&d);
+        assert_eq!(chans.len(), 1);
+        let ch = &chans[0];
+        assert_eq!(ch.token_words, 64);
+        assert_eq!(ch.consumer_words, 64);
+        assert_eq!(ch.capacity_words, 128);
+        assert_eq!(ch.slots(), 2);
+        assert!(!ch.is_backward());
+        assert_eq!(ch.producer_name, "prod");
+        assert_eq!(ch.consumer_name, "cons");
+    }
+
+    #[test]
+    fn fifo_slots_divide_capacity_by_token() {
+        let d = pipe(
+            vec![buffer(0, "q", 100, BufferKind::Fifo)],
+            vec![
+                unit("prod", 40, vec![], vec![BufId(0)]),
+                unit("cons", 40, vec![BufId(0)], vec![]),
+            ],
+            4,
+        );
+        let chans = channels(&d);
+        assert_eq!(chans[0].slots(), 2); // 100 / 40
+    }
+
+    #[test]
+    fn undersized_fifo_has_zero_slots() {
+        let d = pipe(
+            vec![buffer(0, "q", 32, BufferKind::Fifo)],
+            vec![
+                unit("prod", 64, vec![], vec![BufId(0)]),
+                unit("cons", 64, vec![BufId(0)], vec![]),
+            ],
+            4,
+        );
+        assert_eq!(channels(&d)[0].slots(), 0);
+    }
+
+    #[test]
+    fn token_is_bounded_by_both_endpoint_volumes() {
+        // Accumulator producer: 8192 updates to a 1-word scalar, read
+        // once by the next stage. The token is the final scalar.
+        let d = pipe(
+            vec![buffer(0, "acc", 1, BufferKind::DoubleBuffer)],
+            vec![
+                unit("reduce", 8192, vec![], vec![BufId(0)]),
+                unit("drain", 1, vec![BufId(0)], vec![]),
+            ],
+            128,
+        );
+        let chans = channels(&d);
+        assert_eq!(chans[0].producer_words, 8192);
+        assert_eq!(chans[0].consumer_words, 1);
+        assert_eq!(chans[0].token_words, 1);
+        assert_eq!(chans[0].slots(), 2);
+    }
+
+    #[test]
+    fn plain_buffers_and_self_loops_form_no_channel() {
+        let d = pipe(
+            vec![
+                buffer(0, "scratch", 64, BufferKind::Buffer),
+                buffer(1, "acc", 64, BufferKind::Fifo),
+            ],
+            vec![
+                unit("rw", 64, vec![BufId(0), BufId(1)], vec![BufId(0), BufId(1)]),
+                unit("other", 64, vec![BufId(0)], vec![]),
+            ],
+            2,
+        );
+        // Buffer kind excluded entirely; FIFO read+written by the same
+        // stage only is a self-loop, not a channel.
+        assert!(channels(&d).is_empty());
+    }
+
+    #[test]
+    fn backward_channel_detected() {
+        let d = pipe(
+            vec![buffer(0, "fb", 16, BufferKind::Fifo)],
+            vec![
+                unit("head", 16, vec![BufId(0)], vec![]),
+                unit("tail", 16, vec![], vec![BufId(0)]),
+            ],
+            4,
+        );
+        let chans = channels(&d);
+        assert_eq!(chans.len(), 1);
+        assert!(chans[0].is_backward());
+        assert_eq!(chans[0].producer, 1);
+        assert_eq!(chans[0].consumer, 0);
+    }
+
+    #[test]
+    fn nested_ctrl_volume_multiplies_iters() {
+        let inner = Node::Ctrl(Ctrl {
+            name: "inner".into(),
+            kind: CtrlKind::Sequential,
+            iters: 4,
+            stages: vec![unit("w", 16, vec![], vec![BufId(0)])],
+        });
+        let d = pipe(
+            vec![buffer(0, "tile", 64, BufferKind::DoubleBuffer)],
+            vec![inner, unit("cons", 64, vec![BufId(0)], vec![])],
+            8,
+        );
+        let chans = channels(&d);
+        assert_eq!(chans.len(), 1);
+        assert_eq!(chans[0].token_words, 64); // 4 iters x 16 elems
+        assert_eq!(chans[0].slots(), 2);
+    }
+
+    #[test]
+    fn sequential_controllers_have_no_channels() {
+        let mut d = pipe(
+            vec![buffer(0, "tile", 64, BufferKind::DoubleBuffer)],
+            vec![
+                unit("prod", 64, vec![], vec![BufId(0)]),
+                unit("cons", 64, vec![BufId(0)], vec![]),
+            ],
+            8,
+        );
+        if let Node::Ctrl(c) = &mut d.root {
+            c.kind = CtrlKind::Sequential;
+        }
+        assert!(channels(&d).is_empty());
+    }
+}

@@ -8,12 +8,14 @@
 //! HGL emitter, and the HLS-style baseline generator.
 
 pub mod area;
+pub mod channel;
 pub mod config;
 pub mod design;
 pub mod gen;
 pub mod hgl;
 
 pub use area::{area_objective, design_area, utilization, Area, AreaBudget};
+pub use channel::Channel;
 pub use config::HwConfig;
 pub use design::{Design, DesignStyle, StageInterner};
 pub use gen::{generate, HwError};

@@ -493,6 +493,13 @@ impl Service {
             ..VerifyConfig::default()
         };
         let mut report = pphw_verify::verify_program(&r.prog, &cfg);
+        // Design-level families (hazards, dataflow balance) need the
+        // compiled design; a request whose design cannot compile still
+        // gets its program-level diagnostics.
+        let (artifact, _) = self.artifact_for(&r);
+        if let DesignArtifact::Ready { compiled, .. } = &*artifact {
+            report.merge(pphw_verify::verify_design(&compiled.design, &cfg));
+        }
         if let Some((text, map)) = &r.source {
             report.attach_spans(map, text);
         }
@@ -718,6 +725,7 @@ impl Resolved {
             inner_par: self.inner_par,
             sim_label: "req".to_string(),
             sim: self.sim.clone(),
+            cap_permille: 1000,
         };
         (salt, cand)
     }

@@ -11,7 +11,8 @@
 //! when the report is built, reproducing the retired
 //! `BTreeMap<String, StageStat>` accumulation bit for bit.
 
-use pphw_hw::design::{CtrlKind, Design, DramStream, Node, StageInterner, Unit, UnitKind};
+use pphw_hw::channel::{channels, metapipeline_channels};
+use pphw_hw::design::{Buffer, CtrlKind, Design, DramStream, Node, StageInterner, Unit, UnitKind};
 
 use crate::dram::{Dram, SimConfig};
 use crate::error::SimError;
@@ -48,8 +49,19 @@ pub fn simulate_with_faults(
 ) -> Result<SimReport, SimError> {
     cfg.validate()?;
     faults.validate()?;
+    // A channel that cannot hold one producer token can never make
+    // progress: fail up front with a structured error (the static flow
+    // analyzer flags the same condition as PPHW041) instead of letting
+    // the event loop spin against the watchdog.
+    for ch in channels(design) {
+        if ch.slots() == 0 {
+            return Err(SimError::ChannelDeadlock {
+                channel: format!("{}/{}", ch.ctrl, ch.buf_name),
+            });
+        }
+    }
     let mut interner = StageInterner::new();
-    let mut root = lower_node(&design.root, &mut interner);
+    let mut root = lower_node(&design.root, &design.buffers, &mut interner);
     let stats = interner
         .names()
         .map(|name| StageStat {
@@ -199,6 +211,18 @@ struct LUnit<'d> {
     is_store: bool,
 }
 
+/// A single-slot metapipeline channel: the producer stage cannot start
+/// writing token *t* until the consumer has drained token *t−1* (there
+/// is no second buffer half to write into). `cons_end_prev` rings the
+/// consumer's previous-iteration completion forward to the producer.
+/// Channels with two or more slots impose nothing beyond the existing
+/// double-buffer gate, so only single-slot forward channels are lowered.
+struct LChannel {
+    producer: usize,
+    consumer: usize,
+    cons_end_prev: f64,
+}
+
 /// A lowered controller. Metapipelines carry their wavefront scratch
 /// vectors here so repeated invocations (a metapipeline nested under an
 /// iterating parent) reuse the same backing storage.
@@ -209,6 +233,7 @@ struct LCtrl<'d> {
     stages: Vec<LNode<'d>>,
     gate_scratch: Vec<f64>,
     end_scratch: Vec<f64>,
+    channels: Vec<LChannel>,
 }
 
 /// A lowered design-tree node.
@@ -241,16 +266,32 @@ fn lower_unit<'d>(u: &'d Unit, interner: &mut StageInterner) -> LUnit<'d> {
     }
 }
 
-fn lower_node<'d>(node: &'d Node, interner: &mut StageInterner) -> LNode<'d> {
+fn lower_node<'d>(node: &'d Node, buffers: &[Buffer], interner: &mut StageInterner) -> LNode<'d> {
     match node {
         Node::Unit(u) => LNode::Unit(lower_unit(u, interner)),
         Node::Ctrl(c) => {
-            let stages: Vec<LNode<'d>> = c.stages.iter().map(|s| lower_node(s, interner)).collect();
+            let stages: Vec<LNode<'d>> = c
+                .stages
+                .iter()
+                .map(|s| lower_node(s, buffers, interner))
+                .collect();
             let n = if c.kind == CtrlKind::Metapipeline {
                 stages.len()
             } else {
                 0
             };
+            // Forward channels squeezed down to a single token slot
+            // serialize their endpoints; backward (loop-carried) channels
+            // are already serialized by the wavefront itself.
+            let channels = metapipeline_channels(c, buffers)
+                .into_iter()
+                .filter(|ch| ch.slots() == 1 && !ch.is_backward())
+                .map(|ch| LChannel {
+                    producer: ch.producer,
+                    consumer: ch.consumer,
+                    cons_end_prev: 0.0,
+                })
+                .collect();
             LNode::Ctrl(LCtrl {
                 kind: c.kind,
                 name: &c.name,
@@ -258,6 +299,7 @@ fn lower_node<'d>(node: &'d Node, interner: &mut StageInterner) -> LNode<'d> {
                 stages,
                 gate_scratch: vec![0.0; n],
                 end_scratch: vec![0.0; n],
+                channels,
             })
         }
     }
@@ -387,11 +429,19 @@ fn sim_ctrl(c: &mut LCtrl, start: f64, cx: &mut SimCx) -> Result<Timing, SimErro
             // (the `gate`, enforced by the double-buffer swap).
             c.gate_scratch.fill(start);
             c.end_scratch.fill(start);
+            for ch in &mut c.channels {
+                ch.cons_end_prev = start;
+            }
             for it in 0..c.iters.max(1) {
                 let mut prev_stage_end = start;
                 cx.wd.tick(prev_stage_end)?;
                 for (s, stage) in c.stages.iter_mut().enumerate() {
-                    let st = prev_stage_end.max(c.gate_scratch[s]);
+                    let mut st = prev_stage_end.max(c.gate_scratch[s]);
+                    for ch in &c.channels {
+                        if ch.producer == s {
+                            st = st.max(ch.cons_end_prev);
+                        }
+                    }
                     let t = sim_node(stage, st, cx)?;
                     if cx.trace && it < 4 {
                         eprintln!(
@@ -401,6 +451,11 @@ fn sim_ctrl(c: &mut LCtrl, start: f64, cx: &mut SimCx) -> Result<Timing, SimErro
                     }
                     c.gate_scratch[s] = t.gate;
                     c.end_scratch[s] = t.end;
+                    for ch in &mut c.channels {
+                        if ch.consumer == s {
+                            ch.cons_end_prev = t.end;
+                        }
+                    }
                     prev_stage_end = t.end;
                 }
             }
@@ -463,10 +518,13 @@ mod tests {
                 iters,
                 stages,
             }),
+            // Sized to hold the largest token these tests stream (the
+            // 96k-word loads): the channel capacity model would reject a
+            // metapipeline whose double buffer cannot hold one token.
             buffers: vec![Buffer {
                 id: BufId(0),
                 name: "b".into(),
-                words: 4096,
+                words: 131_072,
                 word_bytes: 4,
                 kind: BufferKind::DoubleBuffer,
                 banks: 1,
@@ -796,6 +854,56 @@ mod tests {
         for (a, b) in clean.stages.iter().zip(&inert.stages) {
             assert_eq!(a.busy_cycles.to_bits(), b.busy_cycles.to_bits());
         }
+    }
+
+    /// A metapipeline double buffer that cannot hold one producer token
+    /// is rejected before the event loop, naming the channel.
+    #[test]
+    fn zero_slot_channel_errors_up_front() {
+        let stages = vec![
+            Node::Unit(load_unit(96_000)),
+            Node::Unit(compute_unit(96_000, 128)),
+        ];
+        let mut d = design(CtrlKind::Metapipeline, 8, stages);
+        d.buffers[0].words = 40_000; // capacity 80k < one 96k-word token
+        match super::simulate(&d, &SimConfig::default()) {
+            Err(SimError::ChannelDeadlock { channel }) => assert_eq!(channel, "root/b"),
+            other => panic!("expected ChannelDeadlock, got {other:?}"),
+        }
+    }
+
+    /// The channel capacity model: a single-slot channel serializes its
+    /// endpoints (strictly slower than the double-buffered run), while
+    /// slack beyond two slots changes nothing — the two-slot schedule is
+    /// already fully overlapped.
+    #[test]
+    fn single_slot_serializes_and_extra_slots_are_free() {
+        let cfg = SimConfig::default();
+        let stages = || {
+            vec![
+                Node::Unit(load_unit(96_000)),
+                Node::Unit(compute_unit(96_000, 128)),
+            ]
+        };
+        let run = |words: u64| {
+            let mut d = design(CtrlKind::Metapipeline, 8, stages());
+            d.buffers[0].words = words;
+            super::simulate(&d, &cfg).expect("simulates")
+        };
+        let minimal = run(96_000); // exactly one token per half: 2 slots
+        let slack = run(384_000); // 8 slots
+        let single = run(95_999); // capacity 191,998: one token fits
+        assert_eq!(minimal.cycles, slack.cycles, "extra slots must be free");
+        assert_eq!(minimal.seconds.to_bits(), slack.seconds.to_bits());
+        for (a, b) in minimal.stages.iter().zip(&slack.stages) {
+            assert_eq!(a.busy_cycles.to_bits(), b.busy_cycles.to_bits());
+        }
+        assert!(
+            single.cycles > minimal.cycles,
+            "one slot must stall the producer: {} vs {}",
+            single.cycles,
+            minimal.cycles
+        );
     }
 
     /// Same seed ⇒ identical faulted report; fault-free cycles never

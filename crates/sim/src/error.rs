@@ -44,6 +44,15 @@ pub enum SimError {
         /// Which quantity went non-finite.
         what: &'static str,
     },
+    /// A metapipeline channel cannot hold even one producer token, so the
+    /// design can never make progress. Detected before the event loop by
+    /// walking the channel graph (the same graph `pphw-verify`'s flow
+    /// analyzer flags as `PPHW041`), turning a would-be hang into a
+    /// structured error.
+    ChannelDeadlock {
+        /// `ctrl/buffer` of the undersized channel.
+        channel: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -64,6 +73,12 @@ impl fmt::Display for SimError {
             }
             SimError::NonFinite { what } => {
                 write!(f, "simulation produced a non-finite {what}")
+            }
+            SimError::ChannelDeadlock { channel } => {
+                write!(
+                    f,
+                    "channel {channel} cannot hold one producer token: the design deadlocks"
+                )
             }
         }
     }

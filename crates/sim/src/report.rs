@@ -5,7 +5,7 @@ use pphw_hw::design::DesignStyle;
 use crate::fault::FaultStats;
 
 /// Per-unit statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageStat {
     /// Unit name.
     pub name: String,
@@ -18,7 +18,7 @@ pub struct StageStat {
 }
 
 /// Whole-run simulation report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Design name.
     pub design: String,

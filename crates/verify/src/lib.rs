@@ -2,7 +2,7 @@
 //!
 //! A multi-pass analyzer over PPL programs and generated hardware designs,
 //! with stable diagnostic codes (`PPHW0xx`) and a machine-readable JSON
-//! report. Three analyzer families:
+//! report. Four analyzer families:
 //!
 //! 1. **IR verifier** ([`ir_check`]) — def-before-use, binding discipline,
 //!    output/update arity, shape and rank consistency (cross-checked with
@@ -18,11 +18,19 @@
 //!    on shared buffers lacking double-buffering, sibling-parallel write
 //!    conflicts, on-chip budget and degenerate-capacity pre-checks over
 //!    [`pphw_hw::design::Design`].
+//! 4. **Dataflow-balance analyzer** ([`flow`]) — SDF-style balance
+//!    equations over the producer→consumer channel graph of each
+//!    metapipeline: statically-guaranteed deadlocks and stalls on
+//!    undersized FIFOs/double buffers, FIFO rate inconsistencies,
+//!    starved and over-provisioned channels, plus minimal safe capacity
+//!    inference ([`flow::infer_capacities`]) and a contention-free
+//!    bottleneck predictor cross-checked against the simulator.
 //!
 //! Every diagnostic carries a human-readable node path (see
 //! [`pphw_ir::path`]), e.g. `kmeans/best[1]/combine[0]`, so errors point
 //! at a node instead of a bare symbol id.
 
+pub mod flow;
 pub mod hazard;
 pub mod ir_check;
 pub mod race;
@@ -35,7 +43,8 @@ use pphw_ir::program::Program;
 
 /// Stable diagnostic codes. The numeric ranges group the families:
 /// `001`–`009` IR well-formedness, `010`–`019` parallelization races,
-/// `020`–`029` metapipeline hazards, `030`–`039` area legality.
+/// `020`–`029` metapipeline hazards, `030`–`039` area legality,
+/// `040`–`049` dataflow balance.
 ///
 /// Codes are part of the tool's contract: tests and downstream consumers
 /// match on them, so a code is never renumbered or reused.
@@ -71,6 +80,21 @@ pub enum DiagCode {
     OverBudget,
     /// A buffer has zero capacity.
     DegenerateBuffer,
+    /// A FIFO channel's producer and consumer move different volumes per
+    /// metapipeline iteration (destructive reads accumulate or underflow).
+    RateMismatch,
+    /// A channel's capacity cannot hold even one producer token: the
+    /// metapipeline is statically guaranteed to deadlock.
+    ChannelDeadlock,
+    /// A forward channel holds exactly one token: the producer stalls
+    /// until the consumer drains it, serializing the metapipeline.
+    ChannelStall,
+    /// A FIFO/double buffer is read but never written: its consumer can
+    /// never be satisfied.
+    StarvedChannel,
+    /// A channel has more capacity than full overlap can use (warning;
+    /// capacity inference would reclaim the area).
+    OverProvisionedChannel,
 }
 
 impl DiagCode {
@@ -91,6 +115,11 @@ impl DiagCode {
             DiagCode::MetapipelineWaw => "PPHW021",
             DiagCode::OverBudget => "PPHW030",
             DiagCode::DegenerateBuffer => "PPHW031",
+            DiagCode::RateMismatch => "PPHW040",
+            DiagCode::ChannelDeadlock => "PPHW041",
+            DiagCode::ChannelStall => "PPHW042",
+            DiagCode::StarvedChannel => "PPHW043",
+            DiagCode::OverProvisionedChannel => "PPHW044",
         }
     }
 
@@ -113,6 +142,11 @@ impl DiagCode {
             DiagCode::MetapipelineWaw => "metapipeline WAW on shared single memory",
             DiagCode::OverBudget => "design exceeds on-chip memory budget",
             DiagCode::DegenerateBuffer => "zero-capacity buffer",
+            DiagCode::RateMismatch => "FIFO channel with rate-inconsistent endpoints",
+            DiagCode::ChannelDeadlock => "channel cannot hold one token (guaranteed deadlock)",
+            DiagCode::ChannelStall => "single-token channel serializes the metapipeline",
+            DiagCode::StarvedChannel => "channel read but never written",
+            DiagCode::OverProvisionedChannel => "channel capacity beyond what overlap can use",
         }
     }
 
@@ -133,6 +167,11 @@ impl DiagCode {
             DiagCode::MetapipelineWaw,
             DiagCode::OverBudget,
             DiagCode::DegenerateBuffer,
+            DiagCode::RateMismatch,
+            DiagCode::ChannelDeadlock,
+            DiagCode::ChannelStall,
+            DiagCode::StarvedChannel,
+            DiagCode::OverProvisionedChannel,
         ]
     }
 }
@@ -271,6 +310,15 @@ impl VerifyReport {
             .count()
     }
 
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
     /// Error-severity diagnostics.
     pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics
@@ -401,11 +449,13 @@ pub fn verify_program(prog: &Program, cfg: &VerifyConfig) -> VerifyReport {
     report
 }
 
-/// Runs the design-level analyzer (metapipeline hazards + area checks).
+/// Runs the design-level analyzers (metapipeline hazards + area checks +
+/// dataflow balance).
 #[must_use]
 pub fn verify_design(design: &Design, cfg: &VerifyConfig) -> VerifyReport {
     let mut report = VerifyReport::new();
     hazard::check_design(design, cfg, &mut report);
+    flow::check_design(design, cfg, &mut report);
     report
 }
 
@@ -477,5 +527,48 @@ mod tests {
         a.merge(b);
         assert_eq!(a.diagnostics.len(), 2);
         assert!(a.has(DiagCode::OverBudget));
+    }
+
+    #[test]
+    fn spans_survive_merging_multi_family_reports() {
+        let src = "program p(n) {\n  let x = 1\n}\n";
+        let mut map = pphw_ir::span::SourceMap::new("t.ppl");
+        map.record("p/x[0]", pphw_ir::span::Span::new(17, 26));
+
+        // Frontend-family report with spans already attached.
+        let mut front = VerifyReport::new();
+        front.push(DiagCode::NonAssocCombine, Severity::Error, "p/x[0]", "m");
+        front.attach_spans(&map, src);
+        let resolved = front.diagnostics[0].span.expect("resolved before merge");
+
+        // Design-family report: no source paths, stays span-free.
+        let mut design = VerifyReport::new();
+        design.push(DiagCode::ChannelStall, Severity::Error, "top/tile", "m");
+
+        front.merge(design);
+        assert_eq!(front.diagnostics.len(), 2);
+        assert_eq!(
+            front.diagnostics[0].span,
+            Some(resolved),
+            "merging must not drop previously attached spans"
+        );
+        assert_eq!(front.diagnostics[1].span, None);
+        assert_eq!(front.file.as_deref(), Some("t.ppl"));
+
+        // Attaching after the merge resolves every mapped path without
+        // disturbing unmapped design-level diagnostics.
+        let mut merged = VerifyReport::new();
+        merged.push(DiagCode::NonAssocCombine, Severity::Error, "p/x[0]", "m");
+        merged.merge({
+            let mut d = VerifyReport::new();
+            d.push(DiagCode::ChannelDeadlock, Severity::Error, "top/fifo", "m");
+            d
+        });
+        merged.attach_spans(&map, src);
+        assert_eq!(merged.diagnostics[0].span, Some(resolved));
+        assert_eq!(merged.diagnostics[1].span, None);
+        let text = merged.to_text();
+        assert!(text.contains("t.ppl:2:3: error [PPHW010]"), "{text}");
+        assert!(text.contains("[PPHW041]"), "{text}");
     }
 }

@@ -1,0 +1,71 @@
+//! Keeps DESIGN.md's diagnostic-code table in lockstep with
+//! `DiagCode::all()`: the table is generated from the code, so a new
+//! analyzer family cannot land without its documentation row.
+//!
+//! Regenerate with `PPHW_UPDATE_GOLDEN=1 cargo test --test design_doc`
+//! after inspecting the new rows.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pphw_verify::DiagCode;
+
+const HEADER: &str = "| Code | Meaning |\n|---|---|";
+
+fn generated_table() -> String {
+    let rows = DiagCode::all()
+        .iter()
+        .map(|c| format!("| `{}` | {} |", c.code(), c.summary()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!("{HEADER}\n{rows}")
+}
+
+#[test]
+fn design_md_diagnostic_table_matches_diagcode_all() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("DESIGN.md");
+    let doc = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let start = doc
+        .find(HEADER)
+        .expect("DESIGN.md contains the `| Code | Meaning |` table");
+    let body_start = start + HEADER.len();
+    let table_len = doc[body_start..]
+        .lines()
+        .take_while(|l| l.is_empty() || l.starts_with('|'))
+        .map(|l| l.len() + 1)
+        .sum::<usize>()
+        .saturating_sub(1);
+    let current = doc[start..body_start + table_len].trim_end();
+
+    let expected = generated_table();
+    if std::env::var_os("PPHW_UPDATE_GOLDEN").is_some() {
+        if current != expected {
+            // Splice over the trimmed table only, so surrounding blank
+            // lines survive the rewrite.
+            let updated = format!(
+                "{}{}{}",
+                &doc[..start],
+                expected,
+                &doc[start + current.len()..]
+            );
+            fs::write(&path, updated).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        }
+        return;
+    }
+    assert_eq!(
+        current, expected,
+        "DESIGN.md diagnostic table is stale — regenerate with \
+         PPHW_UPDATE_GOLDEN=1 cargo test --test design_doc"
+    );
+}
+
+#[test]
+fn diagnostic_codes_are_unique_and_ordered() {
+    let all = DiagCode::all();
+    let codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+    let mut sorted = codes.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), codes.len(), "duplicate code");
+    assert_eq!(sorted, codes, "DiagCode::all() must be in numeric order");
+}

@@ -314,3 +314,67 @@ fn unknown_dimension_is_rejected_when_building_the_space() {
     let err = SearchSpace::new(GEMM_SIZES).tune_dim("zzz").unwrap_err();
     assert_eq!(err, DseError::UnknownDim("zzz".into()));
 }
+
+#[test]
+fn capacity_sweep_prunes_deadlocked_scales_identically_across_threads() {
+    let prog = benchmark("sumrows");
+    let sizes: &[(&str, i64)] = &[("m", 64), ("n", 64)];
+    let base = CompileOptions::new(sizes);
+    // Scales below 0.5 leave every exact-token channel zero slots: the
+    // flow prefilter must reject them before any compile happens.
+    let space = SearchSpace::new(sizes)
+        .tune_dim("m")
+        .unwrap()
+        .with_inner_pars(&[8, 16])
+        .with_cap_permilles(&[250, 499, 1000, 2000]);
+
+    let mut reference = None;
+    for threads in [1usize, 2, 8] {
+        let cfg = DseConfig {
+            threads,
+            ..DseConfig::default()
+        };
+        let report = explore_program(&prog, &base, &space, &cfg).expect("search");
+        assert!(
+            report.stats.pruned_flow > 0,
+            "deadlocked capacity scales must be pruned by the flow check"
+        );
+        assert_eq!(
+            report.stats.pruned_flow % 2,
+            0,
+            "both deadlocking scales (0.25, 0.499) prune the same points"
+        );
+        match &reference {
+            None => reference = Some(report.to_json()),
+            Some(first) => assert_eq!(
+                &report.to_json(),
+                first,
+                "capacity-sweep report must be bit-identical on {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
+fn inferred_minimal_capacity_mode_matches_as_generated_on_minimal_designs() {
+    use pphw::dse::CapacityMode;
+    let prog = benchmark("sumrows");
+    let sizes: &[(&str, i64)] = &[("m", 64), ("n", 64)];
+    let base = CompileOptions::new(sizes);
+    let space = SearchSpace::new(sizes)
+        .tune_dim("m")
+        .unwrap()
+        .with_inner_pars(&[8]);
+
+    // The generator already emits minimal channel depths, so inferring
+    // them must be a no-op on every point of the sweep.
+    let plain = explore_program(&prog, &base, &space, &DseConfig::default()).expect("search");
+    let cfg = DseConfig {
+        capacity_mode: CapacityMode::InferredMinimal,
+        ..DseConfig::default()
+    };
+    let inferred = explore_program(&prog, &base, &space, &cfg).expect("search");
+    assert_eq!(inferred.best.label, plain.best.label);
+    assert_eq!(inferred.best.cycles, plain.best.cycles);
+    assert_eq!(inferred.best.area_score, plain.best.area_score);
+}

@@ -236,3 +236,79 @@ fn json_report_is_machine_readable() {
     assert!(clean.is_clean());
     assert!(clean.to_json().contains("\"diagnostics\":[]"));
 }
+
+/// Flow-analyzer family (`PPHW040`–`PPHW044`): seeded channel mutants of
+/// the clean two-stage metapipeline, one per code.
+#[test]
+fn flow_family_mutants_raise_their_stable_codes() {
+    let cfg = VerifyConfig::default();
+
+    // PPHW042: one word below the double-buffered capacity leaves a
+    // single slot — producer and consumer serialize.
+    let mut stall = two_stage_metapipeline(BufferKind::DoubleBuffer);
+    stall.buffers[0].words = 63;
+    let report = verify_design(&stall, &cfg);
+    assert!(report.has(DiagCode::ChannelStall), "{}", report.to_text());
+
+    // PPHW041: capacity below one token is a guaranteed deadlock.
+    let mut dead = two_stage_metapipeline(BufferKind::DoubleBuffer);
+    dead.buffers[0].words = 31;
+    let report = verify_design(&dead, &cfg);
+    assert!(
+        report.has(DiagCode::ChannelDeadlock),
+        "{}",
+        report.to_text()
+    );
+
+    // PPHW040: FIFO reads are destructive, so endpoints moving different
+    // volumes per iteration are rate-inconsistent.
+    let mut skewed = two_stage_metapipeline(BufferKind::Fifo);
+    if let Node::Ctrl(c) = &mut skewed.root {
+        if let Node::Unit(u) = &mut c.stages[1] {
+            u.elems = 32;
+        }
+    }
+    let report = verify_design(&skewed, &cfg);
+    assert!(report.has(DiagCode::RateMismatch), "{}", report.to_text());
+
+    // PPHW043: a channel read but written by no one starves its consumer.
+    let mut starved = two_stage_metapipeline(BufferKind::DoubleBuffer);
+    if let Node::Ctrl(c) = &mut starved.root {
+        c.stages[0] = unit("load", vec![], vec![]);
+    }
+    let report = verify_design(&starved, &cfg);
+    assert!(report.has(DiagCode::StarvedChannel), "{}", report.to_text());
+
+    // PPHW044 (warning): capacity beyond the minimal overlap depth is
+    // reclaimable area, but not an error — the report stays clean.
+    let mut fat = two_stage_metapipeline(BufferKind::DoubleBuffer);
+    fat.buffers[0].words = 128;
+    let report = verify_design(&fat, &cfg);
+    assert!(
+        report.has(DiagCode::OverProvisionedChannel),
+        "{}",
+        report.to_text()
+    );
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert_eq!(report.warning_count(), 1, "{}", report.to_text());
+}
+
+/// `pphw_verify::flow::infer_capacities` repairs an over-provisioned
+/// channel down to the minimal safe depth and reports the change; the
+/// repaired design is flow-clean.
+#[test]
+fn infer_capacities_repairs_over_provisioned_channels() {
+    let mut fat = two_stage_metapipeline(BufferKind::DoubleBuffer);
+    fat.buffers[0].words = 256;
+    let changes = pphw_verify::flow::infer_capacities(&mut fat);
+    assert_eq!(changes.len(), 1);
+    assert_eq!(changes[0].old_words, 256);
+    assert_eq!(changes[0].new_words, 64);
+    assert_eq!(fat.buffers[0].words, 64);
+    let report = verify_design(&fat, &VerifyConfig::default());
+    assert!(
+        report.is_clean() && report.warning_count() == 0,
+        "{}",
+        report.to_text()
+    );
+}
